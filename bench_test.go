@@ -1,0 +1,366 @@
+// Benchmarks reproducing the paper's evaluation, one per figure, plus
+// ablations of the design decisions in DESIGN.md. The interesting output
+// is the custom metric disk-accesses/op (the paper's y axis), not ns/op.
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Full-scale figure series are produced by cmd/dmbench; these benchmarks
+// run a representative middle point of each sweep at a laptop-friendly
+// scale so the whole suite stays fast.
+package dmesh_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dmesh"
+	"dmesh/internal/costmodel"
+	"dmesh/internal/dm"
+	"dmesh/internal/experiments"
+	"dmesh/internal/workload"
+)
+
+const (
+	benchSizeHighland = 129
+	benchSizeCrater   = 161
+	benchSeed         = 1
+)
+
+var (
+	benchMu      sync.Mutex
+	benchBundles = map[string]*experiments.Bundle{}
+)
+
+func bundle(b *testing.B, name string) *experiments.Bundle {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if bb, ok := benchBundles[name]; ok {
+		return bb
+	}
+	size := benchSizeHighland
+	if name == "crater" {
+		size = benchSizeCrater
+	}
+	bb, err := experiments.BuildBundle(name, size, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBundles[name] = bb
+	return bb
+}
+
+func benchCfg() workload.Config { return workload.Config{Locations: 5, Seed: benchSeed} }
+
+// reportSeries runs one figure and reports each method's average disk
+// accesses as custom metrics.
+func reportSeries(b *testing.B, run func() (*experiments.Figure, error)) {
+	b.Helper()
+	var fig *experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range fig.Series {
+		var sum float64
+		for _, p := range s.Points {
+			sum += p.DA
+		}
+		b.ReportMetric(sum/float64(len(s.Points)), "DA/"+string(s.Method))
+	}
+}
+
+// --- Figure 6: viewpoint-independent (uniform mesh) ------------------------
+
+func BenchmarkFig6aUniformROIHighland(b *testing.B) {
+	bb := bundle(b, "highland")
+	reportSeries(b, func() (*experiments.Figure, error) {
+		return bb.Fig6ROI(benchCfg(), []float64{0.06})
+	})
+}
+
+func BenchmarkFig6bUniformLODHighland(b *testing.B) {
+	bb := bundle(b, "highland")
+	reportSeries(b, func() (*experiments.Figure, error) {
+		return bb.Fig6LOD(benchCfg(), 0.10, []float64{0.9})
+	})
+}
+
+func BenchmarkFig6cUniformROICrater(b *testing.B) {
+	bb := bundle(b, "crater")
+	reportSeries(b, func() (*experiments.Figure, error) {
+		return bb.Fig6ROI(benchCfg(), []float64{0.03})
+	})
+}
+
+func BenchmarkFig6dUniformLODCrater(b *testing.B) {
+	bb := bundle(b, "crater")
+	reportSeries(b, func() (*experiments.Figure, error) {
+		return bb.Fig6LOD(benchCfg(), 0.05, []float64{0.9})
+	})
+}
+
+// --- Figure 8: viewpoint-dependent --------------------------------------
+
+func BenchmarkFig8aViewROIHighland(b *testing.B) {
+	bb := bundle(b, "highland")
+	reportSeries(b, func() (*experiments.Figure, error) {
+		return bb.Fig8ROI(benchCfg(), []float64{0.06})
+	})
+}
+
+func BenchmarkFig8bViewLODHighland(b *testing.B) {
+	bb := bundle(b, "highland")
+	reportSeries(b, func() (*experiments.Figure, error) {
+		return bb.Fig8LOD(benchCfg(), 0.10, []float64{0.9})
+	})
+}
+
+func BenchmarkFig8cViewAngleHighland(b *testing.B) {
+	bb := bundle(b, "highland")
+	reportSeries(b, func() (*experiments.Figure, error) {
+		return bb.Fig8Angle(benchCfg(), 0.10, []float64{0.5})
+	})
+}
+
+func BenchmarkFig8dViewROICrater(b *testing.B) {
+	bb := bundle(b, "crater")
+	reportSeries(b, func() (*experiments.Figure, error) {
+		return bb.Fig8ROI(benchCfg(), []float64{0.03})
+	})
+}
+
+func BenchmarkFig8eViewLODCrater(b *testing.B) {
+	bb := bundle(b, "crater")
+	reportSeries(b, func() (*experiments.Figure, error) {
+		return bb.Fig8LOD(benchCfg(), 0.05, []float64{0.9})
+	})
+}
+
+func BenchmarkFig8fViewAngleCrater(b *testing.B) {
+	bb := bundle(b, "crater")
+	reportSeries(b, func() (*experiments.Figure, error) {
+		return bb.Fig8Angle(benchCfg(), 0.05, []float64{0.5})
+	})
+}
+
+// --- Section 4 in-text numbers -------------------------------------------
+
+func BenchmarkConnStats(b *testing.B) {
+	bb := bundle(b, "highland")
+	var avgSim, avgTotal float64
+	for i := 0; i < b.N; i++ {
+		avgSim, avgTotal, _ = bb.ConnStats()
+	}
+	b.ReportMetric(avgSim, "avg-similar-conn")
+	b.ReportMetric(avgTotal, "avg-total-conn")
+}
+
+// --- Ablations (DESIGN.md Section 5) --------------------------------------
+
+// BenchmarkAblationClustering compares heap layouts for the DM store: the
+// default index-clustered (STR) order against pure (x, y) Hilbert order and
+// unclustered creation order.
+func BenchmarkAblationClustering(b *testing.B) {
+	bb := bundle(b, "highland")
+	e := bb.Terrain.LODPercentile(0.9)
+	rois := workload.ROIs(benchCfg(), 0.08)
+	for _, lay := range []struct {
+		name   string
+		layout dm.Layout
+	}{
+		{"STR", dm.LayoutSTR},
+		{"Hilbert", dm.LayoutHilbert},
+		{"RowMajor", dm.LayoutRowMajor},
+	} {
+		b.Run(lay.name, func(b *testing.B) {
+			store, err := dm.BuildStore(bb.Terrain.Dataset, dm.StorePools{Layout: lay.layout})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var da uint64
+			for i := 0; i < b.N; i++ {
+				da = 0
+				for _, roi := range rois {
+					if err := store.DropCaches(); err != nil {
+						b.Fatal(err)
+					}
+					store.ResetStats()
+					if _, err := store.ViewpointIndependent(roi, e); err != nil {
+						b.Fatal(err)
+					}
+					da += store.DiskAccesses()
+				}
+			}
+			b.ReportMetric(float64(da)/float64(len(rois)), "DA/query")
+		})
+	}
+}
+
+// BenchmarkAblationMultiBase compares viewpoint-dependent strategies: the
+// cost-model-driven multi-base plan against single-base and fixed strip
+// counts, isolating the value of the optimizer of Section 5.3.
+func BenchmarkAblationMultiBase(b *testing.B) {
+	bb := bundle(b, "highland")
+	emin := bb.Terrain.LODPercentile(0.85)
+	rois := workload.ROIs(benchCfg(), 0.10)
+	cases := []struct {
+		name string
+		plan func(qp dmesh.QueryPlane) []costmodel.Strip
+	}{
+		{"SingleBase", func(qp dmesh.QueryPlane) []costmodel.Strip { return costmodel.EqualStrips(qp, 1) }},
+		{"Optimizer", func(qp dmesh.QueryPlane) []costmodel.Strip { return bb.Model.PlanStrips(qp, 0) }},
+		{"Fixed4", func(qp dmesh.QueryPlane) []costmodel.Strip { return costmodel.EqualStrips(qp, 4) }},
+		{"Fixed16", func(qp dmesh.QueryPlane) []costmodel.Strip { return costmodel.EqualStrips(qp, 16) }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var da uint64
+			for i := 0; i < b.N; i++ {
+				da = 0
+				for _, roi := range rois {
+					qp := workload.PlaneFor(roi, emin, bb.EffectiveMaxLOD(), 0.5)
+					if err := bb.DM.DropCaches(); err != nil {
+						b.Fatal(err)
+					}
+					bb.DM.ResetStats()
+					if _, err := bb.DM.ExecuteStrips(qp, c.plan(qp)); err != nil {
+						b.Fatal(err)
+					}
+					da += bb.DM.DiskAccesses()
+				}
+			}
+			b.ReportMetric(float64(da)/float64(len(rois)), "DA/query")
+		})
+	}
+}
+
+// BenchmarkAblationWarmCache quantifies the cold-cache methodology: the
+// same query without flushing buffers between runs.
+func BenchmarkAblationWarmCache(b *testing.B) {
+	bb := bundle(b, "highland")
+	e := bb.Terrain.LODPercentile(0.9)
+	roi := workload.ROIs(benchCfg(), 0.08)[0]
+	b.Run("Cold", func(b *testing.B) {
+		var da uint64
+		for i := 0; i < b.N; i++ {
+			if err := bb.DM.DropCaches(); err != nil {
+				b.Fatal(err)
+			}
+			bb.DM.ResetStats()
+			if _, err := bb.DM.ViewpointIndependent(roi, e); err != nil {
+				b.Fatal(err)
+			}
+			da = bb.DM.DiskAccesses()
+		}
+		b.ReportMetric(float64(da), "DA/query")
+	})
+	b.Run("Warm", func(b *testing.B) {
+		// Prime once, then measure re-execution.
+		if _, err := bb.DM.ViewpointIndependent(roi, e); err != nil {
+			b.Fatal(err)
+		}
+		var da uint64
+		for i := 0; i < b.N; i++ {
+			bb.DM.ResetStats()
+			if _, err := bb.DM.ViewpointIndependent(roi, e); err != nil {
+				b.Fatal(err)
+			}
+			da = bb.DM.DiskAccesses()
+		}
+		b.ReportMetric(float64(da), "DA/query")
+	})
+}
+
+// BenchmarkAblationPoolSize varies the buffer-pool size: once the pool is
+// smaller than a query's working set, pages are re-read within a single
+// query and the disk-access count rises above the cold minimum.
+func BenchmarkAblationPoolSize(b *testing.B) {
+	bb := bundle(b, "highland")
+	e := bb.Terrain.LODPercentile(0.8)
+	roi := workload.ROIs(benchCfg(), 0.10)[0]
+	for _, pool := range []int{8, 64, 4096} {
+		b.Run(fmt.Sprintf("pool%d", pool), func(b *testing.B) {
+			store, err := bb.Terrain.NewDMStoreWithPools(dmesh.StorePools{
+				Data: pool, Index: pool, IDIndex: pool, Overflow: pool,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var da uint64
+			for i := 0; i < b.N; i++ {
+				if err := store.DropCaches(); err != nil {
+					b.Fatal(err)
+				}
+				store.ResetStats()
+				if _, err := store.ViewpointIndependent(roi, e); err != nil {
+					b.Fatal(err)
+				}
+				da = store.DiskAccesses()
+			}
+			b.ReportMetric(float64(da), "DA/query")
+		})
+	}
+}
+
+// BenchmarkBuildPipeline measures end-to-end dataset construction (terrain
+// generation, simplification, store building) — the once-off cost the
+// paper excludes from query measurements.
+func BenchmarkBuildPipeline(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := dmesh.Build(dmesh.Config{Dataset: "highland", Size: 65, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := t.NewDMStore(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationVisibility compares the HDoV-tree against its
+// visibility-blind LOD-R-tree mode, reproducing the paper's note that
+// visibility selection helps little on open terrain.
+func BenchmarkAblationVisibility(b *testing.B) {
+	bb := bundle(b, "highland")
+	emin := bb.Terrain.LODPercentile(0.85)
+	rois := workload.ROIs(benchCfg(), 0.10)
+	for _, c := range []struct {
+		name   string
+		useDoV bool
+	}{
+		{"HDoV", true},
+		{"LODRTree", false},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var da uint64
+			for i := 0; i < b.N; i++ {
+				da = 0
+				for _, roi := range rois {
+					qp := workload.PlaneFor(roi, emin, bb.EffectiveMaxLOD(), 0.5)
+					if err := bb.HDoV.DropCaches(); err != nil {
+						b.Fatal(err)
+					}
+					bb.HDoV.ResetStats()
+					var err error
+					if c.useDoV {
+						_, err = bb.HDoV.QueryPlane(qp)
+					} else {
+						_, err = bb.HDoV.QueryPlaneLODRTree(qp)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					da += bb.HDoV.DiskAccesses()
+				}
+			}
+			b.ReportMetric(float64(da)/float64(len(rois)), "DA/query")
+		})
+	}
+}

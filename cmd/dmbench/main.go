@@ -1,0 +1,158 @@
+// Command dmbench reproduces the paper's evaluation: it builds the two
+// benchmark datasets, runs the workload behind every figure of Section 6,
+// and prints the measured series (average cold-cache disk accesses).
+//
+// Usage:
+//
+//	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn]
+//	        [-size N] [-size2 N] [-seed S] [-locations L]
+//
+// The 2M-point and 17M-point datasets of the paper are represented by
+// synthetic DEMs ("highland" and "crater"); -size and -size2 set their
+// grid side lengths. Defaults are laptop-scale; the figure shapes are
+// scale-invariant in this regime (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"dmesh/internal/experiments"
+	"dmesh/internal/workload"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "figure to reproduce (6a..6d, 8a..8f, conn, all)")
+		size      = flag.Int("size", 257, "grid side of the highland dataset (the paper's 2M-point terrain)")
+		size2     = flag.Int("size2", 513, "grid side of the crater dataset (the paper's 17M-point terrain)")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		locations = flag.Int("locations", 20, "random ROI placements averaged per measurement")
+		csvOut    = flag.Bool("csv", false, "emit figures as CSV instead of aligned tables")
+	)
+	flag.Parse()
+	if err := run(*fig, *size, *size2, *seed, *locations, *csvOut); err != nil {
+		fmt.Fprintln(os.Stderr, "dmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, size, size2 int, seed int64, locations int, csvOut bool) error {
+	fig = strings.ToLower(fig)
+	cfg := workload.Config{Locations: locations, Seed: seed}
+
+	needHighland := fig == "all" || fig == "conn" || strings.HasSuffix(fig, "a") || strings.HasSuffix(fig, "b") || fig == "8c"
+	needCrater := fig == "all" || fig == "conn" || strings.HasSuffix(fig, "c") && fig != "8c" || strings.HasSuffix(fig, "d") || strings.HasSuffix(fig, "e") || strings.HasSuffix(fig, "f")
+	if fig == "6c" {
+		needCrater = true
+	}
+
+	var highland, crater *experiments.Bundle
+	var err error
+	if needHighland {
+		fmt.Fprintf(os.Stderr, "building highland dataset (%dx%d points)...\n", size, size)
+		if highland, err = experiments.BuildBundle("highland", size, seed); err != nil {
+			return err
+		}
+	}
+	if needCrater {
+		fmt.Fprintf(os.Stderr, "building crater dataset (%dx%d points)...\n", size2, size2)
+		if crater, err = experiments.BuildBundle("crater", size2, seed); err != nil {
+			return err
+		}
+	}
+
+	roiFracsH := []float64{0.02, 0.04, 0.06, 0.08, 0.10, 0.12}
+	roiFracsC := []float64{0.01, 0.02, 0.03, 0.04, 0.05}
+	lodPcts := []float64{0.70, 0.80, 0.90, 0.95, 0.99}
+	angleFracs := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+
+	type job struct {
+		id  string
+		run func() (*experiments.Figure, error)
+	}
+	jobs := []job{
+		{"6a", func() (*experiments.Figure, error) { return highland.Fig6ROI(cfg, roiFracsH) }},
+		{"6b", func() (*experiments.Figure, error) { return highland.Fig6LOD(cfg, 0.10, lodPcts) }},
+		{"6c", func() (*experiments.Figure, error) { return crater.Fig6ROI(cfg, roiFracsC) }},
+		{"6d", func() (*experiments.Figure, error) { return crater.Fig6LOD(cfg, 0.05, lodPcts) }},
+		{"8a", func() (*experiments.Figure, error) { return highland.Fig8ROI(cfg, roiFracsH) }},
+		{"8b", func() (*experiments.Figure, error) { return highland.Fig8LOD(cfg, 0.10, lodPcts) }},
+		{"8c", func() (*experiments.Figure, error) { return highland.Fig8Angle(cfg, 0.10, angleFracs) }},
+		{"8d", func() (*experiments.Figure, error) { return crater.Fig8ROI(cfg, roiFracsC) }},
+		{"8e", func() (*experiments.Figure, error) { return crater.Fig8LOD(cfg, 0.05, lodPcts) }},
+		{"8f", func() (*experiments.Figure, error) { return crater.Fig8Angle(cfg, 0.05, angleFracs) }},
+	}
+
+	if fig == "conn" || fig == "all" {
+		printConn(highland)
+		printConn(crater)
+		if fig == "conn" {
+			return nil
+		}
+	}
+
+	ran := false
+	for _, j := range jobs {
+		if fig != "all" && fig != j.id {
+			continue
+		}
+		ran = true
+		f, err := j.run()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", j.id, err)
+		}
+		if csvOut {
+			printFigureCSV(j.id, f)
+		} else {
+			printFigure(j.id, f)
+		}
+	}
+	if !ran && fig != "all" && fig != "conn" {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+func printFigure(id string, f *experiments.Figure) {
+	fmt.Printf("\nFigure %s: %s\n", id, f.Title)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "%s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "\t%s", s.Method)
+	}
+	fmt.Fprintln(w)
+	if len(f.Series) > 0 {
+		for i := range f.Series[0].Points {
+			fmt.Fprintf(w, "%.1f", f.Series[0].Points[i].X)
+			for _, s := range f.Series {
+				fmt.Fprintf(w, "\t%.0f", s.Points[i].DA)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	w.Flush()
+}
+
+// printFigureCSV emits one figure as CSV rows: figure,x,method,da.
+func printFigureCSV(id string, f *experiments.Figure) {
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			fmt.Printf("%s,%g,%s,%g\n", id, p.X, s.Method, p.DA)
+		}
+	}
+}
+
+func printConn(b *experiments.Bundle) {
+	if b == nil {
+		return
+	}
+	st := b.Terrain.Sequence.Stats()
+	fmt.Printf("\nConnection statistics (%s, %d points):\n", b.Name, b.Terrain.NumPoints())
+	fmt.Printf("  median similar-LOD connection points: %d (paper: ~12)\n", st.MedianSimilarLOD)
+	fmt.Printf("  avg similar-LOD connection points:    %.1f (max %d)\n", st.AvgSimilarLOD, st.MaxSimilarLOD)
+	fmt.Printf("  avg total connection points:          %.1f (paper: 180 at 2M / 840 at 17M)\n", st.AvgTotal)
+}

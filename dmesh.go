@@ -1,0 +1,327 @@
+// Package dmesh is the public facade of the Direct Mesh reproduction
+// (Xu, Zhou, Lin; ICDE 2004): multiresolution terrain storage and
+// query processing over a relational-style page store.
+//
+// The typical flow:
+//
+//	t, err := dmesh.Build(dmesh.Config{Dataset: "highland", Size: 257, Seed: 1})
+//	store, err := t.NewDMStore()
+//	res, err := store.ViewpointIndependent(dmesh.NewRect(0.2, 0.2, 0.6, 0.6), t.LODPercentile(0.5))
+//	// res.Vertices, res.Edges, res.Triangles hold the approximation.
+//
+// Build generates a synthetic terrain, triangulates it, simplifies it with
+// quadric error metrics into a progressive-mesh collapse sequence, and
+// derives the Direct Mesh dataset (LOD intervals + connection lists). The
+// New*Store methods lay the data out on paged storage: NewDMStore for the
+// paper's contribution (heap file + 3D R*-tree), NewPMStore for the
+// progressive-mesh baseline on an LOD-quadtree, NewHDoVStore for the
+// HDoV-tree baseline. All stores count disk accesses the way the paper
+// measures them.
+package dmesh
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dmesh/internal/costmodel"
+	"dmesh/internal/delaunay"
+	"dmesh/internal/demio"
+	"dmesh/internal/dm"
+	"dmesh/internal/geom"
+	"dmesh/internal/hdov"
+	"dmesh/internal/heightfield"
+	"dmesh/internal/mesh"
+	"dmesh/internal/mtmcodec"
+	"dmesh/internal/pm"
+	"dmesh/internal/simplify"
+	"dmesh/internal/temporal"
+)
+
+// Re-exported geometry types: these appear throughout the query API.
+type (
+	// Rect is an axis-aligned region of interest in the (x, y) plane.
+	Rect = geom.Rect
+	// Point3 is a terrain point.
+	Point3 = geom.Point3
+	// Point2 is a point in the (x, y) plane (e.g. a radial-query viewer).
+	Point2 = geom.Point2
+	// QueryPlane describes a viewpoint-dependent query: LOD varying
+	// linearly across the ROI.
+	QueryPlane = geom.QueryPlane
+	// Triangle is a triangle over vertex IDs.
+	Triangle = geom.Triangle
+	// Result is a Direct Mesh query result.
+	Result = dm.Result
+	// DMStore is the disk-resident Direct Mesh.
+	DMStore = dm.Store
+	// PMStore is the disk-resident Progressive Mesh baseline.
+	PMStore = pm.Store
+	// HDoVStore is the disk-resident HDoV-tree baseline.
+	HDoVStore = hdov.Store
+	// CostModel estimates range-query disk accesses for the multi-base
+	// optimizer.
+	CostModel = costmodel.Model
+	// Series holds multiple terrain versions for spatiotemporal change
+	// analysis.
+	Series = temporal.Series
+	// DiffResult summarizes elevation change between two versions.
+	DiffResult = temporal.DiffResult
+)
+
+// NewRect returns the rectangle spanning two corners given in any order.
+func NewRect(x0, y0, x1, y1 float64) Rect { return geom.NewRect(x0, y0, x1, y1) }
+
+// PlaneForAngle builds a viewpoint-dependent query plane over r from a
+// start LOD and an angle in radians (Figure 7 of the paper).
+func PlaneForAngle(r Rect, emin, angle float64, axis int) QueryPlane {
+	return geom.PlaneForAngle(r, emin, angle, axis)
+}
+
+// MaxAngle returns the paper's θmax for a dataset maximum LOD over a ROI
+// extent.
+func MaxAngle(lodMax, roiExtent float64) float64 { return geom.MaxAngle(lodMax, roiExtent) }
+
+// Config selects a terrain and its preprocessing.
+type Config struct {
+	// Dataset is "highland" (the stand-in for the paper's 2M-point mining
+	// terrain) or "crater" (the stand-in for the 17M-point Crater Lake
+	// DEM).
+	Dataset string
+	// Size is the heightfield side length; Size*Size points.
+	Size int
+	// Seed makes generation deterministic.
+	Seed int64
+	// VerticalDistanceError selects the simple vertical-distance error
+	// measure instead of quadric error metrics.
+	VerticalDistanceError bool
+	// IrregularPoints, when positive, samples that many survey-style
+	// irregular points from the heightfield and Delaunay-triangulates
+	// them instead of using the regular grid — the paper's "irregular
+	// mesh" input modality.
+	IrregularPoints int
+}
+
+// Terrain bundles a generated terrain with its multiresolution structures.
+type Terrain struct {
+	Config   Config
+	Grid     *heightfield.Grid
+	Mesh     *mesh.Mesh
+	Sequence *simplify.Sequence
+	Dataset  *dm.Dataset
+
+	sortedLODs []float64
+}
+
+// Build generates a synthetic terrain and its multiresolution structures.
+func Build(cfg Config) (*Terrain, error) {
+	if cfg.Dataset == "" {
+		cfg.Dataset = "highland"
+	}
+	if cfg.Size == 0 {
+		cfg.Size = 129
+	}
+	g, err := heightfield.Named(cfg.Dataset, cfg.Size, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return BuildFromGrid(g, cfg)
+}
+
+// BuildFromGrid builds the multiresolution structures over an existing
+// heightfield (for example one read with ReadASCIIGrid). Heights keep
+// their original units, so LOD values come out in those units too; callers
+// with very different horizontal and vertical scales should normalize
+// first (heightfield.Grid.Normalize). Config.Dataset and Config.Size are
+// ignored.
+func BuildFromGrid(g *heightfield.Grid, cfg Config) (*Terrain, error) {
+	var m *mesh.Mesh
+	if cfg.IrregularPoints > 0 {
+		pts := g.SampleIrregular(cfg.IrregularPoints, cfg.Seed+1)
+		var err error
+		if m, err = triangulatePoints(pts); err != nil {
+			return nil, err
+		}
+	} else {
+		m = mesh.FromGrid(g)
+	}
+	return finishBuild(cfg, g, m)
+}
+
+// BuildFromPoints builds the multiresolution structures over an irregular
+// point set in the unit square (for example one read with ReadXYZ),
+// Delaunay-triangulating it first. Config generation fields are ignored.
+func BuildFromPoints(pts []Point3, cfg Config) (*Terrain, error) {
+	m, err := triangulatePoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	return finishBuild(cfg, nil, m)
+}
+
+func triangulatePoints(pts []geom.Point3) (*mesh.Mesh, error) {
+	pts2 := make([]geom.Point2, len(pts))
+	for i, p := range pts {
+		pts2[i] = p.XY()
+	}
+	tris, err := delaunay.Triangulate(pts2)
+	if err != nil {
+		return nil, fmt.Errorf("dmesh: triangulate points: %w", err)
+	}
+	return &mesh.Mesh{Positions: append([]geom.Point3(nil), pts...), Tris: tris}, nil
+}
+
+// finishBuild runs the shared tail of every construction path:
+// simplification, Direct Mesh derivation, LOD statistics. grid may be nil
+// for point-set inputs (visibility-dependent features like the HDoV
+// baseline then need an explicit grid).
+func finishBuild(cfg Config, g *heightfield.Grid, m *mesh.Mesh) (*Terrain, error) {
+	opts := simplify.Options{}
+	if cfg.VerticalDistanceError {
+		opts.Metric = simplify.VerticalDistance
+	}
+	seq, err := simplify.Run(m, opts)
+	if err != nil {
+		return nil, fmt.Errorf("dmesh: simplify: %w", err)
+	}
+	ds, err := dm.FromSequence(seq)
+	if err != nil {
+		return nil, err
+	}
+	t := &Terrain{Config: cfg, Grid: g, Mesh: m, Sequence: seq, Dataset: ds}
+	for i := range ds.Tree.Nodes {
+		if !ds.Tree.Nodes[i].IsLeaf() {
+			t.sortedLODs = append(t.sortedLODs, ds.Tree.Nodes[i].ELow)
+		}
+	}
+	sort.Float64s(t.sortedLODs)
+	return t, nil
+}
+
+// NumPoints returns the number of original terrain points.
+func (t *Terrain) NumPoints() int { return t.Sequence.BaseVertices }
+
+// MaxLOD returns the dataset's maximum LOD value (the root's error).
+func (t *Terrain) MaxLOD() float64 { return t.Dataset.MaxE() }
+
+// LODPercentile maps p in [0, 1] to the p-th percentile of the internal
+// nodes' LOD values. Raw quadric errors are extremely skewed, so
+// percentiles are how meaningful LOD sweeps are expressed.
+func (t *Terrain) LODPercentile(p float64) float64 {
+	if len(t.sortedLODs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return t.sortedLODs[int(p*float64(len(t.sortedLODs)-1))]
+}
+
+// MeanLOD returns the arithmetic mean of the internal nodes' LOD values
+// (the paper's "average LOD value of the dataset").
+func (t *Terrain) MeanLOD() float64 {
+	if len(t.sortedLODs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range t.sortedLODs {
+		sum += e
+	}
+	return sum / float64(len(t.sortedLODs))
+}
+
+// StorePools re-exports the Direct Mesh store pool configuration.
+type StorePools = dm.StorePools
+
+// NewDMStore lays the Direct Mesh out on paged storage: records in Hilbert
+// order, a 3D R*-tree over vertical segments, a B+-tree by ID.
+func (t *Terrain) NewDMStore() (*DMStore, error) {
+	return dm.BuildStore(t.Dataset, dm.StorePools{})
+}
+
+// NewDMStoreWithPools is NewDMStore with explicit buffer-pool sizes.
+func (t *Terrain) NewDMStoreWithPools(pools StorePools) (*DMStore, error) {
+	return dm.BuildStore(t.Dataset, pools)
+}
+
+// BuildDMStoreAt builds the Direct Mesh store as files in dir, reopenable
+// with OpenDMStore.
+func (t *Terrain) BuildDMStoreAt(dir string) (*DMStore, error) {
+	return dm.BuildStoreAt(t.Dataset, dm.StorePools{}, dir)
+}
+
+// OpenDMStore opens a store directory written by BuildDMStoreAt.
+func OpenDMStore(dir string) (*DMStore, error) {
+	return dm.OpenStore(dir, dm.StorePools{})
+}
+
+// NewCostModel scans a DM store's R*-tree into the cost model driving the
+// multi-base optimizer. Build it once per store (a once-off cost).
+func NewCostModel(s *DMStore) (*CostModel, error) {
+	return s.CostModel()
+}
+
+// NewPMStore lays the Progressive Mesh baseline out on an LOD-quadtree
+// with a B+-tree ID index (the paper's PM + LOD-quadtree configuration).
+func (t *Terrain) NewPMStore() (*PMStore, error) {
+	return pm.BuildStore(t.Dataset.Tree, 4096, 1024)
+}
+
+// NewHDoVStore builds the HDoV-tree baseline (LOD-R-tree with
+// visibility). It needs the source heightfield for the visibility
+// precomputation, so it is unavailable for point-set terrains.
+func (t *Terrain) NewHDoVStore() (*HDoVStore, error) {
+	if t.Grid == nil {
+		return nil, fmt.Errorf("dmesh: HDoV store needs a heightfield terrain (built from a grid)")
+	}
+	return hdov.Build(t.Dataset.Tree, t.Grid, hdov.Options{})
+}
+
+// SaveSequence writes the terrain's multiresolution collapse sequence in
+// the compact MTM format (varint/delta coded, DEFLATE compressed) —
+// simplification is the expensive step, so preprocessed terrains ship
+// this way.
+func (t *Terrain) SaveSequence(w io.Writer) error {
+	return mtmcodec.Write(w, t.Sequence)
+}
+
+// LoadSequence reads a compact MTM stream written by SaveSequence and
+// rebuilds the terrain's query structures. The source heightfield and
+// full-resolution mesh are not part of the stream, so Grid and Mesh are
+// nil on the returned terrain (the HDoV baseline, which needs the grid,
+// is unavailable).
+func LoadSequence(r io.Reader) (*Terrain, error) {
+	seq, err := mtmcodec.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := dm.FromSequence(seq)
+	if err != nil {
+		return nil, err
+	}
+	t := &Terrain{Sequence: seq, Dataset: ds}
+	for i := range ds.Tree.Nodes {
+		if !ds.Tree.Nodes[i].IsLeaf() {
+			t.sortedLODs = append(t.sortedLODs, ds.Tree.Nodes[i].ELow)
+		}
+	}
+	sort.Float64s(t.sortedLODs)
+	return t, nil
+}
+
+// ReadASCIIGrid parses an ESRI/Arc-Info ASCII grid DEM (the format USGS
+// DEMs ship in) into a heightfield usable with BuildFromGrid.
+func ReadASCIIGrid(r io.Reader) (*heightfield.Grid, error) {
+	g, _, err := demio.ReadASCIIGrid(r)
+	return g, err
+}
+
+// ReadXYZ parses "x y z" survey points (normalized into the unit square)
+// usable with BuildFromPoints.
+func ReadXYZ(r io.Reader) ([]Point3, error) {
+	pts, _, err := demio.ReadXYZ(r)
+	return pts, err
+}

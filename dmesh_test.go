@@ -1,0 +1,240 @@
+package dmesh_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"dmesh"
+)
+
+func buildTerrain(t *testing.T) *dmesh.Terrain {
+	t.Helper()
+	tr, err := dmesh.Build(dmesh.Config{Dataset: "highland", Size: 33, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuildDefaults(t *testing.T) {
+	tr, err := dmesh.Build(dmesh.Config{Size: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Config.Dataset != "highland" {
+		t.Fatalf("default dataset = %q", tr.Config.Dataset)
+	}
+	if tr.NumPoints() != 17*17 {
+		t.Fatalf("NumPoints = %d", tr.NumPoints())
+	}
+	if tr.MaxLOD() <= 0 {
+		t.Fatal("MaxLOD must be positive")
+	}
+}
+
+func TestBuildUnknownDataset(t *testing.T) {
+	if _, err := dmesh.Build(dmesh.Config{Dataset: "atlantis", Size: 17}); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+}
+
+func TestLODPercentileMonotone(t *testing.T) {
+	tr := buildTerrain(t)
+	prev := -1.0
+	for _, p := range []float64{-0.5, 0, 0.25, 0.5, 0.75, 1, 1.5} {
+		v := tr.LODPercentile(p)
+		if v < prev {
+			t.Fatalf("LODPercentile not monotone at %g", p)
+		}
+		prev = v
+	}
+	if tr.LODPercentile(1) != tr.MaxLOD() {
+		t.Fatalf("LODPercentile(1) = %g, MaxLOD = %g", tr.LODPercentile(1), tr.MaxLOD())
+	}
+	if tr.MeanLOD() <= 0 {
+		t.Fatal("MeanLOD must be positive")
+	}
+}
+
+func TestEndToEndQuery(t *testing.T) {
+	tr := buildTerrain(t)
+	store, err := tr.NewDMStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roi := dmesh.NewRect(0.1, 0.1, 0.9, 0.9)
+	e := tr.LODPercentile(0.5)
+	res, err := store.ViewpointIndependent(roi, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Vertices) == 0 || len(res.Triangles) == 0 {
+		t.Fatalf("empty result: %d vertices, %d triangles", len(res.Vertices), len(res.Triangles))
+	}
+	for _, tri := range res.Triangles {
+		for _, v := range []int64{tri.A, tri.B, tri.C} {
+			if _, ok := res.Vertices[v]; !ok {
+				t.Fatalf("triangle references missing vertex %d", v)
+			}
+		}
+	}
+}
+
+func TestEndToEndViewpointDependent(t *testing.T) {
+	tr := buildTerrain(t)
+	store, err := tr.NewDMStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := dmesh.NewCostModel(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roi := dmesh.NewRect(0.1, 0.1, 0.9, 0.9)
+	qp := dmesh.PlaneForAngle(roi, tr.LODPercentile(0.3), 0.01, 1)
+	sb, err := store.SingleBase(qp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := store.MultiBase(qp, model, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.Vertices) == 0 || len(mb.Vertices) != len(sb.Vertices) {
+		t.Fatalf("vertex sets: sb=%d mb=%d", len(sb.Vertices), len(mb.Vertices))
+	}
+}
+
+func TestBaselineStores(t *testing.T) {
+	tr := buildTerrain(t)
+	pmStore, err := tr.NewPMStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdovStore, err := tr.NewHDoVStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roi := dmesh.NewRect(0.2, 0.2, 0.8, 0.8)
+	e := tr.LODPercentile(0.5)
+	pres, err := pmStore.QueryUniform(roi, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres, err := hdovStore.QueryUniform(roi, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pres.Frontier) == 0 || len(hres.Points) == 0 {
+		t.Fatal("baseline queries returned nothing")
+	}
+}
+
+func TestMaxAngle(t *testing.T) {
+	if got := dmesh.MaxAngle(1, 1); math.Abs(got-math.Pi/4) > 1e-12 {
+		t.Fatalf("MaxAngle(1,1) = %g", got)
+	}
+	if got := dmesh.MaxAngle(1, 0); got != math.Pi/2 {
+		t.Fatalf("MaxAngle(1,0) = %g", got)
+	}
+}
+
+func TestVerticalDistanceConfig(t *testing.T) {
+	tr, err := dmesh.Build(dmesh.Config{Dataset: "crater", Size: 17, Seed: 1, VerticalDistanceError: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxLOD() <= 0 {
+		t.Fatal("vertical-distance build produced no LOD range")
+	}
+}
+
+func TestIrregularTerrain(t *testing.T) {
+	tr, err := dmesh.Build(dmesh.Config{Dataset: "crater", Size: 65, Seed: 3, IrregularPoints: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumPoints() != 600 {
+		t.Fatalf("NumPoints = %d, want 600", tr.NumPoints())
+	}
+	store, err := tr.NewDMStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := store.ViewpointIndependent(dmesh.NewRect(0, 0, 1, 1), tr.LODPercentile(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Vertices) == 0 || len(res.Triangles) == 0 {
+		t.Fatalf("irregular terrain query: %d vertices, %d triangles", len(res.Vertices), len(res.Triangles))
+	}
+	// Full resolution over the whole domain must return every point.
+	full, err := store.ViewpointIndependent(dmesh.NewRect(-1, -1, 2, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Vertices) != 600 {
+		t.Fatalf("full-resolution irregular query returned %d of 600 points", len(full.Vertices))
+	}
+}
+
+func TestSequenceSaveLoad(t *testing.T) {
+	tr := buildTerrain(t)
+	var buf bytes.Buffer
+	if err := tr.SaveSequence(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dmesh.LoadSequence(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumPoints() != tr.NumPoints() || loaded.MaxLOD() != tr.MaxLOD() {
+		t.Fatalf("loaded terrain differs: %d points, maxLOD %g", loaded.NumPoints(), loaded.MaxLOD())
+	}
+	// Queries against a store built from the loaded sequence match the
+	// original.
+	a, err := tr.NewDMStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.NewDMStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roi := dmesh.NewRect(0.1, 0.1, 0.9, 0.9)
+	e := tr.LODPercentile(0.5)
+	ra, err := a.ViewpointIndependent(roi, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.ViewpointIndependent(roi, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra.Vertices) != len(rb.Vertices) || len(ra.Edges) != len(rb.Edges) {
+		t.Fatalf("loaded store answers differently: %d/%d vertices", len(rb.Vertices), len(ra.Vertices))
+	}
+	if _, err := loaded.NewHDoVStore(); err == nil {
+		t.Fatal("HDoV store must be unavailable without a grid")
+	}
+}
+
+func TestRadialThroughFacade(t *testing.T) {
+	tr := buildTerrain(t)
+	store, err := tr.NewDMStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := store.Radial(dmesh.NewRect(0, 0, 1, 1), dmesh.Point2{X: 0.5, Y: 0.0},
+		tr.LODPercentile(0.6)/0.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Vertices) == 0 {
+		t.Fatal("empty radial result")
+	}
+	if res.Strips != 16 {
+		t.Fatalf("expected 16 tiles, got %d", res.Strips)
+	}
+}

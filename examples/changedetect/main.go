@@ -1,0 +1,60 @@
+// Changedetect: spatiotemporal terrain analysis across captured versions —
+// the paper's introduction motivates DBMS-managed terrain partly because
+// "terrain data is captured over a period of time thus multiple versions
+// may be used together for spatiotemporal analysis". Two survey epochs of
+// the same highland differ by an excavation; diffing them at increasingly
+// fine LODs shows the cost/precision tradeoff of multiresolution change
+// detection.
+//
+//	go run ./examples/changedetect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmesh"
+	"dmesh/internal/heightfield"
+)
+
+func main() {
+	// Epoch 1: the original survey. Epoch 2: the same terrain after an
+	// excavation near (0.3, 0.3).
+	g1 := heightfield.Highland(65, 21)
+	g2 := heightfield.NewGrid(65)
+	copy(g2.Z, g1.Z)
+	g2.Excavate(0.3, 0.3, 0.12, 0.5)
+
+	t1, err := dmesh.BuildFromGrid(g1, dmesh.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t2, err := dmesh.BuildFromGrid(g2, dmesh.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s1, err := t1.NewDMStore()
+	if err != nil {
+		log.Fatal(err)
+	}
+	s2, err := t2.NewDMStore()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var series dmesh.Series
+	series.Add("epoch-1", s1)
+	series.Add("epoch-2", s2)
+
+	roi := dmesh.NewRect(0.02, 0.02, 0.98, 0.98)
+	fmt.Printf("%-8s %10s %10s %10s %12s\n", "LOD pct", "mean |dz|", "max |dz|", "changed%", "disk access")
+	for _, pct := range []float64{0.95, 0.8, 0.5, 0.2} {
+		res, err := series.Diff(0, 1, roi, t1.LODPercentile(pct), 96, 0.05)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("p%-7.0f %10.4f %10.4f %9.1f%% %12d\n",
+			pct*100, res.MeanAbs, res.Max, res.ChangedFraction*100, res.DiskAccesses)
+	}
+	fmt.Println("\ncoarse LODs detect the change cheaply; fine LODs bound its extent precisely")
+}

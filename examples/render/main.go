@@ -1,0 +1,94 @@
+// Render: query the same terrain at several levels of detail and write
+// hillshaded images plus an error report — the visible version of the
+// LOD-vs-quality tradeoff the multiresolution structure exists for.
+//
+//	go run ./examples/render [-out DIR]
+//
+// Writes reference.ppm, lod-coarse.ppm, lod-medium.ppm, lod-fine.ppm and
+// view-dependent.ppm into DIR (default .).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"dmesh"
+	"dmesh/internal/render"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory for PPM images")
+	size := flag.Int("size", 129, "terrain size")
+	flag.Parse()
+
+	terrain, err := dmesh.Build(dmesh.Config{Dataset: "crater", Size: *size, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := terrain.NewDMStore()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const imgSize = 512
+	ref := render.Grid(terrain.Grid, imgSize, imgSize)
+	if err := writePPM(ref, filepath.Join(*out, "reference.ppm")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-18s %8s %8s %10s %10s\n", "image", "verts", "tris", "RMS err", "max err")
+
+	full := dmesh.NewRect(-1, -1, 2, 2)
+	for _, c := range []struct {
+		name string
+		pct  float64
+	}{
+		{"lod-coarse", 0.99},
+		{"lod-medium", 0.9},
+		{"lod-fine", 0.5},
+	} {
+		res, err := store.ViewpointIndependent(full, terrain.LODPercentile(c.pct))
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := render.Mesh(res.Vertices, res.Triangles, imgSize, imgSize)
+		q, err := render.Compare(r, ref)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writePPM(r, filepath.Join(*out, c.name+".ppm")); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %8d %8d %10.4f %10.4f\n", c.name, len(res.Vertices), len(res.Triangles), q.RMS, q.Max)
+	}
+
+	// A viewpoint-dependent mesh: fine at the south edge, coarse north.
+	plane := dmesh.QueryPlane{
+		R: full, EMin: terrain.LODPercentile(0.5), EMax: terrain.LODPercentile(0.995), Axis: 1,
+	}
+	view, err := store.SingleBase(plane)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := render.Mesh(view.Vertices, view.Triangles, imgSize, imgSize)
+	q, err := render.Compare(r, ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := writePPM(r, filepath.Join(*out, "view-dependent.ppm")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-18s %8d %8d %10.4f %10.4f\n", "view-dependent", len(view.Vertices), len(view.Triangles), q.RMS, q.Max)
+	fmt.Printf("\nimages written to %s\n", *out)
+}
+
+func writePPM(r *render.Raster, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.WritePPM(f)
+}

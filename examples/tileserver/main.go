@@ -1,0 +1,126 @@
+// Tileserver: an HTTP service that answers multiresolution mesh-tile
+// requests from a Direct Mesh store — the "light-weight applications ...
+// and Internet applications" scenario from the paper's introduction.
+// Clients ask for a region and a LOD percentile and receive the
+// triangulated approximation as JSON.
+//
+//	go run ./examples/tileserver [-addr :8080]
+//
+//	curl 'http://localhost:8080/tile?x0=0.2&y0=0.2&x1=0.5&y1=0.5&lod=0.9'
+//	curl 'http://localhost:8080/stats'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"dmesh"
+)
+
+type server struct {
+	terrain *dmesh.Terrain
+	// The pager is internally synchronized, but DropCaches/ResetStats and
+	// the disk-access read-out must not interleave between requests if the
+	// reported per-tile costs are to mean anything.
+	mu    sync.Mutex
+	store *dmesh.DMStore
+}
+
+type tileResponse struct {
+	LOD          float64               `json:"lod"`
+	Vertices     map[string][3]float64 `json:"vertices"`
+	Triangles    [][3]int64            `json:"triangles"`
+	DiskAccesses uint64                `json:"disk_accesses"`
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	size := flag.Int("size", 129, "terrain size")
+	flag.Parse()
+
+	terrain, err := dmesh.Build(dmesh.Config{Dataset: "highland", Size: *size, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := terrain.NewDMStore()
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &server{terrain: terrain, store: store}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/tile", s.handleTile)
+	mux.HandleFunc("/stats", s.handleStats)
+	log.Printf("serving %d-point terrain on %s", terrain.NumPoints(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func queryFloat(r *http.Request, name string, def float64) (float64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+func (s *server) handleTile(w http.ResponseWriter, r *http.Request) {
+	x0, err1 := queryFloat(r, "x0", 0)
+	y0, err2 := queryFloat(r, "y0", 0)
+	x1, err3 := queryFloat(r, "x1", 1)
+	y1, err4 := queryFloat(r, "y1", 1)
+	pct, err5 := queryFloat(r, "lod", 0.9)
+	for _, err := range []error{err1, err2, err3, err4, err5} {
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if pct < 0 || pct > 1 {
+		http.Error(w, "lod must be a percentile in [0,1]", http.StatusBadRequest)
+		return
+	}
+	roi := dmesh.NewRect(x0, y0, x1, y1)
+	lod := s.terrain.LODPercentile(pct)
+
+	s.mu.Lock()
+	s.store.ResetStats()
+	res, err := s.store.ViewpointIndependent(roi, lod)
+	da := s.store.DiskAccesses()
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	resp := tileResponse{
+		LOD:          lod,
+		Vertices:     make(map[string][3]float64, len(res.Vertices)),
+		Triangles:    make([][3]int64, 0, len(res.Triangles)),
+		DiskAccesses: da,
+	}
+	for id, p := range res.Vertices {
+		resp.Vertices[strconv.FormatInt(id, 10)] = [3]float64{p.X, p.Y, p.Z}
+	}
+	for _, t := range res.Triangles {
+		resp.Triangles = append(resp.Triangles, [3]int64{t.A, t.B, t.C})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("tile encode: %v", err)
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "points:    %d\n", s.terrain.NumPoints())
+	fmt.Fprintf(w, "nodes:     %d\n", s.terrain.Dataset.Tree.Len())
+	fmt.Fprintf(w, "max LOD:   %g\n", s.terrain.MaxLOD())
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		fmt.Fprintf(w, "LOD p%2.0f:   %g\n", p*100, s.terrain.LODPercentile(p))
+	}
+}

@@ -1,0 +1,3 @@
+module dmesh
+
+go 1.22

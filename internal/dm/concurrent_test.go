@@ -1,0 +1,61 @@
+package dm
+
+import (
+	"sync"
+	"testing"
+
+	"dmesh/internal/geom"
+)
+
+// TestConcurrentQueries runs many viewpoint-independent and plane queries
+// in parallel against one store: queries are read-only and the pager is
+// synchronized, so results must match the serial answers.
+func TestConcurrentQueries(t *testing.T) {
+	ds, _ := buildDataset(t, 9, "highland")
+	s := newTestStore(t, ds)
+
+	type qcase struct {
+		roi geom.Rect
+		e   float64
+	}
+	cases := []qcase{
+		{fullRect(), eAtPercentile(ds, 0.3)},
+		{geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.6, MaxY: 0.6}, eAtPercentile(ds, 0.5)},
+		{geom.Rect{MinX: 0.4, MinY: 0.2, MaxX: 0.9, MaxY: 0.8}, eAtPercentile(ds, 0.8)},
+	}
+	want := make([]int, len(cases))
+	for i, c := range cases {
+		res, err := s.ViewpointIndependent(c.roi, c.e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = len(res.Vertices)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 10; iter++ {
+				c := cases[(g+iter)%len(cases)]
+				res, err := s.ViewpointIndependent(c.roi, c.e)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Vertices) != want[(g+iter)%len(cases)] {
+					t.Errorf("concurrent query returned %d vertices, want %d",
+						len(res.Vertices), want[(g+iter)%len(cases)])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package dm
+
+import (
+	"testing"
+
+	"dmesh/internal/geom"
+)
+
+// TestLayoutsProduceIdenticalResults verifies that the physical record
+// order (STR, Hilbert, row-major) changes cost but never answers: every
+// layout returns the same mesh for the same query.
+func TestLayoutsProduceIdenticalResults(t *testing.T) {
+	ds, _ := buildDataset(t, 8, "highland")
+	layouts := []Layout{LayoutSTR, LayoutHilbert, LayoutRowMajor}
+	stores := make([]*Store, len(layouts))
+	for i, l := range layouts {
+		s, err := BuildStore(ds, StorePools{Layout: l})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = s
+	}
+	queries := []struct {
+		r geom.Rect
+		e float64
+	}{
+		{fullRect(), eAtPercentile(ds, 0.5)},
+		{geom.Rect{MinX: 0.2, MinY: 0.3, MaxX: 0.7, MaxY: 0.9}, eAtPercentile(ds, 0.2)},
+		{geom.Rect{MinX: 0.4, MinY: 0.4, MaxX: 0.5, MaxY: 0.5}, eAtPercentile(ds, 0.8)},
+	}
+	for qi, q := range queries {
+		base, err := stores[0].ViewpointIndependent(q.r, q.e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(stores); i++ {
+			res, err := stores[i].ViewpointIndependent(q.r, q.e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Vertices) != len(base.Vertices) || len(res.Edges) != len(base.Edges) ||
+				len(res.Triangles) != len(base.Triangles) {
+				t.Fatalf("query %d: layout %v differs from STR: %d/%d vertices",
+					qi, layouts[i], len(res.Vertices), len(base.Vertices))
+			}
+			for id := range base.Vertices {
+				if _, ok := res.Vertices[id]; !ok {
+					t.Fatalf("query %d: layout %v missing vertex %d", qi, layouts[i], id)
+				}
+			}
+		}
+	}
+}
+
+func TestUnknownLayoutRejected(t *testing.T) {
+	ds, _ := buildDataset(t, 5, "highland")
+	if _, err := BuildStore(ds, StorePools{Layout: Layout(99)}); err == nil {
+		t.Fatal("unknown layout must be rejected")
+	}
+}
+
+// TestSTRLayoutCheaperThanRowMajor verifies the clustering ablation's
+// premise: the index-clustered layout reads fewer pages than an
+// unclustered one on a typical query.
+func TestSTRLayoutCheaperThanRowMajor(t *testing.T) {
+	// Needs enough pages for clustering to matter.
+	ds, _ := buildDataset(t, 33, "highland")
+	str, err := BuildStore(ds, StorePools{Layout: LayoutSTR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := BuildStore(ds, StorePools{Layout: LayoutRowMajor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roi := geom.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.8, MaxY: 0.8}
+	e := eAtPercentile(ds, 0.5)
+
+	measure := func(s *Store) uint64 {
+		if err := s.DropCaches(); err != nil {
+			t.Fatal(err)
+		}
+		s.ResetStats()
+		if _, err := s.ViewpointIndependent(roi, e); err != nil {
+			t.Fatal(err)
+		}
+		return s.DiskAccesses()
+	}
+	daSTR, daRM := measure(str), measure(rm)
+	if daSTR >= daRM {
+		t.Fatalf("STR layout (%d DA) should beat row-major (%d DA)", daSTR, daRM)
+	}
+}
+
+// TestOverflowChains exercises connection lists longer than the inline
+// capacity end to end: nodes with large lifetime neighborhoods (near the
+// root) must come back complete from the store.
+func TestOverflowChains(t *testing.T) {
+	ds, _ := buildDataset(t, 10, "crater")
+	long := 0
+	for _, c := range ds.Conn {
+		if len(c) > ConnInline {
+			long++
+		}
+	}
+	if long == 0 {
+		t.Skip("no overflowing connection lists at this scale")
+	}
+	s := newTestStore(t, ds)
+	checked := 0
+	for id, c := range ds.Conn {
+		if len(c) <= ConnInline {
+			continue
+		}
+		n, err := s.FetchByID(int64(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(n.Conn) != len(c) {
+			t.Fatalf("node %d: %d conn IDs from store, want %d", id, len(n.Conn), len(c))
+		}
+		for i := range c {
+			if n.Conn[i] != c[i] {
+				t.Fatalf("node %d conn[%d] = %d, want %d", id, i, n.Conn[i], c[i])
+			}
+		}
+		checked++
+		if checked >= 25 {
+			break
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package dm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dmesh/internal/geom"
+	"dmesh/internal/rtree"
+	"dmesh/internal/storage/btree"
+	"dmesh/internal/storage/heapfile"
+	"dmesh/internal/storage/pager"
+)
+
+// File names inside a store directory.
+const (
+	heapFileName = "points.heap"
+	overFileName = "conn.overflow"
+	rtFileName   = "segments.rtree"
+	idxFileName  = "id.btree"
+	metaFileName = "meta.json"
+)
+
+// storeMeta is the sidecar metadata a store directory carries.
+type storeMeta struct {
+	Version int      `json:"version"`
+	MaxE    float64  `json:"max_e"`
+	Space   geom.Box `json:"space"`
+	Layout  Layout   `json:"layout"`
+}
+
+const metaVersion = 1
+
+// BuildStoreAt builds the Direct Mesh store in dir as regular files, so it
+// can be reopened later with OpenStore. The directory is created if
+// needed; it must not already contain a store.
+func BuildStoreAt(ds *Dataset, pools StorePools, dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dm: %w", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, metaFileName)); err == nil {
+		return nil, fmt.Errorf("dm: %s already contains a store", dir)
+	}
+	backends, err := openBackends(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	s, err := buildStore(ds, pools, backends)
+	if err != nil {
+		return nil, err
+	}
+	meta := storeMeta{Version: metaVersion, MaxE: s.maxE, Space: s.space, Layout: pools.Layout}
+	raw, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("dm: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, metaFileName), raw, 0o644); err != nil {
+		return nil, fmt.Errorf("dm: %w", err)
+	}
+	if err := s.Flush(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenStore opens a store previously written by BuildStoreAt.
+func OpenStore(dir string, pools StorePools) (*Store, error) {
+	pools.defaults()
+	raw, err := os.ReadFile(filepath.Join(dir, metaFileName))
+	if err != nil {
+		return nil, fmt.Errorf("dm: open store: %w", err)
+	}
+	var meta storeMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return nil, fmt.Errorf("dm: open store: %w", err)
+	}
+	if meta.Version != metaVersion {
+		return nil, fmt.Errorf("dm: store version %d, want %d", meta.Version, metaVersion)
+	}
+	backends, err := openBackends(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		heapP: pager.New(backends[0], pools.Data),
+		overP: pager.New(backends[1], pools.Overflow),
+		rtP:   pager.New(backends[2], pools.Index),
+		idxP:  pager.New(backends[3], pools.IDIndex),
+		maxE:  meta.MaxE,
+		space: meta.Space,
+	}
+	if s.heap, err = heapfile.Open(s.heapP); err != nil {
+		return nil, fmt.Errorf("dm: open heap: %w", err)
+	}
+	if s.over, err = heapfile.Open(s.overP); err != nil {
+		return nil, fmt.Errorf("dm: open overflow: %w", err)
+	}
+	if s.rt, err = rtree.Open(s.rtP); err != nil {
+		return nil, fmt.Errorf("dm: open r*-tree: %w", err)
+	}
+	if s.idx, err = btree.Open(s.idxP); err != nil {
+		return nil, fmt.Errorf("dm: open id index: %w", err)
+	}
+	return s, nil
+}
+
+// openBackends opens the four page files of a store directory. With
+// mustExist, missing files are an error.
+func openBackends(dir string, mustExist bool) ([4]pager.Backend, error) {
+	var out [4]pager.Backend
+	names := [4]string{heapFileName, overFileName, rtFileName, idxFileName}
+	for i, name := range names {
+		path := filepath.Join(dir, name)
+		if mustExist {
+			if _, err := os.Stat(path); err != nil {
+				return out, fmt.Errorf("dm: %w", err)
+			}
+		}
+		b, err := pager.OpenFile(path)
+		if err != nil {
+			return out, fmt.Errorf("dm: open %s: %w", name, err)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// Flush writes all dirty pages through to the backends.
+func (s *Store) Flush() error {
+	for _, p := range s.pagers() {
+		if err := p.FlushAll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the store's files.
+func (s *Store) Close() error {
+	for _, p := range s.pagers() {
+		if err := p.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package dm
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dmesh/internal/geom"
+)
+
+func TestBuildStoreAtAndReopen(t *testing.T) {
+	ds, _ := buildDataset(t, 8, "highland")
+	dir := filepath.Join(t.TempDir(), "store")
+
+	s, err := BuildStoreAt(ds, StorePools{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := eAtPercentile(ds, 0.5)
+	want, err := s.ViewpointIndependent(fullRect(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir, StorePools{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.MaxE() != s.MaxE() {
+		t.Fatalf("MaxE %g != %g after reopen", s2.MaxE(), s.MaxE())
+	}
+	got, err := s2.ViewpointIndependent(fullRect(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Vertices) != len(want.Vertices) || len(got.Edges) != len(want.Edges) {
+		t.Fatalf("reopened store differs: %d/%d vertices, %d/%d edges",
+			len(got.Vertices), len(want.Vertices), len(got.Edges), len(want.Edges))
+	}
+	for id := range want.Vertices {
+		if _, ok := got.Vertices[id]; !ok {
+			t.Fatalf("vertex %d missing after reopen", id)
+		}
+	}
+	// By-ID fetch also works on the reopened store.
+	n, err := s2.FetchByID(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ID != 0 {
+		t.Fatalf("FetchByID(0) returned node %d", n.ID)
+	}
+}
+
+func TestBuildStoreAtRefusesOverwrite(t *testing.T) {
+	ds, _ := buildDataset(t, 5, "highland")
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := BuildStoreAt(ds, StorePools{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := BuildStoreAt(ds, StorePools{}, dir); err == nil {
+		t.Fatal("second BuildStoreAt must refuse to overwrite")
+	}
+}
+
+func TestOpenStoreMissing(t *testing.T) {
+	if _, err := OpenStore(filepath.Join(t.TempDir(), "nope"), StorePools{}); err == nil {
+		t.Fatal("OpenStore on missing directory must fail")
+	}
+}
+
+func TestOpenStoreColdQueriesCount(t *testing.T) {
+	ds, _ := buildDataset(t, 8, "crater")
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := BuildStoreAt(ds, StorePools{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := OpenStore(dir, StorePools{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	s2.ResetStats()
+	roi := geom.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.8, MaxY: 0.8}
+	if _, err := s2.ViewpointIndependent(roi, eAtPercentile(ds, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if s2.DiskAccesses() == 0 {
+		t.Fatal("file-backed cold query reported zero disk accesses")
+	}
+}

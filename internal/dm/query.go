@@ -1,0 +1,138 @@
+package dm
+
+import (
+	"fmt"
+
+	"dmesh/internal/costmodel"
+	"dmesh/internal/geom"
+	"dmesh/internal/storage/heapfile"
+)
+
+// fetchBox retrieves every node whose vertical segment intersects box:
+// one R*-tree range query plus the data-page reads for the matching
+// records. Results accumulate into dst (keyed by node ID).
+func (s *Store) fetchBox(box geom.Box, dst map[int64]*Node) (int, error) {
+	var rids []heapfile.RID
+	err := s.rt.Search(box, func(ref int64, _ geom.Box) bool {
+		rids = append(rids, heapfile.RID(ref))
+		return true
+	})
+	if err != nil {
+		return 0, fmt.Errorf("dm: index search: %w", err)
+	}
+	buf := make([]byte, RecordSize)
+	obuf := make([]byte, OverflowRecordSize)
+	fetched := 0
+	for _, rid := range rids {
+		n, err := s.fetchRecord(rid, buf, obuf)
+		if err != nil {
+			return fetched, err
+		}
+		fetched++
+		if _, ok := dst[n.ID]; !ok {
+			node := n
+			dst[n.ID] = &node
+		}
+	}
+	return fetched, nil
+}
+
+// ViewpointIndependent answers Q(M, r, e): a single range query with the
+// query plane r x [e, e] retrieves exactly the nodes whose LOD interval
+// covers e (Section 5.1), and their connection lists triangulate the
+// result with no further I/O.
+func (s *Store) ViewpointIndependent(r geom.Rect, e float64) (*Result, error) {
+	// Stored segments clamp the roots' infinite tops to the dataset
+	// maximum, so fetch at min(e, maxE): a query coarser than the whole
+	// dataset still returns the root approximation. The liveness filter
+	// below keeps the caller's e (root intervals are stored unbounded).
+	fetchE := e
+	if fetchE > s.maxE {
+		fetchE = s.maxE
+	}
+	fetched := make(map[int64]*Node)
+	nf, err := s.fetchBox(geom.BoxFromRect(r, fetchE, fetchE), fetched)
+	if err != nil {
+		return nil, err
+	}
+	// The R*-tree stores closed boxes but LOD intervals are half-open:
+	// a node whose EHigh equals e is fetched yet not part of the LOD-e
+	// approximation. Filter, keeping the I/O already (correctly) paid.
+	live := make(map[int64]*Node, len(fetched))
+	for id, n := range fetched {
+		if n.Interval().Contains(e) {
+			live[id] = n
+		}
+	}
+	res := assembleUniform(live)
+	res.FetchedRecords = nf
+	res.Strips = 1
+	return res, nil
+}
+
+// SingleBase answers a viewpoint-dependent query with Algorithm 1 of the
+// paper: one query cube from the plane's lowest to highest LOD, a mesh on
+// the top plane, then refinement down to the query plane. The refinement
+// data (every node between the plane and the top plane over r) is in the
+// cube, so no further I/O is needed.
+func (s *Store) SingleBase(qp geom.QueryPlane) (*Result, error) {
+	fetched := make(map[int64]*Node)
+	nf, err := s.fetchBox(geom.BoxFromRect(qp.R, qp.EMin, qp.EMax), fetched)
+	if err != nil {
+		return nil, err
+	}
+	res := s.assemblePlane(qp, fetched)
+	res.FetchedRecords = nf
+	res.Strips = 1
+	return res, nil
+}
+
+// MultiBase answers a viewpoint-dependent query with the optimization of
+// Section 5.3: the cost model plans several query cubes hugging the query
+// plane (recursive middle splits while formula (7) predicts a disk-access
+// gain), each cube is fetched with its own range query, and the combined
+// records build the mesh. maxStrips caps the number of cubes (0 = the
+// planner's default).
+func (s *Store) MultiBase(qp geom.QueryPlane, model *costmodel.Model, maxStrips int) (*Result, error) {
+	if model == nil {
+		return nil, fmt.Errorf("dm: MultiBase requires a cost model")
+	}
+	return s.ExecuteStrips(qp, model.PlanStrips(qp, maxStrips))
+}
+
+// ExecuteStrips answers a viewpoint-dependent query with an explicit cube
+// plan (one range query per strip). MultiBase uses it with the optimizer's
+// plan; ablations pass fixed plans (costmodel.EqualStrips).
+func (s *Store) ExecuteStrips(qp geom.QueryPlane, strips []costmodel.Strip) (*Result, error) {
+	fetched := make(map[int64]*Node)
+	total := 0
+	for _, st := range strips {
+		nf, err := s.fetchBox(st.Box(), fetched)
+		if err != nil {
+			return nil, err
+		}
+		total += nf
+	}
+	res := s.assemblePlane(qp, fetched)
+	res.FetchedRecords = total
+	res.Strips = len(strips)
+	return res, nil
+}
+
+// assemblePlane turns the fetched cube contents into the approximation on
+// the query plane: the live set holds every node whose LOD interval
+// contains the plane's requirement at the node's own position, and
+// connectivity lifts connection pairs to their live representatives.
+// A degenerate plane (EMin == EMax) reduces to the uniform assembly.
+func (s *Store) assemblePlane(qp geom.QueryPlane, fetched map[int64]*Node) *Result {
+	live := make(map[int64]*Node, len(fetched))
+	for id, n := range fetched {
+		if n.Interval().Contains(qp.EAt(n.Pos.X, n.Pos.Y)) {
+			live[id] = n
+		}
+	}
+	if qp.EMin == qp.EMax {
+		return assembleUniform(live)
+	}
+	return assembleLifted(fetched, live)
+}

@@ -1,0 +1,83 @@
+package dm
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmesh/internal/geom"
+)
+
+// TestRandomQueriesMatchInMemoryCut fires random (ROI, LOD) queries at the
+// store and checks every result against the in-memory interval cut — the
+// randomized end-to-end oracle for viewpoint-independent retrieval.
+func TestRandomQueriesMatchInMemoryCut(t *testing.T) {
+	for _, name := range []string{"highland", "crater"} {
+		ds, _ := buildDataset(t, 9, name)
+		s := newTestStore(t, ds)
+		rng := rand.New(rand.NewSource(77))
+		var lods []float64
+		for i := range ds.Tree.Nodes {
+			if !ds.Tree.Nodes[i].IsLeaf() {
+				lods = append(lods, ds.Tree.Nodes[i].ELow)
+			}
+		}
+		for trial := 0; trial < 40; trial++ {
+			x0, y0 := rng.Float64(), rng.Float64()
+			w, h := rng.Float64()*0.6, rng.Float64()*0.6
+			roi := geom.NewRect(x0, y0, x0+w, y0+h)
+			var e float64
+			if trial%5 != 0 {
+				e = lods[rng.Intn(len(lods))] // exactly at an interval boundary
+			} else {
+				e = rng.Float64() * lods[len(lods)-1]
+			}
+			res, err := s.ViewpointIndependent(roi, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 0
+			for i := range ds.Tree.Nodes {
+				n := &ds.Tree.Nodes[i]
+				if n.Interval().Contains(e) && roi.ContainsPoint(n.Pos.XY()) {
+					want++
+				}
+			}
+			if len(res.Vertices) != want {
+				t.Fatalf("%s trial %d (roi %v, e %g): %d vertices, want %d",
+					name, trial, roi, e, len(res.Vertices), want)
+			}
+		}
+	}
+}
+
+// TestRandomPlaneQueriesLiveRule does the same for random query planes.
+func TestRandomPlaneQueriesLiveRule(t *testing.T) {
+	ds, _ := buildDataset(t, 9, "highland")
+	s := newTestStore(t, ds)
+	rng := rand.New(rand.NewSource(101))
+	maxE := eAtPercentile(ds, 0.999)
+	for trial := 0; trial < 15; trial++ {
+		x0, y0 := rng.Float64()*0.5, rng.Float64()*0.5
+		roi := geom.NewRect(x0, y0, x0+0.2+rng.Float64()*0.3, y0+0.2+rng.Float64()*0.3)
+		emin := rng.Float64() * maxE / 2
+		emax := emin + rng.Float64()*maxE/2
+		qp := geom.QueryPlane{R: roi, EMin: emin, EMax: emax, Axis: trial % 2}
+		res, err := s.SingleBase(qp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for i := range ds.Tree.Nodes {
+			n := &ds.Tree.Nodes[i]
+			if !roi.ContainsPoint(n.Pos.XY()) {
+				continue
+			}
+			if n.Interval().Contains(qp.EAt(n.Pos.X, n.Pos.Y)) {
+				want++
+			}
+		}
+		if len(res.Vertices) != want {
+			t.Fatalf("trial %d: %d vertices, want %d", trial, len(res.Vertices), want)
+		}
+	}
+}

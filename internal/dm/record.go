@@ -1,0 +1,120 @@
+package dm
+
+import (
+	"encoding/binary"
+	"math"
+
+	"dmesh/internal/geom"
+)
+
+// On-disk Direct Mesh record: exactly the paper's node tuple
+// (ID, x, y, z, e_low, e_high, parent, child1, child2, wing1, wing2)
+// followed by the connection list. Lists longer than ConnInline continue
+// in overflow records (a chain in a separate heap file), keeping the main
+// record fixed-size; the paper reports an average similar-LOD list length
+// of 12, so ConnInline=12 makes overflow uncommon.
+const (
+	// dmFixed is the fixed (non-connection) part of the record.
+	dmFixed = 8 + 24 + 8 + 8 + 5*8
+	// ConnInline is how many connection IDs fit in the main record.
+	ConnInline = 12
+	// RecordSize is the fixed main-record size.
+	RecordSize = dmFixed + 2 + 8 + ConnInline*8
+
+	// OverflowFanout is how many IDs one overflow record holds.
+	OverflowFanout = 32
+	// OverflowRecordSize is the fixed overflow-record size: a next-record
+	// reference, a count, and the IDs.
+	OverflowRecordSize = 8 + 2 + OverflowFanout*8
+
+	// noOverflow marks the end of an overflow chain.
+	noOverflow = int64(-1)
+)
+
+// encodeRecord writes n's record into buf (len >= RecordSize), with the
+// first overflowRef chaining any connection IDs beyond ConnInline. Unlike
+// the PM record, the DM record omits the raw error, footprint MBR, and
+// anything derivable from other rows: Direct Mesh queries never chase the
+// tree, so nodes only carry what reconstruction reads.
+func encodeRecord(n *Node, overflowRef int64, buf []byte) {
+	le := binary.LittleEndian
+	off := 0
+	putI := func(v int64) { le.PutUint64(buf[off:], uint64(v)); off += 8 }
+	putF := func(v float64) { le.PutUint64(buf[off:], math.Float64bits(v)); off += 8 }
+	putI(n.ID)
+	putF(n.Pos.X)
+	putF(n.Pos.Y)
+	putF(n.Pos.Z)
+	putF(n.ELow)
+	putF(n.EHigh)
+	putI(n.Parent)
+	putI(n.Child1)
+	putI(n.Child2)
+	putI(n.Wing1)
+	putI(n.Wing2)
+	le.PutUint16(buf[off:], uint16(len(n.Conn)))
+	le.PutUint64(buf[off+2:], uint64(overflowRef))
+	off += 10
+	inline := len(n.Conn)
+	if inline > ConnInline {
+		inline = ConnInline
+	}
+	for i := 0; i < inline; i++ {
+		le.PutUint64(buf[off+i*8:], uint64(n.Conn[i]))
+	}
+}
+
+// decodeRecordHeader decodes everything except overflowed connection IDs,
+// returning the node (with the inline portion of Conn), the total
+// connection count, and the overflow chain head. Fields the DM record
+// does not store (raw error, footprint) stay zero.
+func decodeRecordHeader(buf []byte) (n Node, connTotal int, overflowRef int64) {
+	le := binary.LittleEndian
+	off := 0
+	getI := func() int64 { v := int64(le.Uint64(buf[off:])); off += 8; return v }
+	getF := func() float64 { v := math.Float64frombits(le.Uint64(buf[off:])); off += 8; return v }
+	n.ID = getI()
+	n.Pos = geom.Point3{X: getF(), Y: getF(), Z: getF()}
+	n.ELow = getF()
+	n.EHigh = getF()
+	n.Parent = getI()
+	n.Child1 = getI()
+	n.Child2 = getI()
+	n.Wing1 = getI()
+	n.Wing2 = getI()
+	connTotal = int(le.Uint16(buf[off:]))
+	overflowRef = int64(le.Uint64(buf[off+2:]))
+	off += 10
+	inline := connTotal
+	if inline > ConnInline {
+		inline = ConnInline
+	}
+	n.Conn = make([]int64, 0, connTotal)
+	for i := 0; i < inline; i++ {
+		n.Conn = append(n.Conn, int64(le.Uint64(buf[off+i*8:])))
+	}
+	return n, connTotal, overflowRef
+}
+
+// encodeOverflow writes one overflow record holding ids (len <=
+// OverflowFanout) chaining to next.
+func encodeOverflow(ids []int64, next int64, buf []byte) {
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], uint64(next))
+	le.PutUint16(buf[8:], uint16(len(ids)))
+	for i, id := range ids {
+		le.PutUint64(buf[10+i*8:], uint64(id))
+	}
+}
+
+// decodeOverflow reads one overflow record.
+func decodeOverflow(buf []byte) (ids []int64, next int64) {
+	le := binary.LittleEndian
+	next = int64(le.Uint64(buf[0:]))
+	cnt := int(le.Uint16(buf[8:]))
+	ids = make([]int64, cnt)
+	for i := 0; i < cnt; i++ {
+		ids[i] = int64(le.Uint64(buf[10+i*8:]))
+	}
+	return ids, next
+}

@@ -1,0 +1,308 @@
+package dm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dmesh/internal/costmodel"
+	"dmesh/internal/geom"
+	"dmesh/internal/pm"
+	"dmesh/internal/rtree"
+	"dmesh/internal/storage/btree"
+	"dmesh/internal/storage/heapfile"
+	"dmesh/internal/storage/pager"
+)
+
+// Store is the disk-resident Direct Mesh: node records in a heap file
+// clustered on the spatial index (Section 6: "terrain data is arranged on
+// the disk in such a way that their (x, y) clustering is preserved as much
+// as possible" — by default records follow the R*-tree's STR leaf order;
+// see Layout for alternatives), a 3D R*-tree over the nodes' vertical
+// segments in (x, y, e) space, a B+-tree from node ID to record, and an
+// overflow file for long connection lists.
+type Store struct {
+	heap  *heapfile.File
+	over  *heapfile.File
+	rt    *rtree.Tree
+	idx   *btree.Tree
+	heapP *pager.Pager
+	overP *pager.Pager
+	rtP   *pager.Pager
+	idxP  *pager.Pager
+
+	maxE  float64
+	space geom.Box
+}
+
+// Layout selects the physical order of node records in the heap file.
+type Layout int
+
+const (
+	// LayoutSTR clusters the table on the R*-tree: records are laid out
+	// in the index's STR leaf order, so the records of one index leaf
+	// share data pages. This is the default and the standard physical
+	// design for an index-clustered table.
+	LayoutSTR Layout = iota
+	// LayoutHilbert orders records by the Hilbert curve over (x, y) only
+	// (pure spatial clustering, all LOD levels interleaved). Kept for the
+	// clustering ablation.
+	LayoutHilbert
+	// LayoutRowMajor orders records by node ID (creation order); the
+	// un-clustered baseline for the ablation.
+	LayoutRowMajor
+)
+
+// StorePools sizes the buffer pools (in pages) of the store's four files
+// and selects the record layout. The zero value selects defaults suitable
+// for tests and examples (STR layout).
+type StorePools struct {
+	Data, Overflow, Index, IDIndex int
+	Layout                         Layout
+}
+
+func (sp *StorePools) defaults() {
+	if sp.Data <= 0 {
+		sp.Data = 4096
+	}
+	if sp.Overflow <= 0 {
+		sp.Overflow = 512
+	}
+	if sp.Index <= 0 {
+		sp.Index = 2048
+	}
+	if sp.IDIndex <= 0 {
+		sp.IDIndex = 1024
+	}
+}
+
+// BuildStore lays ds out on fresh in-memory pagers. Use BuildStoreAt for
+// a file-backed store that can be reopened.
+func BuildStore(ds *Dataset, pools StorePools) (*Store, error) {
+	return buildStore(ds, pools, [4]pager.Backend{
+		pager.NewMemBackend(), pager.NewMemBackend(),
+		pager.NewMemBackend(), pager.NewMemBackend(),
+	})
+}
+
+// buildStore lays ds out on the given backends (heap, overflow, r*-tree,
+// id index).
+func buildStore(ds *Dataset, pools StorePools, backends [4]pager.Backend) (*Store, error) {
+	pools.defaults()
+	s := &Store{
+		heapP: pager.New(backends[0], pools.Data),
+		overP: pager.New(backends[1], pools.Overflow),
+		rtP:   pager.New(backends[2], pools.Index),
+		idxP:  pager.New(backends[3], pools.IDIndex),
+		maxE:  ds.Tree.MaxE,
+	}
+	var err error
+	if s.heap, err = heapfile.Create(s.heapP, RecordSize); err != nil {
+		return nil, fmt.Errorf("dm: create heap: %w", err)
+	}
+	if s.over, err = heapfile.Create(s.overP, OverflowRecordSize); err != nil {
+		return nil, fmt.Errorf("dm: create overflow: %w", err)
+	}
+	if s.idx, err = btree.Create(s.idxP); err != nil {
+		return nil, fmt.Errorf("dm: create id index: %w", err)
+	}
+
+	// Choose the physical record order ("terrain data is arranged on the
+	// disk in such a way that their (x, y) clustering is preserved as much
+	// as possible", Section 6 — with the index available, clustering the
+	// table on the index preserves it best).
+	order := make([]int64, len(ds.Tree.Nodes))
+	for i := range order {
+		order[i] = int64(i)
+	}
+	switch pools.Layout {
+	case LayoutSTR:
+		segs := make([]rtree.Item, len(order))
+		for i, id := range order {
+			segs[i] = rtree.Item{Box: segmentOf(&ds.Tree.Nodes[id], ds.Tree.MaxE), Ref: id}
+		}
+		for i, it := range rtree.STRLeafOrder(segs) {
+			order[i] = it.Ref
+		}
+	case LayoutHilbert:
+		sort.SliceStable(order, func(a, b int) bool {
+			ka := geom.HilbertKey(ds.Tree.Nodes[order[a]].Pos.XY())
+			kb := geom.HilbertKey(ds.Tree.Nodes[order[b]].Pos.XY())
+			if ka != kb {
+				return ka < kb
+			}
+			return order[a] < order[b]
+		})
+	case LayoutRowMajor:
+		// IDs are already in creation order.
+	default:
+		return nil, fmt.Errorf("dm: unknown layout %d", pools.Layout)
+	}
+
+	buf := make([]byte, RecordSize)
+	obuf := make([]byte, OverflowRecordSize)
+	items := make([]rtree.Item, 0, len(order))
+	space := geom.Box{MinX: math.Inf(1), MinY: math.Inf(1), MinE: 0,
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1), MaxE: s.maxE}
+	for _, id := range order {
+		n := ds.Node(id)
+		// Spill conn IDs beyond the inline capacity into an overflow
+		// chain, written tail-first so each record knows its successor.
+		overflowRef := noOverflow
+		if len(n.Conn) > ConnInline {
+			rest := n.Conn[ConnInline:]
+			for start := ((len(rest) - 1) / OverflowFanout) * OverflowFanout; start >= 0; start -= OverflowFanout {
+				end := start + OverflowFanout
+				if end > len(rest) {
+					end = len(rest)
+				}
+				encodeOverflow(rest[start:end], overflowRef, obuf)
+				rid, err := s.over.Append(obuf)
+				if err != nil {
+					return nil, fmt.Errorf("dm: overflow append: %w", err)
+				}
+				overflowRef = int64(rid)
+			}
+		}
+		encodeRecord(&n, overflowRef, buf)
+		rid, err := s.heap.Append(buf)
+		if err != nil {
+			return nil, fmt.Errorf("dm: heap append: %w", err)
+		}
+		if err := s.idx.Put(id, int64(rid)); err != nil {
+			return nil, fmt.Errorf("dm: id index: %w", err)
+		}
+		items = append(items, rtree.Item{
+			Box: segmentOf(&n.Node, s.maxE),
+			Ref: int64(rid),
+		})
+		space.MinX = math.Min(space.MinX, n.Pos.X)
+		space.MinY = math.Min(space.MinY, n.Pos.Y)
+		space.MaxX = math.Max(space.MaxX, n.Pos.X)
+		space.MaxY = math.Max(space.MaxY, n.Pos.Y)
+	}
+	s.space = space
+	if s.rt, err = rtree.BulkLoad(s.rtP, items); err != nil {
+		return nil, fmt.Errorf("dm: bulk load r*-tree: %w", err)
+	}
+	return s, nil
+}
+
+// segmentOf returns the node's vertical segment in (x, y, e) space; the
+// root's infinite top is clamped to the dataset maximum.
+func segmentOf(n *pm.Node, maxE float64) geom.Box {
+	hi := n.EHigh
+	if math.IsInf(hi, 1) {
+		hi = maxE
+	}
+	return geom.VerticalSegment(n.Pos.X, n.Pos.Y, n.ELow, hi)
+}
+
+// MaxE returns the dataset's maximum LOD value.
+func (s *Store) MaxE() float64 { return s.maxE }
+
+// DataSpace returns the (x, y, e) bounding box of the stored segments,
+// the normalization space for the cost model.
+func (s *Store) DataSpace() geom.Box { return s.space }
+
+// RTree exposes the spatial index (for the cost model's node statistics).
+func (s *Store) RTree() *rtree.Tree { return s.rt }
+
+// CostModel builds the multi-base optimizer's cost model for this store:
+// formula (1) over the R*-tree's nodes, with leaf terms scaled by the
+// clustered data pages each visited leaf implies. Building it scans the
+// index once (a once-off cost, not charged to queries).
+func (s *Store) CostModel() (*costmodel.Model, error) {
+	m, err := costmodel.FromRTree(s.rt, s.space)
+	if err != nil {
+		return nil, err
+	}
+	recsPerPage := float64((pager.PageSize - 2) / RecordSize)
+	m.SetDataFactor(m.AvgLeafEntries() / recsPerPage)
+	m.SetSharedPool(true) // strips of one query share this store's pool
+	return m, nil
+}
+
+// DropCaches flushes and empties all buffer pools (the paper's cold-cache
+// methodology).
+func (s *Store) DropCaches() error {
+	for _, p := range s.pagers() {
+		if err := p.DropCache(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResetStats zeroes all disk-access counters.
+func (s *Store) ResetStats() {
+	for _, p := range s.pagers() {
+		p.ResetStats()
+	}
+}
+
+// DiskAccesses returns the pages read since the last ResetStats — the
+// paper's cost metric.
+func (s *Store) DiskAccesses() uint64 {
+	var total uint64
+	for _, p := range s.pagers() {
+		total += p.Stats().Reads
+	}
+	return total
+}
+
+func (s *Store) pagers() []*pager.Pager {
+	return []*pager.Pager{s.heapP, s.overP, s.rtP, s.idxP}
+}
+
+// AccessBreakdown itemizes the disk accesses since the last ResetStats by
+// file: where a query's I/O actually went.
+type AccessBreakdown struct {
+	Data     uint64 // heap-file record pages
+	Overflow uint64 // connection-list overflow pages
+	Index    uint64 // R*-tree node pages
+	IDIndex  uint64 // B+-tree pages (by-ID fetches)
+}
+
+// Breakdown returns the per-file disk-access counts.
+func (s *Store) Breakdown() AccessBreakdown {
+	return AccessBreakdown{
+		Data:     s.heapP.Stats().Reads,
+		Overflow: s.overP.Stats().Reads,
+		Index:    s.rtP.Stats().Reads,
+		IDIndex:  s.idxP.Stats().Reads,
+	}
+}
+
+// fetchRecord reads and fully decodes the record at rid, following the
+// overflow chain when the connection list spills.
+func (s *Store) fetchRecord(rid heapfile.RID, buf, obuf []byte) (Node, error) {
+	if err := s.heap.Read(rid, buf); err != nil {
+		return Node{}, err
+	}
+	n, total, overflowRef := decodeRecordHeader(buf)
+	for overflowRef != noOverflow {
+		if err := s.over.Read(heapfile.RID(overflowRef), obuf); err != nil {
+			return Node{}, fmt.Errorf("dm: overflow chain: %w", err)
+		}
+		var ids []int64
+		ids, overflowRef = decodeOverflow(obuf)
+		n.Conn = append(n.Conn, ids...)
+	}
+	if len(n.Conn) != total {
+		return Node{}, fmt.Errorf("dm: node %d connection list has %d of %d IDs", n.ID, len(n.Conn), total)
+	}
+	return n, nil
+}
+
+// FetchByID reads one node through the B+-tree (an index probe plus data
+// pages), for callers that need point lookups outside range queries.
+func (s *Store) FetchByID(id int64) (Node, error) {
+	rid, err := s.idx.Get(id)
+	if err != nil {
+		return Node{}, fmt.Errorf("dm: node %d: %w", id, err)
+	}
+	buf := make([]byte, RecordSize)
+	obuf := make([]byte, OverflowRecordSize)
+	return s.fetchRecord(heapfile.RID(rid), buf, obuf)
+}

@@ -1,0 +1,309 @@
+package hdov
+
+import (
+	"sort"
+	"testing"
+
+	"dmesh/internal/geom"
+	"dmesh/internal/heightfield"
+	"dmesh/internal/mesh"
+	"dmesh/internal/pm"
+	"dmesh/internal/simplify"
+)
+
+func buildAll(t testing.TB, size int, name string) (*pm.Tree, *heightfield.Grid, *Store) {
+	t.Helper()
+	g, err := heightfield.Named(name, size, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mesh.FromGrid(g)
+	seq, err := simplify.Run(m, simplify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := pm.FromSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := Build(tree, g, Options{Levels: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, g, store
+}
+
+func eAtPercentile(tree *pm.Tree, p float64) float64 {
+	var es []float64
+	for i := range tree.Nodes {
+		if !tree.Nodes[i].IsLeaf() {
+			es = append(es, tree.Nodes[i].ELow)
+		}
+	}
+	sort.Float64s(es)
+	return es[int(p*float64(len(es)-1))]
+}
+
+func TestBuildAndDirRoundTrip(t *testing.T) {
+	n := dirNode{
+		region:   geom.Rect{MinX: 0.25, MinY: 0.5, MaxX: 0.5, MaxY: 0.75},
+		e:        3.25,
+		children: [4]int64{1, 2, noChild, 4},
+		rowHead:  100,
+		rowCount: 7,
+	}
+	buf := make([]byte, dirRecordSize)
+	encodeDir(&n, buf)
+	if got := decodeDir(buf); got != n {
+		t.Fatalf("round trip: %+v != %+v", got, n)
+	}
+}
+
+func TestMeshRecordRoundTrip(t *testing.T) {
+	buf := make([]byte, meshRecordSize)
+	n := pm.Node{ID: 42, Pos: geom.Point3{X: 0.1, Y: 0.2, Z: 0.3}}
+	encodeMeshRecord(&n, buf)
+	p := decodeMeshRecord(buf)
+	if p.ID != 42 || p.Pos != n.Pos {
+		t.Fatalf("round trip: %+v", p)
+	}
+}
+
+func TestLevelLODsMonotone(t *testing.T) {
+	tree, _, _ := buildAll(t, 9, "highland")
+	es := levelLODs(tree, 5)
+	if es[len(es)-1] != 0 {
+		t.Fatalf("leaf level LOD = %g, want 0", es[len(es)-1])
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i] > es[i-1] {
+			t.Fatalf("level LODs not monotone: %v", es)
+		}
+	}
+}
+
+func TestQueryUniformFullResolution(t *testing.T) {
+	tree, _, s := buildAll(t, 8, "highland")
+	res, err := s.QueryUniform(geom.Rect{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At e=0 only leaf nodes suffice; they store the exact cut at 0 = all
+	// original points.
+	base := 0
+	for i := range tree.Nodes {
+		if tree.Nodes[i].IsLeaf() {
+			base++
+		}
+	}
+	if len(res.Points) != base {
+		t.Fatalf("full-res query returned %d points, want %d", len(res.Points), base)
+	}
+}
+
+func TestQueryUniformLODSufficiency(t *testing.T) {
+	tree, _, s := buildAll(t, 9, "highland")
+	e := eAtPercentile(tree, 0.6)
+	res, err := s.QueryUniform(geom.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.8, MaxY: 0.8}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("empty result")
+	}
+	// Every returned point must be at least as fine as required: it
+	// belongs to a stored approximation with node LOD <= e, so its own
+	// interval must include that node LOD... i.e. the point is live at
+	// some LOD <= e, meaning its ELow <= e.
+	for _, p := range res.Points {
+		if tree.Nodes[p.ID].ELow > e {
+			t.Fatalf("point %d coarser than required: ELow %g > e %g", p.ID, tree.Nodes[p.ID].ELow, e)
+		}
+	}
+	// All points in ROI.
+	roi := geom.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.8, MaxY: 0.8}
+	for _, p := range res.Points {
+		if !roi.ContainsPoint(p.Pos.XY()) {
+			t.Fatalf("point outside ROI: %v", p.Pos)
+		}
+	}
+}
+
+func TestWholeNodeOverfetch(t *testing.T) {
+	// A tiny ROI still reads whole node meshes: fetched records must
+	// exceed returned points — the granularity problem the paper
+	// describes.
+	tree, _, s := buildAll(t, 9, "highland")
+	e := eAtPercentile(tree, 0.3)
+	roi := geom.Rect{MinX: 0.4, MinY: 0.4, MaxX: 0.45, MaxY: 0.45}
+	res, err := s.QueryUniform(roi, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FetchedRecords <= len(res.Points) {
+		t.Fatalf("expected over-fetch: fetched %d, returned %d", res.FetchedRecords, len(res.Points))
+	}
+}
+
+func TestQueryPlane(t *testing.T) {
+	tree, _, s := buildAll(t, 9, "crater")
+	qp := geom.QueryPlane{
+		R:    geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.9, MaxY: 0.9},
+		EMin: eAtPercentile(tree, 0.2), EMax: eAtPercentile(tree, 0.9), Axis: 1,
+	}
+	res, err := s.QueryPlane(qp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("empty result")
+	}
+	if res.NodesUsed == 0 {
+		t.Fatal("no nodes used")
+	}
+}
+
+func TestVisibilityBounds(t *testing.T) {
+	_, g, s := buildAll(t, 8, "crater")
+	for i := int64(0); i < s.count; i++ {
+		for d := Direction(0); d < numDirections; d++ {
+			dov, err := s.readDoV(i, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dov < 0 || dov > 1 {
+				t.Fatalf("DoV out of range: %g", dov)
+			}
+		}
+	}
+	_ = g
+}
+
+func TestCraterOcclusion(t *testing.T) {
+	// The crater rim should occlude at least part of the terrain from a
+	// low edge viewpoint: some node must have DoV < 1.
+	_, _, s := buildAll(t, 9, "crater")
+	occluded := false
+	for i := int64(0); i < s.count && !occluded; i++ {
+		dov, err := s.readDoV(i, South)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dov < 1 {
+			occluded = true
+		}
+	}
+	if !occluded {
+		t.Fatal("crater terrain shows no occlusion at all")
+	}
+}
+
+func TestDiskAccessesCounted(t *testing.T) {
+	tree, _, s := buildAll(t, 9, "highland")
+	if err := s.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+	e := eAtPercentile(tree, 0.5)
+	if _, err := s.QueryUniform(geom.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.8, MaxY: 0.8}, e); err != nil {
+		t.Fatal(err)
+	}
+	if s.DiskAccesses() == 0 {
+		t.Fatal("cold query cost nothing")
+	}
+}
+
+func TestCoarserQueryCostsLess(t *testing.T) {
+	tree, _, s := buildAll(t, 9, "highland")
+	roi := geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.9, MaxY: 0.9}
+
+	if err := s.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+	if _, err := s.QueryUniform(roi, eAtPercentile(tree, 0.9)); err != nil {
+		t.Fatal(err)
+	}
+	coarse := s.DiskAccesses()
+
+	if err := s.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+	if _, err := s.QueryUniform(roi, eAtPercentile(tree, 0.05)); err != nil {
+		t.Fatal(err)
+	}
+	fine := s.DiskAccesses()
+	if coarse >= fine {
+		t.Fatalf("coarse query (%d DA) should cost less than fine query (%d DA)", coarse, fine)
+	}
+}
+
+func TestRowListChainsLongLists(t *testing.T) {
+	refs := make([]int64, 150) // needs 3 chained records at fanout 64
+	for i := range refs {
+		refs[i] = int64(i * 3)
+	}
+	buf := make([]byte, rowListRecordSize)
+	encodeRowList(refs[:64], 7, buf)
+	got, next := decodeRowList(buf)
+	if next != 7 || len(got) != 64 || got[63] != 63*3 {
+		t.Fatalf("row list round trip: %d refs, next %d", len(got), next)
+	}
+	// End-to-end: a leaf node holding >64 rows must read back complete.
+	tree, _, s := buildAll(t, 13, "highland") // 169 points, few leaf cells
+	res, err := s.QueryUniform(geom.Rect{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := 0
+	for i := range tree.Nodes {
+		if tree.Nodes[i].IsLeaf() {
+			base++
+		}
+	}
+	if len(res.Points) != base {
+		t.Fatalf("full-res read through chained row lists returned %d of %d", len(res.Points), base)
+	}
+}
+
+// The paper observes that visibility helps HDoV little on open terrain
+// but can help where relief occludes. Compare HDoV with its visibility-
+// blind LOD-R-tree mode on both datasets.
+func TestVisibilityAblation(t *testing.T) {
+	for _, name := range []string{"highland", "crater"} {
+		tree, _, s := buildAll(t, 17, name)
+		qp := geom.QueryPlane{
+			R:    geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.9, MaxY: 0.9},
+			EMin: eAtPercentile(tree, 0.5), EMax: eAtPercentile(tree, 0.95), Axis: 1,
+		}
+		if err := s.DropCaches(); err != nil {
+			t.Fatal(err)
+		}
+		s.ResetStats()
+		withVis, err := s.QueryPlane(qp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		daVis := s.DiskAccesses()
+
+		if err := s.DropCaches(); err != nil {
+			t.Fatal(err)
+		}
+		s.ResetStats()
+		noVis, err := s.QueryPlaneLODRTree(qp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		daNo := s.DiskAccesses()
+
+		// Visibility can only prune or coarsen: it never fetches MORE
+		// records than the blind traversal.
+		if withVis.FetchedRecords > noVis.FetchedRecords {
+			t.Fatalf("%s: visibility fetched more records (%d > %d)",
+				name, withVis.FetchedRecords, noVis.FetchedRecords)
+		}
+		t.Logf("%s: with visibility %d DA / %d records, without %d DA / %d records (skipped %d subtrees)",
+			name, daVis, withVis.FetchedRecords, daNo, noVis.FetchedRecords, withVis.Skipped)
+	}
+}

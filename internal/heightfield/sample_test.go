@@ -1,0 +1,96 @@
+package heightfield
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHeightAtExactSamples(t *testing.T) {
+	g := NewGrid(5)
+	for j := 0; j < 5; j++ {
+		for i := 0; i < 5; i++ {
+			g.Set(i, j, float64(i*10+j))
+		}
+	}
+	for j := 0; j < 5; j++ {
+		for i := 0; i < 5; i++ {
+			x, y := g.XY(i, j)
+			if got := g.HeightAt(x, y); math.Abs(got-g.At(i, j)) > 1e-12 {
+				t.Fatalf("HeightAt(%g,%g) = %g, want %g", x, y, got, g.At(i, j))
+			}
+		}
+	}
+}
+
+func TestHeightAtInterpolates(t *testing.T) {
+	// A plane z = x is reproduced exactly by bilinear interpolation.
+	g := NewGrid(3)
+	for j := 0; j < 3; j++ {
+		for i := 0; i < 3; i++ {
+			x, _ := g.XY(i, j)
+			g.Set(i, j, x)
+		}
+	}
+	for _, x := range []float64{0, 0.1, 0.37, 0.5, 0.9, 1} {
+		if got := g.HeightAt(x, 0.42); math.Abs(got-x) > 1e-12 {
+			t.Fatalf("HeightAt(%g) = %g", x, got)
+		}
+	}
+}
+
+func TestHeightAtClamps(t *testing.T) {
+	g := Highland(9, 1)
+	if g.HeightAt(-5, 0.5) != g.HeightAt(0, 0.5) {
+		t.Error("x below range must clamp")
+	}
+	if g.HeightAt(0.5, 99) != g.HeightAt(0.5, 1) {
+		t.Error("y above range must clamp")
+	}
+}
+
+func TestSampleIrregular(t *testing.T) {
+	g := Crater(33, 4)
+	pts := g.SampleIrregular(200, 7)
+	if len(pts) != 200 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// The four corners are always included.
+	corners := map[[2]float64]bool{}
+	for _, p := range pts[:4] {
+		corners[[2]float64{p.X, p.Y}] = true
+	}
+	for _, c := range [][2]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}} {
+		if !corners[c] {
+			t.Fatalf("corner %v missing", c)
+		}
+	}
+	seen := map[[2]float64]bool{}
+	for _, p := range pts {
+		if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+			t.Fatalf("point outside unit square: %v", p)
+		}
+		key := [2]float64{p.X, p.Y}
+		if seen[key] {
+			t.Fatalf("duplicate sample at %v", key)
+		}
+		seen[key] = true
+		if math.Abs(p.Z-g.HeightAt(p.X, p.Y)) > 1e-12 {
+			t.Fatalf("sample height mismatch at %v", key)
+		}
+	}
+	// Determinism.
+	again := g.SampleIrregular(200, 7)
+	for i := range pts {
+		if pts[i] != again[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+func TestSampleIrregularMinimum(t *testing.T) {
+	g := Highland(9, 1)
+	pts := g.SampleIrregular(1, 1)
+	if len(pts) != 4 {
+		t.Fatalf("minimum sample must be the 4 corners, got %d", len(pts))
+	}
+}

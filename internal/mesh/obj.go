@@ -1,0 +1,35 @@
+package mesh
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteOBJ writes the mesh in Wavefront OBJ format, remapping vertex IDs to
+// the dense 1-based indices OBJ requires. Only vertices used by triangles
+// are emitted. The output is deterministic.
+func (m *Mesh) WriteOBJ(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	used := m.UsedVertices()
+	ids := make([]int64, 0, len(used))
+	for v := range used {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	remap := make(map[int64]int, len(ids))
+	for i, v := range ids {
+		remap[v] = i + 1
+		p := m.Positions[v]
+		if _, err := fmt.Fprintf(bw, "v %g %g %g\n", p.X, p.Y, p.Z); err != nil {
+			return err
+		}
+	}
+	for _, t := range m.Tris {
+		if _, err := fmt.Fprintf(bw, "f %d %d %d\n", remap[t.A], remap[t.B], remap[t.C]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

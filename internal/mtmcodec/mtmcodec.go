@@ -1,0 +1,304 @@
+// Package mtmcodec serializes multiresolution collapse sequences in a
+// compact binary form: varint-coded IDs relative to each node (the IDs an
+// MTM node references cluster near its own), delta-coded sorted lists,
+// and a DEFLATE wrapper. Simplification is by far the most expensive step
+// of the pipeline, so shipping its result compactly matters — the same
+// motivation as the multiresolution-mesh compression line of work the
+// paper cites (Danovaro et al., SSTD 2001).
+package mtmcodec
+
+import (
+	"bufio"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"dmesh/internal/geom"
+	"dmesh/internal/simplify"
+)
+
+const (
+	magic   = "MTM1"
+	version = 1
+)
+
+// Write serializes seq to w.
+func Write(w io.Writer, seq *simplify.Sequence) error {
+	if _, err := io.WriteString(w, magic); err != nil {
+		return err
+	}
+	fw, err := flate.NewWriter(w, flate.DefaultCompression)
+	if err != nil {
+		return err
+	}
+	e := &encoder{w: bufio.NewWriter(fw)}
+
+	e.uvarint(version)
+	e.uvarint(uint64(seq.BaseVertices))
+	e.uvarint(uint64(len(seq.Positions)))
+	e.uvarint(uint64(len(seq.Collapses)))
+
+	for _, p := range seq.Positions {
+		e.float(p.X)
+		e.float(p.Y)
+		e.float(p.Z)
+	}
+	for i, c := range seq.Collapses {
+		// The created node ID is implicit (BaseVertices + i); references
+		// are coded relative to it — children and wings are usually close.
+		newID := int64(seq.BaseVertices + i)
+		if c.New != newID {
+			return fmt.Errorf("mtmcodec: collapse %d creates %d, want %d", i, c.New, newID)
+		}
+		e.rel(newID, c.Child1)
+		e.rel(newID, c.Child2)
+		e.rel(newID, c.Wing1)
+		e.rel(newID, c.Wing2)
+		e.float(c.Err)
+		e.uvarint(uint64(len(c.Child1Adj)))
+		for _, id := range c.Child1Adj {
+			e.varint(newID - id)
+		}
+	}
+	e.uvarint(uint64(len(seq.Roots)))
+	for _, r := range seq.Roots {
+		e.uvarint(uint64(r))
+	}
+	e.idLists(seq.ConnLists)
+	e.idLists(seq.InitialAdj)
+
+	if e.err != nil {
+		return e.err
+	}
+	if err := e.w.Flush(); err != nil {
+		return err
+	}
+	return fw.Close()
+}
+
+// Read deserializes a sequence written by Write.
+func Read(r io.Reader) (*simplify.Sequence, error) {
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("mtmcodec: %w", err)
+	}
+	if string(head) != magic {
+		return nil, errors.New("mtmcodec: bad magic")
+	}
+	d := &decoder{r: bufio.NewReader(flate.NewReader(r))}
+
+	if v := d.uvarint(); v != version {
+		if d.err != nil {
+			return nil, d.err
+		}
+		return nil, fmt.Errorf("mtmcodec: version %d, want %d", v, version)
+	}
+	base := int(d.uvarint())
+	numPos := int(d.uvarint())
+	numCol := int(d.uvarint())
+	if d.err != nil {
+		return nil, d.err
+	}
+	const sanity = 1 << 31
+	if base < 0 || numPos < base || numPos > sanity || numCol != numPos-base {
+		return nil, fmt.Errorf("mtmcodec: inconsistent counts base=%d pos=%d collapses=%d", base, numPos, numCol)
+	}
+
+	seq := &simplify.Sequence{BaseVertices: base}
+	seq.Positions = make([]geom.Point3, numPos)
+	for i := range seq.Positions {
+		seq.Positions[i] = geom.Point3{X: d.float(), Y: d.float(), Z: d.float()}
+	}
+	seq.Collapses = make([]simplify.Collapse, numCol)
+	for i := range seq.Collapses {
+		newID := int64(base + i)
+		col := simplify.Collapse{
+			New:    newID,
+			Child1: d.rel(newID),
+			Child2: d.rel(newID),
+			Wing1:  d.rel(newID),
+			Wing2:  d.rel(newID),
+			Pos:    seq.Positions[newID],
+			Err:    d.float(),
+		}
+		cnt := int(d.uvarint())
+		if d.err != nil {
+			return nil, d.err
+		}
+		if cnt > numPos {
+			return nil, fmt.Errorf("mtmcodec: collapse %d has %d partition entries", i, cnt)
+		}
+		if cnt > 0 {
+			col.Child1Adj = make([]int64, cnt)
+			for k := range col.Child1Adj {
+				col.Child1Adj[k] = newID - d.varint()
+			}
+		}
+		seq.Collapses[i] = col
+	}
+	numRoots := int(d.uvarint())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if numRoots < 0 || numRoots > numPos {
+		return nil, fmt.Errorf("mtmcodec: %d roots for %d nodes", numRoots, numPos)
+	}
+	seq.Roots = make([]int64, numRoots)
+	for i := range seq.Roots {
+		seq.Roots[i] = int64(d.uvarint())
+	}
+	var err error
+	if seq.ConnLists, err = d.idLists(numPos); err != nil {
+		return nil, err
+	}
+	if seq.InitialAdj, err = d.idLists(numPos); err != nil {
+		return nil, err
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return seq, nil
+}
+
+// --- encoding primitives ----------------------------------------------
+
+type encoder struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (e *encoder) uvarint(v uint64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) varint(v int64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutVarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+// rel codes id relative to base; the sentinel -1 (absent wing) is
+// preserved.
+func (e *encoder) rel(base, id int64) {
+	if id == -1 {
+		e.varint(0) // 0 cannot be a real delta: a node never references itself
+		return
+	}
+	e.varint(base - id)
+}
+
+func (e *encoder) float(v float64) {
+	if e.err != nil {
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	_, e.err = e.w.Write(b[:])
+}
+
+// idLists codes per-node sorted ID lists as length + first value + deltas.
+// nil lists (unused vertex slots) are distinguished from empty ones.
+func (e *encoder) idLists(lists [][]int64) {
+	e.uvarint(uint64(len(lists)))
+	for _, l := range lists {
+		if l == nil {
+			e.uvarint(0)
+			continue
+		}
+		e.uvarint(uint64(len(l)) + 1)
+		prev := int64(0)
+		for _, id := range l {
+			e.varint(id - prev)
+			prev = id
+		}
+	}
+}
+
+type decoder struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.err = fmt.Errorf("mtmcodec: %w", err)
+	}
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(d.r)
+	if err != nil {
+		d.err = fmt.Errorf("mtmcodec: %w", err)
+	}
+	return v
+}
+
+func (d *decoder) rel(base int64) int64 {
+	delta := d.varint()
+	if delta == 0 {
+		return -1
+	}
+	return base - delta
+}
+
+func (d *decoder) float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	var b [8]byte
+	if _, err := io.ReadFull(d.r, b[:]); err != nil {
+		d.err = fmt.Errorf("mtmcodec: %w", err)
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+}
+
+func (d *decoder) idLists(maxID int) ([][]int64, error) {
+	n := int(d.uvarint())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n < 0 || n > maxID {
+		return nil, fmt.Errorf("mtmcodec: %d id lists for %d nodes", n, maxID)
+	}
+	lists := make([][]int64, n)
+	for i := range lists {
+		l := d.uvarint()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if l == 0 {
+			continue // nil list
+		}
+		cnt := int(l - 1)
+		if cnt > maxID {
+			return nil, fmt.Errorf("mtmcodec: id list of %d entries", cnt)
+		}
+		lst := make([]int64, cnt)
+		prev := int64(0)
+		for k := range lst {
+			prev += d.varint()
+			lst[k] = prev
+		}
+		lists[i] = lst
+	}
+	return lists, nil
+}

@@ -1,0 +1,128 @@
+package mtmcodec
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dmesh/internal/dm"
+	"dmesh/internal/heightfield"
+	"dmesh/internal/mesh"
+	"dmesh/internal/simplify"
+)
+
+func buildSeq(t testing.TB, size int, name string) *simplify.Sequence {
+	t.Helper()
+	g, err := heightfield.Named(name, size, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := simplify.Run(mesh.FromGrid(g), simplify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+func TestRoundTripExact(t *testing.T) {
+	for _, name := range []string{"highland", "crater"} {
+		seq := buildSeq(t, 17, name)
+		var buf bytes.Buffer
+		if err := Write(&buf, seq); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.BaseVertices != seq.BaseVertices {
+			t.Fatalf("BaseVertices %d vs %d", got.BaseVertices, seq.BaseVertices)
+		}
+		if !reflect.DeepEqual(got.Positions, seq.Positions) {
+			t.Fatal("positions differ")
+		}
+		if !reflect.DeepEqual(got.Collapses, seq.Collapses) {
+			t.Fatal("collapses differ")
+		}
+		if !reflect.DeepEqual(got.Roots, seq.Roots) {
+			t.Fatal("roots differ")
+		}
+		if !reflect.DeepEqual(got.ConnLists, seq.ConnLists) {
+			t.Fatal("connection lists differ")
+		}
+		if !reflect.DeepEqual(got.InitialAdj, seq.InitialAdj) {
+			t.Fatal("initial adjacency differs")
+		}
+	}
+}
+
+func TestDecodedSequenceDrivesThePipeline(t *testing.T) {
+	seq := buildSeq(t, 9, "highland")
+	var buf bytes.Buffer
+	if err := Write(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dm.FromSequence(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dm.BuildStore(ds, dm.StorePools{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	seq := buildSeq(t, 33, "highland")
+	var buf bytes.Buffer
+	if err := Write(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	// A naive encoding: 3 floats/position + 4 ids + float per collapse +
+	// 8 bytes per list entry.
+	naive := len(seq.Positions)*24 + len(seq.Collapses)*40
+	for _, l := range seq.ConnLists {
+		naive += 8 * len(l)
+	}
+	for _, l := range seq.InitialAdj {
+		naive += 8 * len(l)
+	}
+	ratio := float64(naive) / float64(buf.Len())
+	if ratio < 1.5 {
+		t.Fatalf("compression ratio %.2f (compact %d vs naive %d) — expected at least 1.5x", ratio, buf.Len(), naive)
+	}
+	t.Logf("compression: %d -> %d bytes (%.1fx)", naive, buf.Len(), ratio)
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("MTM1"),                 // truncated after magic
+		[]byte("MTM1\x00\x00\x00\x00"), // not valid flate
+	}
+	for i, src := range cases {
+		if _, err := Read(bytes.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	seq := buildSeq(t, 9, "crater")
+	var buf bytes.Buffer
+	if err := Write(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Cuts near the very end may leave a complete logical payload (only
+	// the flate trailer is lost), so test mid-stream truncations.
+	for _, cut := range []int{len(data) / 4, len(data) / 2, 3 * len(data) / 4} {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}

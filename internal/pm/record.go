@@ -1,0 +1,64 @@
+package pm
+
+import (
+	"encoding/binary"
+	"math"
+
+	"dmesh/internal/geom"
+)
+
+// RecordSize is the fixed on-disk size of a PM node record: the paper's
+// (ID, x, y, z, e, parent, child1, child2, wing1, wing2) tuple plus the
+// normalized LOD interval and footprint MBR. Child geometry is NOT
+// embedded: materializing a frontier point requires fetching its own
+// record, the per-node retrieval the paper charges to MTM traversal.
+const RecordSize = 8 + // ID
+	24 + // Pos
+	8 + 8 + 8 + // ERaw, ELow, EHigh
+	8*5 + // Parent, Child1, Child2, Wing1, Wing2
+	32 // MBR
+
+// EncodeRecord serializes n into buf (len >= RecordSize).
+func EncodeRecord(n *Node, buf []byte) {
+	le := binary.LittleEndian
+	off := 0
+	putI := func(v int64) { le.PutUint64(buf[off:], uint64(v)); off += 8 }
+	putF := func(v float64) { le.PutUint64(buf[off:], math.Float64bits(v)); off += 8 }
+	putI(n.ID)
+	putF(n.Pos.X)
+	putF(n.Pos.Y)
+	putF(n.Pos.Z)
+	putF(n.ERaw)
+	putF(n.ELow)
+	putF(n.EHigh)
+	putI(n.Parent)
+	putI(n.Child1)
+	putI(n.Child2)
+	putI(n.Wing1)
+	putI(n.Wing2)
+	putF(n.MBR.MinX)
+	putF(n.MBR.MinY)
+	putF(n.MBR.MaxX)
+	putF(n.MBR.MaxY)
+}
+
+// DecodeRecord deserializes a node from buf.
+func DecodeRecord(buf []byte) Node {
+	le := binary.LittleEndian
+	off := 0
+	getI := func() int64 { v := int64(le.Uint64(buf[off:])); off += 8; return v }
+	getF := func() float64 { v := math.Float64frombits(le.Uint64(buf[off:])); off += 8; return v }
+	var n Node
+	n.ID = getI()
+	n.Pos = geom.Point3{X: getF(), Y: getF(), Z: getF()}
+	n.ERaw = getF()
+	n.ELow = getF()
+	n.EHigh = getF()
+	n.Parent = getI()
+	n.Child1 = getI()
+	n.Child2 = getI()
+	n.Wing1 = getI()
+	n.Wing2 = getI()
+	n.MBR = geom.Rect{MinX: getF(), MinY: getF(), MaxX: getF(), MaxY: getF()}
+	return n
+}

@@ -1,0 +1,333 @@
+package pm
+
+import (
+	"fmt"
+	"sort"
+
+	"dmesh/internal/geom"
+	"dmesh/internal/simplify"
+)
+
+// Refiner replays the collapse hierarchy backward with wing-based vertex
+// splits — the literal reconstruction process of Section 2 of the paper:
+// "Knowing that v4 and v7 are the wing points of v9 makes it possible to
+// reverse the collapse". Starting from a base approximation, Split(m)
+// replaces point m with its children, connects them to each other and to
+// the wings, and redistributes m's other neighbors between the children.
+//
+// The redistribution is topological: m's neighbors form a fan (a path for
+// boundary points, a cycle for interior ones) in the link graph of the
+// current mesh; the wings cut that fan into the two children's sub-fans.
+// Only the binary choice of which sub-fan belongs to which child is
+// geometric (total proximity). This is how a Progressive Mesh recovers
+// connectivity without connection lists; Direct Mesh exists to avoid
+// having to run this traversal against the database.
+type Refiner struct {
+	t   *Tree
+	adj map[int64]map[int64]struct{}
+	// exact, when set, holds the recorded child1-side neighbor partition
+	// per splitting node (Hoppe-style vsplit annotations); splits are then
+	// exact instead of geometric.
+	exact map[int64]map[int64]bool
+}
+
+// NewRefiner starts at the coarsest approximation: the roots, with no
+// edges between them. The redistribution rule is unreliable at the
+// degenerate top of the hierarchy — Hoppe's original PM ships a base mesh
+// M0 for this reason — so callers wanting faithful meshes should seed a
+// base approximation with NewRefinerFromBase.
+func NewRefiner(t *Tree) *Refiner {
+	r := &Refiner{t: t, adj: make(map[int64]map[int64]struct{}, len(t.Roots))}
+	for _, root := range t.Roots {
+		r.adj[root] = make(map[int64]struct{})
+	}
+	return r
+}
+
+// NewRefinerFromBase starts from a known base approximation: the live
+// points and their adjacency (for example a uniform cut produced by a
+// Direct Mesh query, or Hoppe's stored base mesh M0). Further Split calls
+// refine below the base.
+func NewRefinerFromBase(t *Tree, adjacency map[int64][]int64) *Refiner {
+	r := &Refiner{t: t, adj: make(map[int64]map[int64]struct{}, len(adjacency))}
+	for v, ns := range adjacency {
+		set := make(map[int64]struct{}, len(ns))
+		for _, u := range ns {
+			set[u] = struct{}{}
+		}
+		r.adj[v] = set
+	}
+	return r
+}
+
+// UseExactPartitions equips the refiner with the recorded collapse-time
+// neighbor partitions (simplify.Collapse.Child1Adj) — the information
+// Hoppe's vsplit records carry — making every Split exact on replayed
+// states.
+func (r *Refiner) UseExactPartitions(seq *simplify.Sequence) {
+	r.exact = make(map[int64]map[int64]bool, len(seq.Collapses))
+	for _, c := range seq.Collapses {
+		set := make(map[int64]bool, len(c.Child1Adj))
+		for _, id := range c.Child1Adj {
+			set[id] = true
+		}
+		r.exact[c.New] = set
+	}
+}
+
+// Live reports whether point id is in the current approximation.
+func (r *Refiner) Live(id int64) bool {
+	_, ok := r.adj[id]
+	return ok
+}
+
+// Adjacency returns the current approximation's sorted neighbor lists.
+func (r *Refiner) Adjacency() map[int64][]int64 {
+	out := make(map[int64][]int64, len(r.adj))
+	for v, set := range r.adj {
+		lst := make([]int64, 0, len(set))
+		for u := range set {
+			lst = append(lst, u)
+		}
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		out[v] = lst
+	}
+	return out
+}
+
+// Split reverses the collapse that created m.
+func (r *Refiner) Split(m int64) error {
+	n := &r.t.Nodes[m]
+	if n.IsLeaf() {
+		return fmt.Errorf("pm: cannot split leaf %d", m)
+	}
+	nbrs, ok := r.adj[m]
+	if !ok {
+		return fmt.Errorf("pm: split of %d, which is not in the approximation", m)
+	}
+	c1, c2 := n.Child1, n.Child2
+
+	link := func(a, b int64) {
+		r.adj[a][b] = struct{}{}
+		r.adj[b][a] = struct{}{}
+	}
+	r.adj[c1] = make(map[int64]struct{}, len(nbrs)/2+3)
+	r.adj[c2] = make(map[int64]struct{}, len(nbrs)/2+3)
+
+	assign := func(nb int64, toC1 bool) {
+		delete(r.adj[nb], m)
+		switch nb {
+		case n.Wing1, n.Wing2:
+			link(c1, nb)
+			link(c2, nb)
+		default:
+			if toC1 {
+				link(c1, nb)
+			} else {
+				link(c2, nb)
+			}
+		}
+	}
+
+	p1 := r.t.Nodes[c1].Pos.XY()
+	p2 := r.t.Nodes[c2].Pos.XY()
+
+	// Exact mode: the recorded partition decides directly.
+	if c1Side, ok := r.exact[m]; ok {
+		for nb := range nbrs {
+			assign(nb, c1Side[nb])
+		}
+		delete(r.adj, m)
+		link(c1, c2)
+		return nil
+	}
+
+	arcA, arcB, ok := r.fanArcs(n, nbrs)
+	if !ok {
+		// Degenerate link (or no wings): assign each neighbor by
+		// proximity. Typical only near the top of the hierarchy.
+		for nb := range nbrs {
+			q := r.t.Nodes[nb].Pos.XY()
+			assign(nb, q.Dist(p1) <= q.Dist(p2))
+		}
+		delete(r.adj, m)
+		link(c1, c2)
+		return nil
+	}
+
+	// The only geometric decision left: which sub-fan belongs to which
+	// child. Total proximity of each pairing decides.
+	sum := func(ids []int64, p geom.Point2) float64 {
+		var s float64
+		for _, id := range ids {
+			s += r.t.Nodes[id].Pos.XY().Dist(p)
+		}
+		return s
+	}
+	aToC1 := sum(arcA, p1)+sum(arcB, p2) <= sum(arcA, p2)+sum(arcB, p1)
+	for _, nb := range arcA {
+		assign(nb, aToC1)
+	}
+	for _, nb := range arcB {
+		assign(nb, !aToC1)
+	}
+	if n.Wing1 != None {
+		assign(n.Wing1, true)
+	}
+	if n.Wing2 != None {
+		assign(n.Wing2, true)
+	}
+	delete(r.adj, m)
+	link(c1, c2)
+	return nil
+}
+
+// fanArcs orders m's neighbors topologically (walking the link graph: the
+// current mesh edges between m's neighbors) and cuts the fan at the wings
+// into the two children's arcs (wings excluded). ok is false when the
+// link is not a simple path or cycle, or the wings cannot cut it.
+func (r *Refiner) fanArcs(n *Node, nbrs map[int64]struct{}) (arcA, arcB []int64, ok bool) {
+	if n.Wing1 == None && n.Wing2 == None {
+		return nil, nil, false
+	}
+	// Link degrees within the neighbor set.
+	deg := make(map[int64]int, len(nbrs))
+	for u := range nbrs {
+		for v := range r.adj[u] {
+			if _, in := nbrs[v]; in {
+				deg[u]++
+			}
+		}
+	}
+	var endpoints []int64
+	for u := range nbrs {
+		switch {
+		case deg[u] > 2:
+			return nil, nil, false // non-manifold link
+		case deg[u] <= 1:
+			endpoints = append(endpoints, u)
+		}
+	}
+	var order []int64
+	switch len(endpoints) {
+	case 0: // cycle: start at a wing for a deterministic walk
+		start := n.Wing1
+		if start == None {
+			start = n.Wing2
+		}
+		if _, in := nbrs[start]; !in {
+			return nil, nil, false
+		}
+		order = r.walkLink(nbrs, start)
+	case 2: // path: start at the smaller endpoint
+		s := endpoints[0]
+		if endpoints[1] < s {
+			s = endpoints[1]
+		}
+		order = r.walkLink(nbrs, s)
+	default:
+		return nil, nil, false // disconnected link
+	}
+	if len(order) != len(nbrs) {
+		return nil, nil, false
+	}
+
+	w1 := indexOf64(order, n.Wing1)
+	w2 := indexOf64(order, n.Wing2)
+	switch {
+	case w1 >= 0 && w2 >= 0:
+		if w1 > w2 {
+			w1, w2 = w2, w1
+		}
+		// Between the wings -> one child; the rest -> the other. For a
+		// cycle this is the standard two-arc cut; for a path (boundary
+		// point with an interior split edge) the middle run is the
+		// interior child's fan and the outer runs the boundary child's.
+		for i, id := range order {
+			if i == w1 || i == w2 {
+				continue
+			}
+			if i > w1 && i < w2 {
+				arcA = append(arcA, id)
+			} else {
+				arcB = append(arcB, id)
+			}
+		}
+		return arcA, arcB, true
+	case (w1 >= 0) != (w2 >= 0):
+		if len(endpoints) != 2 {
+			return nil, nil, false // one wing cannot cut a cycle
+		}
+		w := w1
+		if w < 0 {
+			w = w2
+		}
+		for i, id := range order {
+			if i == w {
+				continue
+			}
+			if i < w {
+				arcA = append(arcA, id)
+			} else {
+				arcB = append(arcB, id)
+			}
+		}
+		return arcA, arcB, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// walkLink traverses the link graph from start, visiting each neighbor of
+// the splitting point once.
+func (r *Refiner) walkLink(nbrs map[int64]struct{}, start int64) []int64 {
+	order := []int64{start}
+	visited := map[int64]bool{start: true}
+	cur := start
+	for {
+		next := int64(-1)
+		for v := range r.adj[cur] {
+			if _, in := nbrs[v]; in && !visited[v] {
+				if next == -1 || v < next {
+					next = v
+				}
+			}
+		}
+		if next == -1 {
+			return order
+		}
+		visited[next] = true
+		order = append(order, next)
+		cur = next
+	}
+}
+
+func indexOf64(order []int64, id int64) int {
+	if id == None {
+		return -1
+	}
+	for i, v := range order {
+		if v == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// RefineToLOD splits every live point whose LOD exceeds e, in descending
+// LOD order (monotone errors make node-ID order the split schedule).
+func (r *Refiner) RefineToLOD(e float64) error {
+	for id := int64(len(r.t.Nodes)) - 1; id >= 0; id-- {
+		if !r.Live(id) {
+			continue
+		}
+		n := &r.t.Nodes[id]
+		if n.IsLeaf() || n.ELow <= e {
+			continue
+		}
+		if err := r.Split(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package pm
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestExactStepwiseReplay splits in exact reverse collapse order with
+// recorded partitions, checking full adjacency equality after EVERY step.
+func TestExactStepwiseReplay(t *testing.T) {
+	tree, seq := buildTreeNamed(t, 9, "highland")
+	r := NewRefiner(tree)
+	r.UseExactPartitions(seq)
+	// Split in exact reverse collapse order, checking after each step.
+	for k := len(seq.Collapses) - 1; k >= 0; k-- {
+		m := seq.Collapses[k].New
+		if !r.Live(m) {
+			t.Fatalf("node %d not live before its split", m)
+		}
+		if err := r.Split(m); err != nil {
+			t.Fatal(err)
+		}
+		want, err := seq.AdjacencyAtStep(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := r.Adjacency()
+		if len(got) != len(want) {
+			t.Fatalf("step %d: %d live, want %d", k, len(got), len(want))
+		}
+		for v, ns := range want {
+			if !reflect.DeepEqual(got[v], ns) {
+				n := &tree.Nodes[m]
+				fmt.Printf("first divergence after splitting %d (wings %d,%d children %d,%d)\n",
+					m, n.Wing1, n.Wing2, n.Child1, n.Child2)
+				fmt.Printf("  point %d: got %v want %v\n", v, got[v], ns)
+				prev, _ := seq.AdjacencyAtStep(k + 1)
+				fmt.Printf("  m's neighbors before split: %v\n", prev[m])
+				t.Fatalf("diverged at step %d", k)
+			}
+		}
+	}
+}

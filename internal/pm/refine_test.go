@@ -1,0 +1,183 @@
+package pm
+
+import (
+	"testing"
+
+	"dmesh/internal/heightfield"
+	"dmesh/internal/mesh"
+	"dmesh/internal/simplify"
+)
+
+// mismatchFraction compares a refined adjacency against replay ground
+// truth and returns the fraction of points with wrong neighbor sets.
+func mismatchFraction(got, want map[int64][]int64) float64 {
+	mismatched := 0
+	for v, ns := range want {
+		gs := got[v]
+		ok := len(gs) == len(ns)
+		if ok {
+			for i := range ns {
+				if gs[i] != ns[i] {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			mismatched++
+		}
+	}
+	return float64(mismatched) / float64(len(want))
+}
+
+// With the recorded vsplit partitions (Hoppe's annotations), refinement
+// from the 1-point top reproduces the replayed mesh EXACTLY at every LOD.
+func TestExactRefineMatchesReplay(t *testing.T) {
+	for _, name := range []string{"highland", "crater"} {
+		tree, seq := buildTreeNamed(t, 9, name)
+		for _, pct := range []float64{0, 0.25, 0.5, 0.75, 0.95} {
+			var e float64
+			if pct > 0 {
+				e = eAtPercentile(tree, pct)
+			}
+			r := NewRefiner(tree)
+			r.UseExactPartitions(seq)
+			if err := r.RefineToLOD(e); err != nil {
+				t.Fatal(err)
+			}
+			got := r.Adjacency()
+			want, err := seq.AdjacencyAtStep(seq.StepForLOD(e))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s e=%g: %d live points, replay has %d", name, e, len(got), len(want))
+			}
+			if frac := mismatchFraction(got, want); frac != 0 {
+				t.Fatalf("%s e=%g: %.1f%% of points have wrong neighbors with exact partitions",
+					name, e, frac*100)
+			}
+		}
+	}
+}
+
+// With only the paper's minimal node tuple (wings, no partition
+// annotations) the redistribution must fall back to geometric heuristics,
+// and errors cascade: this test DOCUMENTS that insufficiency — the reason
+// Hoppe's vsplit records carry face annotations, and the structural
+// reason Direct Mesh reconstructs from connection lists instead of
+// replaying splits. The refiner still always produces a well-formed
+// adjacency (correct live set, symmetric edges).
+func TestMinimalRecordIsInsufficient(t *testing.T) {
+	tree, seq := buildTreeNamed(t, 17, "highland")
+	baseStep := seq.StepForLOD(eAtPercentile(tree, 0.95))
+	baseAdj, err := seq.AdjacencyAtStep(baseStep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := eAtPercentile(tree, 0.5)
+	r := NewRefinerFromBase(tree, baseAdj)
+	if err := r.RefineToLOD(e); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Adjacency()
+	want, err := seq.AdjacencyAtStep(seq.StepForLOD(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The live set is always exact (it depends only on the split
+	// schedule, not the redistribution).
+	if len(got) != len(want) {
+		t.Fatalf("live set %d, want %d", len(got), len(want))
+	}
+	for v := range want {
+		if _, ok := got[v]; !ok {
+			t.Fatalf("live point %d missing", v)
+		}
+	}
+	// Edges stay symmetric regardless of heuristic choices.
+	for v, ns := range got {
+		for _, u := range ns {
+			found := false
+			for _, w := range got[u] {
+				if w == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("asymmetric edge (%d,%d)", v, u)
+			}
+		}
+	}
+	frac := mismatchFraction(got, want)
+	t.Logf("wings-only refinement mismatch: %.1f%% of %d points (exact mode: 0%%)", frac*100, len(want))
+	if frac == 0 {
+		t.Log("note: wings-only refinement was exact here; the guarantee still requires annotations")
+	}
+}
+
+func TestRefinerSplitErrors(t *testing.T) {
+	tree, _ := buildTree(t, 6)
+	r := NewRefiner(tree)
+	// Splitting a point not in the approximation fails.
+	if err := r.Split(0); err == nil {
+		t.Fatal("split of non-live point must fail")
+	}
+	// Refine all the way down, then splitting a leaf fails.
+	full := NewRefiner(tree)
+	if err := full.RefineToLOD(0); err != nil {
+		t.Fatal(err)
+	}
+	var leaf int64 = -1
+	for id := range full.adj {
+		if tree.Nodes[id].IsLeaf() {
+			leaf = id
+			break
+		}
+	}
+	if leaf == -1 {
+		t.Fatal("no live leaf after full refinement")
+	}
+	if err := full.Split(leaf); err == nil {
+		t.Fatal("split of a leaf must fail")
+	}
+}
+
+func TestRefineProgression(t *testing.T) {
+	tree, _ := buildTree(t, 8)
+	prev := -1
+	for _, pct := range []float64{0.9, 0.6, 0.3, 0} {
+		var e float64
+		if pct > 0 {
+			e = eAtPercentile(tree, pct)
+		}
+		r := NewRefiner(tree)
+		if err := r.RefineToLOD(e); err != nil {
+			t.Fatal(err)
+		}
+		n := len(r.Adjacency())
+		if prev >= 0 && n < prev {
+			t.Fatalf("refinement lost points: %d -> %d", prev, n)
+		}
+		prev = n
+	}
+}
+
+// buildTreeNamed is buildTree with a dataset choice.
+func buildTreeNamed(t testing.TB, size int, name string) (*Tree, *simplify.Sequence) {
+	t.Helper()
+	g, err := heightfield.Named(name, size, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := simplify.Run(mesh.FromGrid(g), simplify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := FromSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, seq
+}

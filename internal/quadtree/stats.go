@@ -1,0 +1,76 @@
+package quadtree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dmesh/internal/storage/pager"
+)
+
+// TreeStats summarizes the structure of a built tree.
+type TreeStats struct {
+	InnerNodes int
+	LeafPages  int // includes chained overflow leaves
+	MaxDepth   int
+	// Records is the total record count across leaves (equals Len()).
+	Records int
+	// AvgLeafFill is the mean records per leaf page relative to capacity.
+	AvgLeafFill float64
+}
+
+// Stats walks the tree and returns its structural statistics.
+func (t *Tree) Stats() (TreeStats, error) {
+	var st TreeStats
+	if t.count == 0 {
+		return st, nil
+	}
+	if err := t.stats(t.root, 1, &st); err != nil {
+		return st, err
+	}
+	if st.LeafPages > 0 {
+		st.AvgLeafFill = float64(st.Records) / float64(st.LeafPages*t.perLeaf())
+	}
+	return st, nil
+}
+
+func (t *Tree) stats(id pager.PageID, depth int, st *TreeStats) error {
+	for id != 0 {
+		fr, err := t.p.Get(id)
+		if err != nil {
+			return err
+		}
+		d := fr.Data()
+		if depth > st.MaxDepth {
+			st.MaxDepth = depth
+		}
+		switch d[0] {
+		case leafType:
+			st.LeafPages++
+			st.Records += int(binary.LittleEndian.Uint16(d[1:]))
+			next := pager.PageID(binary.LittleEndian.Uint32(d[3:]))
+			fr.Unpin()
+			id = next
+		case innerType:
+			st.InnerNodes++
+			var children [8]pager.PageID
+			for o := 0; o < 8; o++ {
+				children[o] = pager.PageID(binary.LittleEndian.Uint32(d[innerHeader+24+o*4:]))
+			}
+			fr.Unpin()
+			for _, c := range children {
+				if c == 0 {
+					continue
+				}
+				if err := t.stats(c, depth+1, st); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			typ := d[0]
+			fr.Unpin()
+			return fmt.Errorf("quadtree: page %d has bad type %d", id, typ)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+// Package render rasterizes terrain meshes to images (orthographic top-
+// down with hillshading, PPM output) and measures approximation quality
+// by comparing a rasterized mesh against the original heightfield. It is
+// the visualization end of the pipeline the paper's introduction motivates
+// and the instrument behind the LOD-vs-error validation tests.
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"dmesh/internal/geom"
+	"dmesh/internal/heightfield"
+)
+
+// Raster is a rendered terrain: a height buffer over the unit square plus
+// a coverage mask.
+type Raster struct {
+	W, H    int
+	Z       []float64 // row-major heights
+	Covered []bool    // false where no triangle covered the pixel
+}
+
+// NewRaster allocates an empty raster.
+func NewRaster(w, h int) *Raster {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("render: invalid raster size %dx%d", w, h))
+	}
+	return &Raster{W: w, H: h, Z: make([]float64, w*h), Covered: make([]bool, w*h)}
+}
+
+// Mesh rasterizes the triangles (vertices in the unit square) into a
+// w x h raster, interpolating heights barycentrically. Later triangles do
+// not overwrite earlier ones at equal coverage (terrain meshes do not
+// overlap in (x, y), so order is immaterial).
+func Mesh(vertices map[int64]geom.Point3, tris []geom.Triangle, w, h int) *Raster {
+	r := NewRaster(w, h)
+	for _, t := range tris {
+		a, okA := vertices[t.A]
+		b, okB := vertices[t.B]
+		c, okC := vertices[t.C]
+		if !okA || !okB || !okC {
+			continue
+		}
+		r.fillTriangle(a, b, c)
+	}
+	return r
+}
+
+// Grid rasterizes a heightfield directly (the reference image).
+func Grid(g *heightfield.Grid, w, h int) *Raster {
+	r := NewRaster(w, h)
+	for j := 0; j < h; j++ {
+		for i := 0; i < w; i++ {
+			x := (float64(i) + 0.5) / float64(w)
+			y := (float64(j) + 0.5) / float64(h)
+			r.Z[j*w+i] = g.HeightAt(x, y)
+			r.Covered[j*w+i] = true
+		}
+	}
+	return r
+}
+
+// fillTriangle rasterizes one triangle with barycentric interpolation.
+func (r *Raster) fillTriangle(a, b, c geom.Point3) {
+	ax, ay := a.X*float64(r.W), a.Y*float64(r.H)
+	bx, by := b.X*float64(r.W), b.Y*float64(r.H)
+	cx, cy := c.X*float64(r.W), c.Y*float64(r.H)
+	minX := int(math.Floor(math.Min(ax, math.Min(bx, cx))))
+	maxX := int(math.Ceil(math.Max(ax, math.Max(bx, cx))))
+	minY := int(math.Floor(math.Min(ay, math.Min(by, cy))))
+	maxY := int(math.Ceil(math.Max(ay, math.Max(by, cy))))
+	if minX < 0 {
+		minX = 0
+	}
+	if minY < 0 {
+		minY = 0
+	}
+	if maxX > r.W-1 {
+		maxX = r.W - 1
+	}
+	if maxY > r.H-1 {
+		maxY = r.H - 1
+	}
+	area := (bx-ax)*(cy-ay) - (by-ay)*(cx-ax)
+	if area == 0 {
+		return
+	}
+	for j := minY; j <= maxY; j++ {
+		for i := minX; i <= maxX; i++ {
+			px, py := float64(i)+0.5, float64(j)+0.5
+			w0 := ((bx-px)*(cy-py) - (by-py)*(cx-px)) / area
+			w1 := ((cx-px)*(ay-py) - (cy-py)*(ax-px)) / area
+			w2 := 1 - w0 - w1
+			const eps = -1e-9
+			if w0 < eps || w1 < eps || w2 < eps {
+				continue
+			}
+			idx := j*r.W + i
+			r.Z[idx] = w0*a.Z + w1*b.Z + w2*c.Z
+			r.Covered[idx] = true
+		}
+	}
+}
+
+// Coverage returns the fraction of pixels covered by at least one
+// triangle.
+func (r *Raster) Coverage() float64 {
+	n := 0
+	for _, c := range r.Covered {
+		if c {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Covered))
+}
+
+// Quality summarizes the height error of a rasterized approximation
+// against a reference raster over their mutually covered pixels.
+type Quality struct {
+	RMS      float64 // root mean squared height error
+	Max      float64 // largest absolute height error
+	Compared int     // pixels compared
+}
+
+// Compare measures r against the reference (same dimensions required).
+func Compare(r, ref *Raster) (Quality, error) {
+	if r.W != ref.W || r.H != ref.H {
+		return Quality{}, fmt.Errorf("render: size mismatch %dx%d vs %dx%d", r.W, r.H, ref.W, ref.H)
+	}
+	var q Quality
+	var sq float64
+	for i := range r.Z {
+		if !r.Covered[i] || !ref.Covered[i] {
+			continue
+		}
+		d := math.Abs(r.Z[i] - ref.Z[i])
+		sq += d * d
+		if d > q.Max {
+			q.Max = d
+		}
+		q.Compared++
+	}
+	if q.Compared > 0 {
+		q.RMS = math.Sqrt(sq / float64(q.Compared))
+	}
+	return q, nil
+}
+
+// WritePPM writes the raster as a hillshaded binary PPM image: slopes
+// facing the northwest light render bright, uncovered pixels render as
+// deep blue.
+func (r *Raster) WritePPM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", r.W, r.H); err != nil {
+		return err
+	}
+	// Height range for the color ramp.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, z := range r.Z {
+		if !r.Covered[i] {
+			continue
+		}
+		lo = math.Min(lo, z)
+		hi = math.Max(hi, z)
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	// The light comes from the northwest, elevated 45 degrees.
+	lx, ly, lz := -math.Sqrt(1.0/3), -math.Sqrt(1.0/3), math.Sqrt(1.0/3)
+	// Vertical exaggeration for legible shading on unit-square terrain.
+	const zScale = 2.0
+	pix := make([]byte, 3)
+	for j := 0; j < r.H; j++ {
+		for i := 0; i < r.W; i++ {
+			idx := j*r.W + i
+			if !r.Covered[idx] {
+				pix[0], pix[1], pix[2] = 8, 16, 64
+				if _, err := bw.Write(pix); err != nil {
+					return err
+				}
+				continue
+			}
+			// Central-difference normal from the height buffer.
+			zl := r.sample(i-1, j, idx)
+			zr := r.sample(i+1, j, idx)
+			zu := r.sample(i, j-1, idx)
+			zd := r.sample(i, j+1, idx)
+			dx := (zr - zl) * zScale * float64(r.W) / 2
+			dy := (zd - zu) * zScale * float64(r.H) / 2
+			nl := math.Sqrt(dx*dx + dy*dy + 1)
+			shade := (-dx*lx - dy*ly + lz) / nl
+			if shade < 0 {
+				shade = 0
+			}
+			if shade > 1 {
+				shade = 1
+			}
+			t := (r.Z[idx] - lo) / span
+			// Hypsometric ramp: green lowlands to rocky highlands, shaded.
+			cr := (90 + 150*t) * (0.35 + 0.65*shade)
+			cg := (120 + 90*t) * (0.35 + 0.65*shade)
+			cb := (70 + 110*t) * (0.35 + 0.65*shade)
+			pix[0], pix[1], pix[2] = clampByte(cr), clampByte(cg), clampByte(cb)
+			if _, err := bw.Write(pix); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// sample returns the height at (i, j), falling back to the center pixel
+// off the raster or over uncovered ground.
+func (r *Raster) sample(i, j, fallback int) float64 {
+	if i < 0 || i >= r.W || j < 0 || j >= r.H {
+		return r.Z[fallback]
+	}
+	idx := j*r.W + i
+	if !r.Covered[idx] {
+		return r.Z[fallback]
+	}
+	return r.Z[idx]
+}
+
+func clampByte(v float64) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}

@@ -1,0 +1,207 @@
+package render
+
+import (
+	"bytes"
+	"testing"
+
+	"dmesh/internal/dm"
+	"dmesh/internal/geom"
+	"dmesh/internal/heightfield"
+	"dmesh/internal/mesh"
+	"dmesh/internal/simplify"
+)
+
+func TestNewRasterPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRaster(0, 10)
+}
+
+func TestGridRasterCoversEverything(t *testing.T) {
+	g := heightfield.Highland(17, 1)
+	r := Grid(g, 32, 32)
+	if r.Coverage() != 1 {
+		t.Fatalf("grid raster coverage = %g", r.Coverage())
+	}
+}
+
+func TestSingleTriangleRaster(t *testing.T) {
+	verts := map[int64]geom.Point3{
+		0: {X: 0, Y: 0, Z: 1},
+		1: {X: 1, Y: 0, Z: 1},
+		2: {X: 0, Y: 1, Z: 1},
+	}
+	r := Mesh(verts, []geom.Triangle{{A: 0, B: 1, C: 2}}, 64, 64)
+	cov := r.Coverage()
+	// The triangle is half the square.
+	if cov < 0.45 || cov > 0.55 {
+		t.Fatalf("coverage = %g, want ~0.5", cov)
+	}
+	for i, covd := range r.Covered {
+		if covd && r.Z[i] != 1 {
+			t.Fatalf("flat triangle interpolated height %g", r.Z[i])
+		}
+	}
+}
+
+func TestBarycentricInterpolation(t *testing.T) {
+	verts := map[int64]geom.Point3{
+		0: {X: 0, Y: 0, Z: 0},
+		1: {X: 1, Y: 0, Z: 1},
+		2: {X: 0, Y: 1, Z: 0},
+		3: {X: 1, Y: 1, Z: 1},
+	}
+	tris := []geom.Triangle{{A: 0, B: 1, C: 2}, {A: 1, B: 3, C: 2}}
+	r := Mesh(verts, tris, 64, 64)
+	// Height must equal x everywhere (the plane z = x).
+	for j := 0; j < r.H; j++ {
+		for i := 0; i < r.W; i++ {
+			idx := j*r.W + i
+			if !r.Covered[idx] {
+				continue
+			}
+			x := (float64(i) + 0.5) / float64(r.W)
+			if d := r.Z[idx] - x; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("pixel (%d,%d): z=%g want %g", i, j, r.Z[idx], x)
+			}
+		}
+	}
+}
+
+func TestMeshSkipsMissingVertices(t *testing.T) {
+	verts := map[int64]geom.Point3{0: {}, 1: {X: 1}}
+	r := Mesh(verts, []geom.Triangle{{A: 0, B: 1, C: 99}}, 16, 16)
+	if r.Coverage() != 0 {
+		t.Fatal("triangle with missing vertex must be skipped")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	g := heightfield.Crater(33, 2)
+	ref := Grid(g, 48, 48)
+	same, err := Compare(ref, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.RMS != 0 || same.Max != 0 || same.Compared != 48*48 {
+		t.Fatalf("self comparison: %+v", same)
+	}
+	other := NewRaster(24, 24)
+	if _, err := Compare(ref, other); err == nil {
+		t.Fatal("size mismatch must error")
+	}
+}
+
+// The end-to-end semantic test: coarser LODs must measure larger height
+// error against the original terrain, and full resolution must measure
+// (near) zero.
+func TestLODErrorMonotone(t *testing.T) {
+	g := heightfield.Highland(33, 5)
+	m := mesh.FromGrid(g)
+	seq, err := simplify.Run(m, simplify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dm.FromSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := dm.BuildStore(ds, dm.StorePools{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := Grid(g, 64, 64)
+	full := geom.Rect{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2}
+
+	var lods []float64
+	for i := range ds.Tree.Nodes {
+		if !ds.Tree.Nodes[i].IsLeaf() {
+			lods = append(lods, ds.Tree.Nodes[i].ELow)
+		}
+	}
+	// Percentile positions, coarse to fine.
+	pick := func(p float64) float64 {
+		sorted := append([]float64(nil), lods...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		return sorted[int(p*float64(len(sorted)-1))]
+	}
+
+	var prevRMS float64 = -1
+	for _, e := range []float64{pick(0.99), pick(0.8), pick(0.4), 0} {
+		res, err := store.ViewpointIndependent(full, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Mesh(res.Vertices, res.Triangles, 64, 64)
+		q, err := Compare(r, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Compared == 0 {
+			t.Fatal("nothing compared")
+		}
+		if prevRMS >= 0 && q.RMS > prevRMS+1e-9 {
+			t.Fatalf("finer LOD e=%g has larger RMS error (%g > %g)", e, q.RMS, prevRMS)
+		}
+		prevRMS = q.RMS
+	}
+	// Full resolution reproduces the sampled terrain up to the difference
+	// between the reference's bilinear cell interpolation and the mesh's
+	// linear triangles (~1% of relief on rugged 33x33 terrain).
+	if prevRMS > 0.02 {
+		t.Fatalf("full-resolution RMS error %g too large", prevRMS)
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	g := heightfield.Crater(33, 3)
+	r := Grid(g, 40, 30)
+	var buf bytes.Buffer
+	if err := r.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	wantHeader := "P6\n40 30\n255\n"
+	if string(out[:len(wantHeader)]) != wantHeader {
+		t.Fatalf("bad header: %q", out[:16])
+	}
+	if len(out) != len(wantHeader)+40*30*3 {
+		t.Fatalf("PPM size %d, want %d", len(out), len(wantHeader)+40*30*3)
+	}
+}
+
+func TestWritePPMUncoveredPixels(t *testing.T) {
+	r := NewRaster(4, 4) // nothing covered
+	var buf bytes.Buffer
+	if err := r.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// All pixels must be the deep-blue background.
+	data := buf.Bytes()[len("P6\n4 4\n255\n"):]
+	for i := 0; i < len(data); i += 3 {
+		if data[i] != 8 || data[i+1] != 16 || data[i+2] != 64 {
+			t.Fatalf("uncovered pixel %d rendered as %v", i/3, data[i:i+3])
+		}
+	}
+}
+
+func BenchmarkRasterize(b *testing.B) {
+	g := heightfield.Highland(65, 5)
+	m := mesh.FromGrid(g)
+	verts := make(map[int64]geom.Point3, len(m.Positions))
+	for i, p := range m.Positions {
+		verts[int64(i)] = p
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mesh(verts, m.Tris, 256, 256)
+	}
+}

@@ -1,0 +1,125 @@
+package rtree
+
+import (
+	"fmt"
+
+	"dmesh/internal/geom"
+	"dmesh/internal/storage/pager"
+)
+
+// Delete removes one data entry matching box and ref, reporting whether it
+// was found. Removal follows Guttman's CondenseTree: underfull nodes are
+// dissolved, every data entry in their subtrees is reinserted, and a root
+// left with a single child is shortened.
+func (t *Tree) Delete(box geom.Box, ref int64) (bool, error) {
+	path, idx, err := t.findLeaf(t.root, t.height, box, ref)
+	if err != nil || path == nil {
+		return false, err
+	}
+	leaf := path[len(path)-1]
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+
+	// Condense: walk up, dissolving underfull non-root nodes and
+	// collecting the data entries of their subtrees for reinsertion.
+	var orphanData []entry
+	for i := len(path) - 1; i >= 1; i-- {
+		n := path[i]
+		parent := path[i-1]
+		level := t.height - i
+		if len(n.entries) < MinEntries {
+			pi := parentEntryIndex(parent, n.id)
+			parent.entries = append(parent.entries[:pi], parent.entries[pi+1:]...)
+			data, err := t.collectData(n.entries, level)
+			if err != nil {
+				return false, err
+			}
+			orphanData = append(orphanData, data...)
+			// The node page is abandoned (no free list in this store; the
+			// space is reclaimed on the next bulk rebuild).
+			continue
+		}
+		if err := t.writeNode(n); err != nil {
+			return false, err
+		}
+		t.adjustParentBox(path, i)
+	}
+	if err := t.writeNode(path[0]); err != nil {
+		return false, err
+	}
+
+	// Shorten the tree while the root is an inner node with one child.
+	for t.height > 1 {
+		r, err := t.readNode(t.root)
+		if err != nil {
+			return false, err
+		}
+		if r.leaf || len(r.entries) != 1 {
+			break
+		}
+		t.root = pager.PageID(r.entries[0].ref)
+		t.height--
+	}
+
+	t.count -= int64(1 + len(orphanData))
+	if err := t.syncMeta(); err != nil {
+		return false, err
+	}
+	// Reinsert the orphaned data entries.
+	for _, e := range orphanData {
+		if err := t.Insert(e.box, e.ref); err != nil {
+			return false, fmt.Errorf("rtree: reinsert after delete: %w", err)
+		}
+	}
+	return true, nil
+}
+
+// collectData flattens entries of a node at the given level (1 = leaf)
+// into the data entries of their subtrees.
+func (t *Tree) collectData(entries []entry, level int) ([]entry, error) {
+	if level == 1 {
+		return append([]entry(nil), entries...), nil
+	}
+	var out []entry
+	for _, e := range entries {
+		n, err := t.readNode(pager.PageID(e.ref))
+		if err != nil {
+			return nil, err
+		}
+		sub, err := t.collectData(n.entries, level-1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sub...)
+	}
+	return out, nil
+}
+
+// findLeaf locates the leaf containing (box, ref), returning the node path
+// and the entry index, or a nil path when absent.
+func (t *Tree) findLeaf(id pager.PageID, level int, box geom.Box, ref int64) ([]*node, int, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.ref == ref && e.box == box {
+				return []*node{n}, i, nil
+			}
+		}
+		return nil, 0, nil
+	}
+	for _, e := range n.entries {
+		if !e.box.Contains(box) {
+			continue
+		}
+		path, idx, err := t.findLeaf(pager.PageID(e.ref), level-1, box, ref)
+		if err != nil {
+			return nil, 0, err
+		}
+		if path != nil {
+			return append([]*node{n}, path...), idx, nil
+		}
+	}
+	return nil, 0, nil
+}

@@ -1,0 +1,181 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmesh/internal/geom"
+	"dmesh/internal/storage/pager"
+)
+
+func TestDeleteMissing(t *testing.T) {
+	tr, _ := newTree(t, 64)
+	if err := tr.Insert(geom.VerticalSegment(0.5, 0.5, 0, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := tr.Delete(geom.VerticalSegment(0.5, 0.5, 0, 1), 99)
+	if err != nil || ok {
+		t.Fatalf("Delete(wrong ref) = %v, %v", ok, err)
+	}
+	ok, err = tr.Delete(geom.VerticalSegment(0.1, 0.1, 0, 1), 1)
+	if err != nil || ok {
+		t.Fatalf("Delete(wrong box) = %v, %v", ok, err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after failed deletes", tr.Len())
+	}
+}
+
+func TestDeleteSimple(t *testing.T) {
+	tr, _ := newTree(t, 64)
+	items := []Item{}
+	for i := 0; i < 50; i++ {
+		it := Item{Box: geom.VerticalSegment(float64(i)/50, 0.5, 0, 1), Ref: int64(i)}
+		items = append(items, it)
+		if err := tr.Insert(it.Box, it.Ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := tr.Delete(items[25].Box, items[25].Ref)
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if tr.Len() != 49 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, tr, geom.Box{MaxX: 1, MaxY: 1, MaxE: 1})
+	if len(got) != 49 {
+		t.Fatalf("search returned %d", len(got))
+	}
+	for _, ref := range got {
+		if ref == 25 {
+			t.Fatal("deleted ref still returned")
+		}
+	}
+}
+
+// TestDeleteManyAgainstBruteForce interleaves random inserts and deletes,
+// checking the tree against a model after each phase.
+func TestDeleteManyAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tr, _ := newTree(t, 2048)
+	live := map[int64]Item{}
+	nextRef := int64(0)
+	for round := 0; round < 6; round++ {
+		// Insert a batch.
+		for i := 0; i < 700; i++ {
+			it := Item{Box: randBox(rng, 0.01), Ref: nextRef}
+			nextRef++
+			live[it.Ref] = it
+			if err := tr.Insert(it.Box, it.Ref); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Delete a random third of what is live.
+		var refs []int64
+		for r := range live {
+			refs = append(refs, r)
+		}
+		rng.Shuffle(len(refs), func(i, j int) { refs[i], refs[j] = refs[j], refs[i] })
+		for _, r := range refs[:len(refs)/3] {
+			it := live[r]
+			ok, err := tr.Delete(it.Box, it.Ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("round %d: live item %d not found", round, r)
+			}
+			delete(live, r)
+		}
+		if tr.Len() != int64(len(live)) {
+			t.Fatalf("round %d: Len = %d, model %d", round, tr.Len(), len(live))
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		// Spot queries agree with the model.
+		var items []Item
+		for _, it := range live {
+			items = append(items, it)
+		}
+		for q := 0; q < 5; q++ {
+			box := randBox(rng, 0.2)
+			if got, want := collect(t, tr, box), bruteForce(items, box); !equalIDs(got, want) {
+				t.Fatalf("round %d query %d: got %d want %d", round, q, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestDeleteEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	tr, _ := newTree(t, 512)
+	var items []Item
+	for i := 0; i < 800; i++ {
+		it := Item{Box: randBox(rng, 0.02), Ref: int64(i)}
+		items = append(items, it)
+		if err := tr.Insert(it.Box, it.Ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+	for i, it := range items {
+		ok, err := tr.Delete(it.Box, it.Ref)
+		if err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+		if !ok {
+			t.Fatalf("delete %d: item missing", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tr.Len())
+	}
+	if got := collect(t, tr, geom.Box{MaxX: 1, MaxY: 1, MaxE: 1}); len(got) != 0 {
+		t.Fatalf("empty tree returned %d items", len(got))
+	}
+	// The tree stays usable.
+	if err := tr.Insert(geom.VerticalSegment(0.5, 0.5, 0, 1), 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, tr, geom.Box{MaxX: 1, MaxY: 1, MaxE: 1}); len(got) != 1 {
+		t.Fatalf("reinsert after drain returned %d", len(got))
+	}
+}
+
+func TestDeletePersists(t *testing.T) {
+	p := pager.New(pager.NewMemBackend(), 256)
+	tr, err := Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(37))
+	var items []Item
+	for i := 0; i < 300; i++ {
+		it := Item{Box: randBox(rng, 0.02), Ref: int64(i)}
+		items = append(items, it)
+		tr.Insert(it.Box, it.Ref)
+	}
+	for _, it := range items[:100] {
+		if ok, err := tr.Delete(it.Box, it.Ref); err != nil || !ok {
+			t.Fatal(ok, err)
+		}
+	}
+	if err := p.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != 200 {
+		t.Fatalf("reopened Len = %d", tr2.Len())
+	}
+	if got := collect(t, tr2, geom.Box{MaxX: 1, MaxY: 1, MaxE: 1}); len(got) != 200 {
+		t.Fatalf("reopened search returned %d", len(got))
+	}
+}

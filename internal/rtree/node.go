@@ -1,0 +1,145 @@
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dmesh/internal/geom"
+	"dmesh/internal/storage/pager"
+)
+
+// On-page node layout:
+//
+//	byte 0:    node type (leaf/inner)
+//	bytes 1-2: entry count (uint16)
+//	bytes 3-7: reserved
+//	entries:   6 float64 box bounds + int64 ref = 56 bytes each
+//
+// Fanout: (4096-8)/56 = 73 entries per node, in line with the node sizes
+// R*-tree papers assume for 4 KiB pages.
+const (
+	nodeHeader = 8
+	entryBytes = 56
+	leafType   = 1
+	innerType  = 2
+
+	// MaxEntries keeps one slot spare so a node can temporarily hold
+	// MaxEntries+1 entries between insert and split/reinsert.
+	MaxEntries = (pager.PageSize-nodeHeader)/entryBytes - 1
+	// MinEntries is the R*-tree minimum fill (40% of capacity).
+	MinEntries = MaxEntries * 2 / 5
+	// reinsertCount is the number of entries re-inserted on first overflow
+	// (30% of capacity, the p parameter of Beckmann et al.).
+	reinsertCount = MaxEntries * 3 / 10
+)
+
+// entry is one slot of a node: a box plus either a child page ID (inner
+// nodes) or a caller-supplied data reference (leaf nodes).
+type entry struct {
+	box geom.Box
+	ref int64
+}
+
+// node is the in-memory form of one R*-tree page.
+type node struct {
+	id      pager.PageID
+	leaf    bool
+	entries []entry
+}
+
+func (n *node) mbr() geom.Box {
+	b := n.entries[0].box
+	for _, e := range n.entries[1:] {
+		b = b.Union(e.box)
+	}
+	return b
+}
+
+// readNode loads a node page. Every call is a (possibly buffered) page
+// access, which is exactly how index I/O is charged in the paper.
+func (t *Tree) readNode(id pager.PageID) (*node, error) {
+	fr, err := t.p.Get(id)
+	if err != nil {
+		return nil, fmt.Errorf("rtree: read node %d: %w", id, err)
+	}
+	defer fr.Unpin()
+	d := fr.Data()
+	typ := d[0]
+	if typ != leafType && typ != innerType {
+		return nil, fmt.Errorf("rtree: page %d is not a node (type %d)", id, typ)
+	}
+	cnt := int(binary.LittleEndian.Uint16(d[1:]))
+	if cnt > MaxEntries+1 {
+		return nil, fmt.Errorf("rtree: page %d has corrupt count %d", id, cnt)
+	}
+	n := &node{id: id, leaf: typ == leafType, entries: make([]entry, cnt)}
+	off := nodeHeader
+	for i := 0; i < cnt; i++ {
+		n.entries[i] = decodeEntry(d[off:])
+		off += entryBytes
+	}
+	return n, nil
+}
+
+// writeNode stores a node to its page.
+func (t *Tree) writeNode(n *node) error {
+	fr, err := t.p.Get(n.id)
+	if err != nil {
+		return fmt.Errorf("rtree: write node %d: %w", n.id, err)
+	}
+	defer fr.Unpin()
+	t.encodeNode(fr.Data(), n)
+	fr.MarkDirty()
+	return nil
+}
+
+// allocNode allocates a fresh page for n and assigns its ID.
+func (t *Tree) allocNode(n *node) error {
+	fr, err := t.p.Allocate()
+	if err != nil {
+		return fmt.Errorf("rtree: alloc node: %w", err)
+	}
+	defer fr.Unpin()
+	n.id = fr.ID()
+	t.encodeNode(fr.Data(), n)
+	return nil
+}
+
+func (t *Tree) encodeNode(d []byte, n *node) {
+	typ := byte(innerType)
+	if n.leaf {
+		typ = leafType
+	}
+	d[0] = typ
+	binary.LittleEndian.PutUint16(d[1:], uint16(len(n.entries)))
+	off := nodeHeader
+	for _, e := range n.entries {
+		encodeEntry(d[off:], e)
+		off += entryBytes
+	}
+}
+
+func encodeEntry(d []byte, e entry) {
+	binary.LittleEndian.PutUint64(d[0:], math.Float64bits(e.box.MinX))
+	binary.LittleEndian.PutUint64(d[8:], math.Float64bits(e.box.MinY))
+	binary.LittleEndian.PutUint64(d[16:], math.Float64bits(e.box.MinE))
+	binary.LittleEndian.PutUint64(d[24:], math.Float64bits(e.box.MaxX))
+	binary.LittleEndian.PutUint64(d[32:], math.Float64bits(e.box.MaxY))
+	binary.LittleEndian.PutUint64(d[40:], math.Float64bits(e.box.MaxE))
+	binary.LittleEndian.PutUint64(d[48:], uint64(e.ref))
+}
+
+func decodeEntry(d []byte) entry {
+	return entry{
+		box: geom.Box{
+			MinX: math.Float64frombits(binary.LittleEndian.Uint64(d[0:])),
+			MinY: math.Float64frombits(binary.LittleEndian.Uint64(d[8:])),
+			MinE: math.Float64frombits(binary.LittleEndian.Uint64(d[16:])),
+			MaxX: math.Float64frombits(binary.LittleEndian.Uint64(d[24:])),
+			MaxY: math.Float64frombits(binary.LittleEndian.Uint64(d[32:])),
+			MaxE: math.Float64frombits(binary.LittleEndian.Uint64(d[40:])),
+		},
+		ref: int64(binary.LittleEndian.Uint64(d[48:])),
+	}
+}

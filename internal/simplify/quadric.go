@@ -1,0 +1,153 @@
+package simplify
+
+import (
+	"math"
+
+	"dmesh/internal/geom"
+)
+
+// Quadric is the symmetric 4x4 error quadric of Garland & Heckbert,
+// "Surface Simplification Using Quadric Error Metrics" (SIGGRAPH'97) — the
+// preprocessing the paper applies to both datasets. Q(v) = v' A v + 2 b'v + c
+// measures the sum of squared distances from v to a set of planes.
+type Quadric struct {
+	// Upper triangle of the symmetric 3x3 part A.
+	A00, A01, A02, A11, A12, A22 float64
+	// Linear part b and constant c.
+	B0, B1, B2, C float64
+	// W is the accumulated plane weight, so Eval(v)/W is the weighted
+	// mean squared distance of v to the quadric's planes and
+	// sqrt(Eval(v)/W) an RMS distance in terrain units.
+	W float64
+}
+
+// PlaneQuadric returns the quadric of the plane with unit normal (a, b, c)
+// and offset d (ax + by + cz + d = 0), scaled by weight w.
+func PlaneQuadric(a, b, c, d, w float64) Quadric {
+	return Quadric{
+		A00: w * a * a, A01: w * a * b, A02: w * a * c,
+		A11: w * b * b, A12: w * b * c,
+		A22: w * c * c,
+		B0:  w * a * d, B1: w * b * d, B2: w * c * d,
+		C: w * d * d,
+		W: w,
+	}
+}
+
+// TriangleQuadric returns the area-weighted quadric of the plane through
+// the triangle (p, q, r). Degenerate triangles contribute a zero quadric.
+func TriangleQuadric(p, q, r geom.Point3) Quadric {
+	n := q.Sub(p).Cross(r.Sub(p))
+	area2 := n.Norm() // twice the area
+	if area2 == 0 {
+		return Quadric{}
+	}
+	n = n.Scale(1 / area2)
+	d := -n.Dot(p)
+	return PlaneQuadric(n.X, n.Y, n.Z, d, area2/2)
+}
+
+// BoundaryQuadric returns a quadric penalizing movement away from the
+// boundary edge (p, q): the plane through the edge, perpendicular to the
+// face whose normal is fn, weighted by w. This is the standard boundary-
+// preservation constraint that stops terrain borders from eroding.
+func BoundaryQuadric(p, q, fn geom.Point3, w float64) Quadric {
+	e := q.Sub(p)
+	n := e.Cross(fn)
+	l := n.Norm()
+	if l == 0 {
+		return Quadric{}
+	}
+	n = n.Scale(1 / l)
+	d := -n.Dot(p)
+	return PlaneQuadric(n.X, n.Y, n.Z, d, w)
+}
+
+// Add accumulates o into q.
+func (q *Quadric) Add(o Quadric) {
+	q.A00 += o.A00
+	q.A01 += o.A01
+	q.A02 += o.A02
+	q.A11 += o.A11
+	q.A12 += o.A12
+	q.A22 += o.A22
+	q.B0 += o.B0
+	q.B1 += o.B1
+	q.B2 += o.B2
+	q.C += o.C
+	q.W += o.W
+}
+
+// Plus returns q + o.
+func (q Quadric) Plus(o Quadric) Quadric {
+	q.Add(o)
+	return q
+}
+
+// RMS returns the weighted root-mean-square distance from v to the
+// quadric's planes — a distance in terrain units, the form approximation
+// errors are recorded in (Section 2 of the paper measures LOD as a
+// distance, e.g. "the vertical distance from that point to the terrain
+// surface").
+func (q Quadric) RMS(v geom.Point3) float64 {
+	if q.W <= 0 {
+		return 0
+	}
+	return math.Sqrt(q.Eval(v) / q.W)
+}
+
+// Eval returns the quadric error at point v (clamped at zero: tiny negative
+// values can appear from floating-point cancellation).
+func (q Quadric) Eval(v geom.Point3) float64 {
+	e := q.A00*v.X*v.X + q.A11*v.Y*v.Y + q.A22*v.Z*v.Z +
+		2*(q.A01*v.X*v.Y+q.A02*v.X*v.Z+q.A12*v.Y*v.Z) +
+		2*(q.B0*v.X+q.B1*v.Y+q.B2*v.Z) + q.C
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// Minimize returns the point minimizing the quadric error, solving
+// A v = -b by Gaussian elimination. ok is false when A is (near) singular,
+// in which case the caller should fall back to candidate positions.
+func (q Quadric) Minimize() (v geom.Point3, ok bool) {
+	m := [3][4]float64{
+		{q.A00, q.A01, q.A02, -q.B0},
+		{q.A01, q.A11, q.A12, -q.B1},
+		{q.A02, q.A12, q.A22, -q.B2},
+	}
+	const eps = 1e-12
+	for col := 0; col < 3; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < eps {
+			return geom.Point3{}, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c < 4; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	v = geom.Point3{
+		X: m[0][3] / m[0][0],
+		Y: m[1][3] / m[1][1],
+		Z: m[2][3] / m[2][2],
+	}
+	if math.IsNaN(v.X) || math.IsNaN(v.Y) || math.IsNaN(v.Z) ||
+		math.IsInf(v.X, 0) || math.IsInf(v.Y, 0) || math.IsInf(v.Z, 0) {
+		return geom.Point3{}, false
+	}
+	return v, true
+}

@@ -1,0 +1,133 @@
+package simplify
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dmesh/internal/geom"
+)
+
+func TestPlaneQuadricDistance(t *testing.T) {
+	// Quadric of the plane z = 0: error at (x, y, z) must be z^2.
+	q := PlaneQuadric(0, 0, 1, 0, 1)
+	cases := []struct {
+		p    geom.Point3
+		want float64
+	}{
+		{geom.Point3{X: 1, Y: 2, Z: 0}, 0},
+		{geom.Point3{X: 0, Y: 0, Z: 3}, 9},
+		{geom.Point3{X: -5, Y: 7, Z: -2}, 4},
+	}
+	for _, c := range cases {
+		if got := q.Eval(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Eval(%v) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPlaneQuadricWeight(t *testing.T) {
+	q1 := PlaneQuadric(0, 0, 1, 0, 1)
+	q5 := PlaneQuadric(0, 0, 1, 0, 5)
+	p := geom.Point3{Z: 2}
+	if got, want := q5.Eval(p), 5*q1.Eval(p); math.Abs(got-want) > 1e-12 {
+		t.Errorf("weighted eval = %g, want %g", got, want)
+	}
+}
+
+func TestTriangleQuadricZeroOnPlane(t *testing.T) {
+	a := geom.Point3{X: 0, Y: 0, Z: 1}
+	b := geom.Point3{X: 1, Y: 0, Z: 1}
+	c := geom.Point3{X: 0, Y: 1, Z: 1}
+	q := TriangleQuadric(a, b, c)
+	// Any point on the plane z=1 has zero error.
+	for _, p := range []geom.Point3{a, b, c, {X: 0.3, Y: 0.3, Z: 1}} {
+		if got := q.Eval(p); got > 1e-12 {
+			t.Errorf("on-plane error = %g", got)
+		}
+	}
+	// Area-weighted: distance 1 off the plane gives error = area.
+	if got := q.Eval(geom.Point3{Z: 2}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("off-plane error = %g, want 0.5 (the area)", got)
+	}
+}
+
+func TestTriangleQuadricDegenerate(t *testing.T) {
+	p := geom.Point3{X: 1, Y: 1, Z: 1}
+	q := TriangleQuadric(p, p, p)
+	if q != (Quadric{}) {
+		t.Errorf("degenerate triangle must give the zero quadric, got %+v", q)
+	}
+}
+
+func TestQuadricAdditivity(t *testing.T) {
+	qa := PlaneQuadric(0, 0, 1, 0, 1)
+	qb := PlaneQuadric(1, 0, 0, -1, 1) // plane x = 1
+	sum := qa.Plus(qb)
+	p := geom.Point3{X: 3, Y: 0, Z: 2}
+	if got, want := sum.Eval(p), qa.Eval(p)+qb.Eval(p); math.Abs(got-want) > 1e-12 {
+		t.Errorf("sum eval = %g, want %g", got, want)
+	}
+}
+
+func TestMinimizeFindsPlaneIntersection(t *testing.T) {
+	// Three orthogonal planes meeting at (1, 2, 3).
+	q := PlaneQuadric(1, 0, 0, -1, 1)
+	q.Add(PlaneQuadric(0, 1, 0, -2, 1))
+	q.Add(PlaneQuadric(0, 0, 1, -3, 1))
+	v, ok := q.Minimize()
+	if !ok {
+		t.Fatal("Minimize reported singular for a full-rank system")
+	}
+	want := geom.Point3{X: 1, Y: 2, Z: 3}
+	if v.Dist(want) > 1e-9 {
+		t.Fatalf("Minimize = %v, want %v", v, want)
+	}
+	if e := q.Eval(v); e > 1e-12 {
+		t.Errorf("error at minimum = %g", e)
+	}
+}
+
+func TestMinimizeSingular(t *testing.T) {
+	// A single plane: the minimizing point is not unique.
+	q := PlaneQuadric(0, 0, 1, 0, 1)
+	if _, ok := q.Minimize(); ok {
+		t.Error("Minimize must report singular for one plane")
+	}
+	if _, ok := (Quadric{}).Minimize(); ok {
+		t.Error("Minimize must report singular for the zero quadric")
+	}
+}
+
+func TestEvalNeverNegative(t *testing.T) {
+	f := func(a, b, c, d, x, y, z float64) bool {
+		n := math.Sqrt(a*a + b*b + c*c)
+		if n == 0 || math.IsNaN(n) || math.IsInf(n, 0) {
+			return true
+		}
+		q := PlaneQuadric(a/n, b/n, c/n, d, 1)
+		return q.Eval(geom.Point3{X: x, Y: y, Z: z}) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundaryQuadricPenalizesPerpendicularMotion(t *testing.T) {
+	// Boundary edge along the x axis, face normal +z: the constraint plane
+	// is y = 0, so moving in y is penalized, moving in x or z is free.
+	p := geom.Point3{}
+	q := geom.Point3{X: 1}
+	fn := geom.Point3{Z: 1}
+	bq := BoundaryQuadric(p, q, fn, 1)
+	if e := bq.Eval(geom.Point3{X: 5, Z: 9}); e > 1e-12 {
+		t.Errorf("in-plane motion penalized: %g", e)
+	}
+	if e := bq.Eval(geom.Point3{Y: 2}); math.Abs(e-4) > 1e-9 {
+		t.Errorf("perpendicular motion error = %g, want 4", e)
+	}
+	// Degenerate edge gives zero quadric.
+	if got := BoundaryQuadric(p, p, fn, 1); got != (Quadric{}) {
+		t.Error("degenerate boundary edge must give zero quadric")
+	}
+}

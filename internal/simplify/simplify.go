@@ -1,0 +1,633 @@
+// Package simplify builds a multiresolution collapse sequence from a full-
+// resolution terrain mesh by greedy edge collapse, following the paper's
+// preprocessing: both evaluation datasets are simplified with Quadric Error
+// Metrics (Garland & Heckbert). The vertical-distance error measure
+// mentioned in Section 2 of the paper is available as an alternative.
+//
+// Each collapse replaces two points (child1, child2) with one newly
+// generated point, records the two wing points (the points connected to
+// both children at collapse time), and assigns the new point an
+// approximation error. The resulting Sequence is exactly the information a
+// progressive-mesh (PM) binary tree encodes, and is consumed by both
+// internal/pm and internal/dm.
+//
+// While collapsing, the engine also gathers every vertex's lifetime
+// neighbors: the set of points it is connected to in any approximation
+// along the collapse sequence. These are the "connection points with a
+// similar LOD" of Section 4 of the paper and become Direct Mesh connection
+// lists. Gathering them here costs O(total collapse degree), whereas
+// recovering them afterwards would require replaying the sequence.
+package simplify
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"dmesh/internal/geom"
+	"dmesh/internal/mesh"
+)
+
+// Metric selects the error measure driving collapse ordering.
+type Metric int
+
+const (
+	// QEM is the Garland-Heckbert quadric error metric (the paper's choice).
+	QEM Metric = iota
+	// VerticalDistance approximates error as the largest vertical distance
+	// from the removed points to the generated point, the simple measure
+	// sketched in Section 2 of the paper.
+	VerticalDistance
+)
+
+// Options configure the simplifier. The zero value is valid: QEM with the
+// default boundary weight.
+type Options struct {
+	Metric Metric
+	// BoundaryWeight scales the boundary-preservation quadrics; 0 means the
+	// default (100).
+	BoundaryWeight float64
+}
+
+// NoWing marks an absent wing point.
+const NoWing int64 = -1
+
+// Collapse records one edge collapse: Child1 and Child2 merge into the new
+// point New located at Pos with approximation error Err. Wing1 and Wing2
+// are the points connected to both children when the collapse happened
+// (NoWing when absent, e.g. on the terrain boundary).
+//
+// Child1Adj lists Child1's neighbors at collapse time (excluding Child2),
+// sorted ascending — the explicit neighbor partition a vertex split needs
+// to reverse this collapse exactly. Hoppe's Progressive Mesh records the
+// equivalent information as face references in its vsplit records; the
+// paper's minimal (wings-only) node tuple omits it, which is why the
+// wings-only refinement mode in internal/pm is approximate.
+type Collapse struct {
+	New       int64
+	Child1    int64
+	Child2    int64
+	Wing1     int64
+	Wing2     int64
+	Pos       geom.Point3
+	Err       float64
+	Child1Adj []int64
+}
+
+// Sequence is a complete collapse history of a mesh: the PM construction
+// order from the full-resolution mesh (step 0) to the coarsest
+// approximation. Vertex IDs index Positions; IDs below BaseVertices are
+// original mesh points, the rest are generated, in collapse order:
+// collapse k creates vertex BaseVertices+k.
+type Sequence struct {
+	BaseVertices int
+	Positions    []geom.Point3
+	Collapses    []Collapse
+	// Roots are the vertices alive after the last collapse (a single
+	// element when the mesh collapses to one point, several when the link
+	// condition stops simplification early).
+	Roots []int64
+	// ConnLists[v] lists every vertex v was ever connected to while alive,
+	// sorted ascending: the Direct Mesh similar-LOD connection list.
+	ConnLists [][]int64
+	// InitialAdj is the adjacency of the full-resolution mesh, used to
+	// replay the sequence (testing and PM refinement ground truth).
+	InitialAdj [][]int64
+}
+
+// NumVertices returns the total number of vertex IDs (originals plus
+// generated points).
+func (s *Sequence) NumVertices() int { return len(s.Positions) }
+
+// edgeKey canonicalizes an undirected edge.
+func edgeKey(a, b int64) [2]int64 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int64{a, b}
+}
+
+type candidate struct {
+	err  float64
+	u, v int64
+	pos  geom.Point3
+}
+
+type candHeap []candidate
+
+func (h candHeap) Len() int { return len(h) }
+
+// Less orders by error with a total (u, v) tie-break so that simplification
+// is fully deterministic regardless of map iteration order.
+func (h candHeap) Less(i, j int) bool {
+	if h[i].err != h[j].err {
+		return h[i].err < h[j].err
+	}
+	if h[i].u != h[j].u {
+		return h[i].u < h[j].u
+	}
+	return h[i].v < h[j].v
+}
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// Run simplifies m all the way down (or until no collapse satisfies the
+// link condition) and returns the collapse sequence. The input mesh is not
+// modified.
+func Run(m *mesh.Mesh, opts Options) (*Sequence, error) {
+	if err := m.CheckManifold(); err != nil {
+		return nil, fmt.Errorf("simplify: input mesh invalid: %w", err)
+	}
+	if opts.BoundaryWeight == 0 {
+		opts.BoundaryWeight = 100
+	}
+
+	base := len(m.Positions)
+	seq := &Sequence{
+		BaseVertices: base,
+		Positions:    append([]geom.Point3(nil), m.Positions...),
+	}
+
+	// Live adjacency sets, indexed by vertex ID; nil = dead or unused.
+	adj := make([]map[int64]struct{}, base, 2*base)
+	for _, t := range m.Tris {
+		link := func(a, b int64) {
+			if adj[a] == nil {
+				adj[a] = make(map[int64]struct{}, 8)
+			}
+			adj[a][b] = struct{}{}
+		}
+		link(t.A, t.B)
+		link(t.B, t.A)
+		link(t.B, t.C)
+		link(t.C, t.B)
+		link(t.A, t.C)
+		link(t.C, t.A)
+	}
+
+	// Record the full-resolution adjacency for replay and seed the
+	// connection lists with it.
+	seq.InitialAdj = make([][]int64, base)
+	seq.ConnLists = make([][]int64, base, 2*base)
+	for v := range adj {
+		if adj[v] == nil {
+			continue
+		}
+		lst := make([]int64, 0, len(adj[v]))
+		for u := range adj[v] {
+			lst = append(lst, u)
+		}
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		seq.InitialAdj[v] = lst
+		seq.ConnLists[v] = append([]int64(nil), lst...)
+	}
+
+	// Per-vertex quadrics from triangle planes plus boundary constraints.
+	quadrics := make([]Quadric, base, 2*base)
+	for _, t := range m.Tris {
+		q := TriangleQuadric(m.Positions[t.A], m.Positions[t.B], m.Positions[t.C])
+		quadrics[t.A].Add(q)
+		quadrics[t.B].Add(q)
+		quadrics[t.C].Add(q)
+	}
+	// Boundary edges get perpendicular penalty planes.
+	edgeTris := make(map[[2]int64]geom.Triangle)
+	edgeUse := m.Edges()
+	for _, t := range m.Tris {
+		for _, e := range [][2]int64{edgeKey(t.A, t.B), edgeKey(t.B, t.C), edgeKey(t.A, t.C)} {
+			if edgeUse[e] == 1 {
+				edgeTris[e] = t
+			}
+		}
+	}
+	// Accumulate in sorted edge order: float addition is not associative,
+	// so map-iteration order would make the whole sequence nondeterministic.
+	boundary := make([][2]int64, 0)
+	for e, c := range edgeUse {
+		if c == 1 {
+			boundary = append(boundary, e)
+		}
+	}
+	sort.Slice(boundary, func(i, j int) bool {
+		if boundary[i][0] != boundary[j][0] {
+			return boundary[i][0] < boundary[j][0]
+		}
+		return boundary[i][1] < boundary[j][1]
+	})
+	for _, e := range boundary {
+		t := edgeTris[e]
+		pa, pb, pc := m.Positions[t.A], m.Positions[t.B], m.Positions[t.C]
+		fn := pb.Sub(pa).Cross(pc.Sub(pa))
+		q := BoundaryQuadric(m.Positions[e[0]], m.Positions[e[1]], fn, opts.BoundaryWeight)
+		quadrics[e[0]].Add(q)
+		quadrics[e[1]].Add(q)
+	}
+
+	alive := make([]bool, base, 2*base)
+	liveCount := 0
+	for v := range adj {
+		if adj[v] != nil {
+			alive[v] = true
+			liveCount++
+		}
+	}
+
+	// evaluate returns the collapse target and error for edge (u, v).
+	evaluate := func(u, v int64) (geom.Point3, float64) {
+		pu, pv := seq.Positions[u], seq.Positions[v]
+		switch opts.Metric {
+		case VerticalDistance:
+			pos := pu.Add(pv).Scale(0.5)
+			du := absF(pu.Z - pos.Z)
+			dv := absF(pv.Z - pos.Z)
+			if dv > du {
+				du = dv
+			}
+			return pos, du
+		default: // QEM
+			q := quadrics[u].Plus(quadrics[v])
+			if pos, ok := q.Minimize(); ok {
+				// Near-singular systems can place the optimum arbitrarily
+				// far away (flat regions make the 3x3 system
+				// ill-conditioned). For a terrain height field the merged
+				// point should stay between its children in (x, y); accept
+				// the optimum only when it does (with a small margin), else
+				// fall back to the best candidate below.
+				margin := 0.25*pu.XY().Dist(pv.XY()) + 1e-9
+				loX, hiX := minMax(pu.X, pv.X)
+				loY, hiY := minMax(pu.Y, pv.Y)
+				if pos.X >= loX-margin && pos.X <= hiX+margin &&
+					pos.Y >= loY-margin && pos.Y <= hiY+margin {
+					return pos, q.RMS(pos)
+				}
+			}
+			// Singular system: best of the endpoints and the midpoint.
+			mid := pu.Add(pv).Scale(0.5)
+			best, bestErr := mid, q.RMS(mid)
+			if e := q.RMS(pu); e < bestErr {
+				best, bestErr = pu, e
+			}
+			if e := q.RMS(pv); e < bestErr {
+				best, bestErr = pv, e
+			}
+			return best, bestErr
+		}
+	}
+
+	h := &candHeap{}
+	pushed := make(map[[2]int64]bool)
+	pushEdge := func(u, v int64) {
+		k := edgeKey(u, v)
+		if pushed[k] {
+			return
+		}
+		pushed[k] = true
+		pos, err := evaluate(u, v)
+		heap.Push(h, candidate{err: err, u: k[0], v: k[1], pos: pos})
+	}
+	for v := range adj {
+		if adj[v] == nil {
+			continue
+		}
+		for u := range adj[v] {
+			if int64(v) < u {
+				pushEdge(int64(v), u)
+			}
+		}
+	}
+
+	// Edges skipped because of the link condition wait here keyed by edge;
+	// they are retried when a later collapse changes a nearby neighborhood.
+	deferred := make(map[[2]int64]candidate)
+
+	// Recorded errors are clamped to be non-decreasing along the collapse
+	// sequence (the monotone error bound standard in view-dependent LOD,
+	// cf. Hoppe '98 / Lindstrom-Pascucci). With monotone errors the
+	// normalized LOD intervals of Section 4 of the paper align exactly
+	// with collapse-sequence states: the approximation at LOD e equals the
+	// mesh after the first k collapses with error <= e, which makes
+	// connection-list reconstruction provably exact for uniform-LOD cuts.
+	lastErr := 0.0
+
+	appendConn := func(v, n int64) {
+		seq.ConnLists[v] = append(seq.ConnLists[v], n)
+	}
+
+	for liveCount > 1 && (h.Len() > 0 || len(deferred) > 0) {
+		if h.Len() == 0 {
+			// Only deferred edges remain; no further progress is possible
+			// because nothing will change their neighborhoods.
+			break
+		}
+		c := heap.Pop(h).(candidate)
+		delete(pushed, edgeKey(c.u, c.v))
+		if !alive[c.u] || !alive[c.v] {
+			continue
+		}
+		if _, ok := adj[c.u][c.v]; !ok {
+			continue
+		}
+
+		// Link condition: the children may share at most two neighbors
+		// (the wings); more would pinch the surface.
+		var wings []int64
+		for n := range adj[c.u] {
+			if _, ok := adj[c.v][n]; ok {
+				wings = append(wings, n)
+			}
+		}
+		if len(wings) > 2 {
+			deferred[edgeKey(c.u, c.v)] = c
+			continue
+		}
+		sort.Slice(wings, func(i, j int) bool { return wings[i] < wings[j] })
+
+		// Create the parent point.
+		w := int64(len(seq.Positions))
+		seq.Positions = append(seq.Positions, c.pos)
+		quadrics = append(quadrics, quadrics[c.u].Plus(quadrics[c.v]))
+		alive = append(alive, true)
+		seq.ConnLists = append(seq.ConnLists, nil)
+
+		// Child1's side of the neighbor partition, recorded before the
+		// adjacency mutates (for exact vertex splits on replay).
+		uAdj := make([]int64, 0, len(adj[c.u]))
+		for n := range adj[c.u] {
+			if n != c.v {
+				uAdj = append(uAdj, n)
+			}
+		}
+		sort.Slice(uAdj, func(i, j int) bool { return uAdj[i] < uAdj[j] })
+		if len(uAdj) == 0 {
+			uAdj = nil // canonical form: absent, not empty (codec round trip)
+		}
+
+		// New neighborhood: union of children's neighbors minus themselves.
+		nbrs := make(map[int64]struct{}, len(adj[c.u])+len(adj[c.v]))
+		for n := range adj[c.u] {
+			if n != c.v {
+				nbrs[n] = struct{}{}
+			}
+		}
+		for n := range adj[c.v] {
+			if n != c.u {
+				nbrs[n] = struct{}{}
+			}
+		}
+		adj = append(adj, nbrs)
+		connW := make([]int64, 0, len(nbrs))
+		for n := range nbrs {
+			delete(adj[n], c.u)
+			delete(adj[n], c.v)
+			adj[n][w] = struct{}{}
+			appendConn(n, w)
+			connW = append(connW, n)
+		}
+		sort.Slice(connW, func(i, j int) bool { return connW[i] < connW[j] })
+		seq.ConnLists[w] = connW
+
+		alive[c.u], alive[c.v] = false, false
+		adj[c.u], adj[c.v] = nil, nil
+		liveCount-- // two die, one is born
+
+		if c.err > lastErr {
+			lastErr = c.err
+		}
+		col := Collapse{
+			New: w, Child1: c.u, Child2: c.v,
+			Wing1: NoWing, Wing2: NoWing,
+			Pos: c.pos, Err: lastErr,
+		}
+		// Capture child1's side of the neighbor partition before the
+		// children die (adj[c.u] was already cleared; reconstruct from
+		// the new vertex's neighbors: n belonged to child1 iff child1 was
+		// in n's pre-collapse adjacency — tracked below via uAdj).
+		col.Child1Adj = uAdj
+		if len(wings) > 0 {
+			col.Wing1 = wings[0]
+		}
+		if len(wings) > 1 {
+			col.Wing2 = wings[1]
+		}
+		seq.Collapses = append(seq.Collapses, col)
+
+		// New candidate edges around w.
+		for n := range nbrs {
+			pushEdge(w, n)
+		}
+		// Retry deferred edges whose neighborhood may have changed.
+		if len(deferred) > 0 {
+			for k, dc := range deferred {
+				if !alive[dc.u] || !alive[dc.v] {
+					delete(deferred, k)
+					continue
+				}
+				_, touchU := nbrs[dc.u]
+				_, touchV := nbrs[dc.v]
+				if touchU || touchV {
+					delete(deferred, k)
+					if !pushed[k] {
+						pushed[k] = true
+						heap.Push(h, dc)
+					}
+				}
+			}
+		}
+	}
+
+	for v := int64(0); v < int64(len(alive)); v++ {
+		if alive[v] {
+			seq.Roots = append(seq.Roots, v)
+		}
+	}
+	sortConnLists(seq.ConnLists)
+	return seq, nil
+}
+
+func sortConnLists(lists [][]int64) {
+	for _, l := range lists {
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+	}
+}
+
+func minMax(a, b float64) (lo, hi float64) {
+	if a <= b {
+		return a, b
+	}
+	return b, a
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// StepForLOD returns the number of leading collapses with error <= e.
+// Because recorded errors are non-decreasing, the mesh after that many
+// collapses is exactly the approximation at LOD e.
+func (s *Sequence) StepForLOD(e float64) int {
+	lo, hi := 0, len(s.Collapses)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.Collapses[mid].Err <= e {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// AdjacencyAtStep replays the first step collapses and returns the live
+// adjacency of the mesh approximation after them, as sorted neighbor lists
+// keyed by vertex ID. step ranges from 0 (full resolution) to
+// len(Collapses). This is the ground truth that Direct Mesh reconstruction
+// is validated against; it is O(mesh) per call and intended for tests and
+// tools, not hot paths.
+func (s *Sequence) AdjacencyAtStep(step int) (map[int64][]int64, error) {
+	if step < 0 || step > len(s.Collapses) {
+		return nil, fmt.Errorf("simplify: step %d out of range [0,%d]", step, len(s.Collapses))
+	}
+	adj := make(map[int64]map[int64]struct{}, s.BaseVertices)
+	for v, ns := range s.InitialAdj {
+		if ns == nil {
+			continue
+		}
+		set := make(map[int64]struct{}, len(ns))
+		for _, u := range ns {
+			set[u] = struct{}{}
+		}
+		adj[int64(v)] = set
+	}
+	for i := 0; i < step; i++ {
+		c := s.Collapses[i]
+		nbrs := make(map[int64]struct{})
+		for n := range adj[c.Child1] {
+			if n != c.Child2 {
+				nbrs[n] = struct{}{}
+			}
+		}
+		for n := range adj[c.Child2] {
+			if n != c.Child1 {
+				nbrs[n] = struct{}{}
+			}
+		}
+		for n := range nbrs {
+			delete(adj[n], c.Child1)
+			delete(adj[n], c.Child2)
+			adj[n][c.New] = struct{}{}
+		}
+		delete(adj, c.Child1)
+		delete(adj, c.Child2)
+		adj[c.New] = nbrs
+	}
+	out := make(map[int64][]int64, len(adj))
+	for v, set := range adj {
+		lst := make([]int64, 0, len(set))
+		for u := range set {
+			lst = append(lst, u)
+		}
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		out[v] = lst
+	}
+	return out, nil
+}
+
+// ConnStats summarizes connection-list sizes, reproducing the in-text
+// numbers of Section 4 of the paper (average similar-LOD connection points
+// vs. average total connection points).
+type ConnStats struct {
+	AvgSimilarLOD    float64 // average ConnLists length
+	MedianSimilarLOD int     // median ConnLists length (the paper reports ~12)
+	MaxSimilarLOD    int
+	AvgTotal         float64 // average count of all possible connection points
+}
+
+// Stats computes connection-list statistics. The "total connection points"
+// of a vertex v follows the paper's recursive rules: every lifetime
+// neighbor, each neighbor's ancestors up to (excluding) the first common
+// ancestor, and each neighbor's descendants — i.e. every point that could
+// connect to v in any approximation. We compute it as the number of
+// distinct vertices u such that u's subtree-lifetime overlaps a neighbor
+// relationship; concretely, for each lifetime neighbor n of v we count n
+// plus all of n's ancestors and descendants, deduplicated.
+func (s *Sequence) Stats() ConnStats {
+	parent := make([]int64, len(s.Positions))
+	children := make([][2]int64, len(s.Positions))
+	for i := range parent {
+		parent[i] = -1
+		children[i] = [2]int64{-1, -1}
+	}
+	for _, c := range s.Collapses {
+		parent[c.Child1] = c.New
+		parent[c.Child2] = c.New
+		children[c.New] = [2]int64{c.Child1, c.Child2}
+	}
+
+	var st ConnStats
+	var totalSim, totalAll int
+	var lengths []int
+	n := 0
+	for v := range s.ConnLists {
+		if s.ConnLists[v] == nil {
+			continue
+		}
+		n++
+		l := len(s.ConnLists[v])
+		totalSim += l
+		lengths = append(lengths, l)
+		if l > st.MaxSimilarLOD {
+			st.MaxSimilarLOD = l
+		}
+		// Ancestors of v, so the walk up from each neighbor stops at the
+		// first common ancestor (rule 1 of Section 4 excludes it and
+		// everything above: those are ancestors of v too, and parent-child
+		// pairs cannot coexist in an approximation).
+		ancV := make(map[int64]struct{})
+		for a := parent[v]; a != -1; a = parent[a] {
+			ancV[a] = struct{}{}
+		}
+		seen := make(map[int64]struct{})
+		for _, nb := range s.ConnLists[v] {
+			// nb itself, its ancestors below the first common ancestor
+			// with v, and its descendants.
+			for a := nb; a != -1; a = parent[a] {
+				if _, common := ancV[a]; common {
+					break
+				}
+				seen[a] = struct{}{}
+			}
+			stack := []int64{nb}
+			for len(stack) > 0 {
+				cur := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				ch := children[cur]
+				for _, c := range ch {
+					if c != -1 {
+						if _, ok := seen[c]; !ok {
+							seen[c] = struct{}{}
+							stack = append(stack, c)
+						}
+					}
+				}
+			}
+		}
+		totalAll += len(seen)
+	}
+	if n > 0 {
+		st.AvgSimilarLOD = float64(totalSim) / float64(n)
+		st.AvgTotal = float64(totalAll) / float64(n)
+		sort.Ints(lengths)
+		st.MedianSimilarLOD = lengths[len(lengths)/2]
+	}
+	return st
+}

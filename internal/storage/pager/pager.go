@@ -1,0 +1,376 @@
+// Package pager implements the page-based storage layer that every disk-
+// resident structure in this repository (heap files, B+-trees, R*-trees,
+// quadtrees, the HDoV tree) is built on.
+//
+// The paper measures query cost as the number of disk accesses reported by
+// Oracle's performance statistics, with the database buffer flushed before
+// each test. This package reproduces that methodology exactly: all
+// structures read and write fixed-size pages through a buffer pool, a
+// buffer-pool miss is one disk access, and DropCache simulates the paper's
+// buffer flush. Absolute numbers therefore carry the same meaning as the
+// paper's y axes.
+package pager
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageSize is the size of every page in bytes (a common DBMS block size;
+// Oracle's default in the 9i era was 4 KiB or 8 KiB).
+const PageSize = 4096
+
+// PageID identifies a page within one backend.
+type PageID uint32
+
+// ErrClosed is returned by operations on a closed pager or backend.
+var ErrClosed = errors.New("pager: closed")
+
+// Backend is the raw page store underneath a Pager.
+type Backend interface {
+	// ReadPage fills buf (len PageSize) with the content of page id.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage stores buf (len PageSize) as the content of page id.
+	WritePage(id PageID, buf []byte) error
+	// Allocate extends the store by one zeroed page and returns its ID.
+	Allocate() (PageID, error)
+	// NumPages returns the number of allocated pages.
+	NumPages() PageID
+	// Sync durably flushes backend state.
+	Sync() error
+	// Close releases backend resources.
+	Close() error
+}
+
+// Stats counts pager activity. Reads is the paper's "number of disk
+// accesses" metric: buffer-pool misses served by the backend.
+type Stats struct {
+	Reads     uint64 // pages read from the backend (disk accesses)
+	Writes    uint64 // pages written to the backend
+	Hits      uint64 // buffer-pool hits
+	Misses    uint64 // buffer-pool misses (== Reads)
+	Evictions uint64 // frames evicted to make room
+}
+
+// Policy selects the buffer pool's replacement policy.
+type Policy int
+
+const (
+	// LRU evicts the least recently used unpinned page (the default).
+	LRU Policy = iota
+	// Clock approximates LRU with a second-chance ring — constant-time
+	// bookkeeping per access, the policy most real buffer managers use.
+	Clock
+)
+
+// frame is one buffered page.
+type frame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+	pins  int
+	elem  *list.Element // position in the LRU list; nil while pinned
+	ref   bool          // Clock: second-chance bit
+	slot  int           // Clock: position in the ring (-1 when absent)
+}
+
+// Pager is an LRU buffer pool over a Backend. It is safe for concurrent
+// use. Frames handed out by Get/Allocate are pinned and will not be
+// evicted until unpinned.
+type Pager struct {
+	mu      sync.Mutex
+	backend Backend
+	cap     int
+	policy  Policy
+	frames  map[PageID]*frame
+	lru     *list.List // LRU: front = most recently used; unpinned frames only
+	ring    []*frame   // Clock: all frames in arrival order
+	hand    int        // Clock: sweep position
+	stats   Stats
+	closed  bool
+}
+
+// New creates an LRU pager over backend with capacity for capPages
+// buffered pages (minimum 4).
+func New(backend Backend, capPages int) *Pager {
+	return NewWithPolicy(backend, capPages, LRU)
+}
+
+// NewWithPolicy creates a pager with an explicit replacement policy.
+func NewWithPolicy(backend Backend, capPages int, policy Policy) *Pager {
+	if capPages < 4 {
+		capPages = 4
+	}
+	return &Pager{
+		backend: backend,
+		cap:     capPages,
+		policy:  policy,
+		frames:  make(map[PageID]*frame, capPages),
+		lru:     list.New(),
+	}
+}
+
+// Frame is a pinned page. Callers must Unpin it when done and call
+// MarkDirty before Unpin if they modified Data.
+type Frame struct {
+	p *Pager
+	f *frame
+}
+
+// ID returns the page ID.
+func (fr *Frame) ID() PageID { return fr.f.id }
+
+// Data returns the page content. The slice is valid until Unpin.
+func (fr *Frame) Data() []byte { return fr.f.data }
+
+// MarkDirty records that the page content was modified.
+func (fr *Frame) MarkDirty() {
+	fr.p.mu.Lock()
+	fr.f.dirty = true
+	fr.p.mu.Unlock()
+}
+
+// Unpin releases the frame. After Unpin the Frame must not be used.
+func (fr *Frame) Unpin() {
+	fr.p.mu.Lock()
+	defer fr.p.mu.Unlock()
+	f := fr.f
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("pager: unpin of page %d with pin count %d", f.id, f.pins))
+	}
+	f.pins--
+	if f.pins == 0 {
+		switch fr.p.policy {
+		case LRU:
+			f.elem = fr.p.lru.PushFront(f)
+		case Clock:
+			f.ref = true
+		}
+	}
+}
+
+// Get pins page id, reading it from the backend on a buffer-pool miss.
+func (p *Pager) Get(id PageID) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	if f, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		p.touch(f)
+		return &Frame{p: p, f: f}, nil
+	}
+	p.stats.Misses++
+	p.stats.Reads++
+	f, err := p.newFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.backend.ReadPage(id, f.data); err != nil {
+		delete(p.frames, id)
+		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	return &Frame{p: p, f: f}, nil
+}
+
+// Allocate creates a new zeroed page, pinned and marked dirty. No disk
+// read is charged (the page is born in the buffer pool).
+func (p *Pager) Allocate() (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	id, err := p.backend.Allocate()
+	if err != nil {
+		return nil, fmt.Errorf("pager: allocate: %w", err)
+	}
+	f, err := p.newFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	f.dirty = true
+	return &Frame{p: p, f: f}, nil
+}
+
+// touch pins f, removing it from the LRU list if it was unpinned.
+func (p *Pager) touch(f *frame) {
+	switch p.policy {
+	case LRU:
+		if f.pins == 0 && f.elem != nil {
+			p.lru.Remove(f.elem)
+			f.elem = nil
+		}
+	case Clock:
+		f.ref = true
+	}
+	f.pins++
+}
+
+// newFrame makes room for and registers a pinned frame for page id.
+// Caller holds p.mu.
+func (p *Pager) newFrame(id PageID) (*frame, error) {
+	if err := p.makeRoom(); err != nil {
+		return nil, err
+	}
+	f := &frame{id: id, data: make([]byte, PageSize), pins: 1, slot: -1}
+	p.frames[id] = f
+	if p.policy == Clock {
+		f.slot = len(p.ring)
+		p.ring = append(p.ring, f)
+	}
+	return f, nil
+}
+
+// makeRoom evicts one unpinned frame (per policy) when the pool is full.
+// Caller holds p.mu.
+func (p *Pager) makeRoom() error {
+	if len(p.frames) < p.cap {
+		return nil
+	}
+	var victim *frame
+	switch p.policy {
+	case LRU:
+		elem := p.lru.Back()
+		if elem == nil {
+			return fmt.Errorf("pager: buffer pool exhausted: all %d frames pinned", p.cap)
+		}
+		victim = elem.Value.(*frame)
+		p.lru.Remove(elem)
+		victim.elem = nil
+	case Clock:
+		// Second-chance sweep: clear reference bits until an unpinned,
+		// unreferenced frame comes around. Two full sweeps with no victim
+		// means everything is pinned.
+		for scanned := 0; scanned < 2*len(p.ring); scanned++ {
+			f := p.ring[p.hand]
+			p.hand = (p.hand + 1) % len(p.ring)
+			if f.pins > 0 {
+				continue
+			}
+			if f.ref {
+				f.ref = false
+				continue
+			}
+			victim = f
+			break
+		}
+		if victim == nil {
+			return fmt.Errorf("pager: buffer pool exhausted: all %d frames pinned", p.cap)
+		}
+		// Remove from the ring (swap with the last entry).
+		last := len(p.ring) - 1
+		p.ring[victim.slot] = p.ring[last]
+		p.ring[victim.slot].slot = victim.slot
+		p.ring = p.ring[:last]
+		if p.hand > last {
+			p.hand = 0
+		} else if p.hand == last+1 {
+			p.hand = 0
+		}
+		if len(p.ring) > 0 {
+			p.hand %= len(p.ring)
+		} else {
+			p.hand = 0
+		}
+		victim.slot = -1
+	}
+	if victim.dirty {
+		p.stats.Writes++
+		if err := p.backend.WritePage(victim.id, victim.data); err != nil {
+			return fmt.Errorf("pager: evict page %d: %w", victim.id, err)
+		}
+	}
+	delete(p.frames, victim.id)
+	p.stats.Evictions++
+	return nil
+}
+
+// FlushAll writes every dirty buffered page to the backend (pages stay
+// buffered).
+func (p *Pager) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	return p.flushAllLocked()
+}
+
+func (p *Pager) flushAllLocked() error {
+	for id, f := range p.frames {
+		if !f.dirty {
+			continue
+		}
+		p.stats.Writes++
+		if err := p.backend.WritePage(id, f.data); err != nil {
+			return fmt.Errorf("pager: flush page %d: %w", id, err)
+		}
+		f.dirty = false
+	}
+	return p.backend.Sync()
+}
+
+// DropCache flushes dirty pages and then empties the buffer pool,
+// simulating the cold-cache state the paper establishes before each
+// measured query ("the database and system buffer is flushed before each
+// test"). It fails if any frame is pinned.
+func (p *Pager) DropCache() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			return fmt.Errorf("pager: DropCache with page %d pinned", f.id)
+		}
+	}
+	if err := p.flushAllLocked(); err != nil {
+		return err
+	}
+	p.frames = make(map[PageID]*frame, p.cap)
+	p.lru.Init()
+	p.ring = p.ring[:0]
+	p.hand = 0
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pager) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the counters (typically right after DropCache, before
+// a measured query).
+func (p *Pager) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// NumPages reports the number of allocated pages in the backend.
+func (p *Pager) NumPages() PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.backend.NumPages()
+}
+
+// Close flushes and closes the pager and its backend.
+func (p *Pager) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	if err := p.flushAllLocked(); err != nil {
+		return err
+	}
+	p.closed = true
+	return p.backend.Close()
+}

@@ -1,0 +1,128 @@
+// Package temporal supports multi-version terrain analysis — the paper's
+// introduction motivates DBMS-managed terrain partly because "terrain data
+// is captured over a period of time thus multiple versions may be used
+// together for spatiotemporal analysis". A Series holds one Direct Mesh
+// store per capture; Diff retrieves the same region from two versions at
+// the same level of detail and rasterizes both approximations onto a
+// common grid to measure elevation change, so coarse LODs give cheap
+// broad-brush change detection and fine LODs give precise extents.
+package temporal
+
+import (
+	"fmt"
+	"math"
+
+	"dmesh/internal/dm"
+	"dmesh/internal/geom"
+	"dmesh/internal/render"
+)
+
+// Series is an ordered set of terrain versions.
+type Series struct {
+	labels []string
+	stores []*dm.Store
+}
+
+// Add appends a version.
+func (s *Series) Add(label string, store *dm.Store) {
+	s.labels = append(s.labels, label)
+	s.stores = append(s.stores, store)
+}
+
+// Len returns the number of versions.
+func (s *Series) Len() int { return len(s.stores) }
+
+// Label returns version i's label.
+func (s *Series) Label(i int) string { return s.labels[i] }
+
+// Store returns version i's store.
+func (s *Series) Store(i int) *dm.Store { return s.stores[i] }
+
+// DiffResult summarizes elevation change between two versions.
+type DiffResult struct {
+	// Raster holds per-cell elevation deltas (version b minus version a);
+	// cells not covered by both approximations are excluded.
+	Raster *render.Raster
+	// MeanAbs, Max are the mean absolute and maximum absolute deltas over
+	// compared cells.
+	MeanAbs, Max float64
+	// ChangedFraction is the fraction of compared cells whose |delta|
+	// exceeds the threshold passed to Diff.
+	ChangedFraction float64
+	// Compared counts the cells covered by both versions.
+	Compared int
+	// DiskAccesses is the total retrieval cost of both queries.
+	DiskAccesses uint64
+}
+
+// Diff compares versions a and b over roi at LOD e on a cells x cells
+// raster. threshold classifies a cell as changed.
+func (s *Series) Diff(a, b int, roi geom.Rect, e float64, cells int, threshold float64) (*DiffResult, error) {
+	if a < 0 || a >= len(s.stores) || b < 0 || b >= len(s.stores) {
+		return nil, fmt.Errorf("temporal: version out of range (%d, %d of %d)", a, b, len(s.stores))
+	}
+	if cells < 1 {
+		cells = 128
+	}
+	ra, daA, err := s.rasterize(a, roi, e, cells)
+	if err != nil {
+		return nil, err
+	}
+	rb, daB, err := s.rasterize(b, roi, e, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &DiffResult{
+		Raster:       render.NewRaster(cells, cells),
+		DiskAccesses: daA + daB,
+	}
+	changed := 0
+	var sumAbs float64
+	for i := range ra.Z {
+		if !ra.Covered[i] || !rb.Covered[i] {
+			continue
+		}
+		d := rb.Z[i] - ra.Z[i]
+		out.Raster.Z[i] = d
+		out.Raster.Covered[i] = true
+		out.Compared++
+		ad := math.Abs(d)
+		sumAbs += ad
+		if ad > out.Max {
+			out.Max = ad
+		}
+		if ad > threshold {
+			changed++
+		}
+	}
+	if out.Compared > 0 {
+		out.MeanAbs = sumAbs / float64(out.Compared)
+		out.ChangedFraction = float64(changed) / float64(out.Compared)
+	}
+	return out, nil
+}
+
+// rasterize queries one version and rasterizes the result over roi.
+func (s *Series) rasterize(v int, roi geom.Rect, e float64, cells int) (*render.Raster, uint64, error) {
+	store := s.stores[v]
+	if err := store.DropCaches(); err != nil {
+		return nil, 0, err
+	}
+	store.ResetStats()
+	res, err := store.ViewpointIndependent(roi, e)
+	if err != nil {
+		return nil, 0, fmt.Errorf("temporal: version %q: %w", s.labels[v], err)
+	}
+	da := store.DiskAccesses()
+	// Rasterize in ROI-local coordinates.
+	local := make(map[int64]geom.Point3, len(res.Vertices))
+	w, h := roi.Width(), roi.Height()
+	if w == 0 || h == 0 {
+		return nil, 0, fmt.Errorf("temporal: degenerate ROI %v", roi)
+	}
+	for id, p := range res.Vertices {
+		local[id] = geom.Point3{X: (p.X - roi.MinX) / w, Y: (p.Y - roi.MinY) / h, Z: p.Z}
+	}
+	return render.Mesh(local, res.Triangles, cells, cells), da, nil
+}

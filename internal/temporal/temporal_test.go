@@ -1,0 +1,158 @@
+package temporal
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"dmesh/internal/dm"
+	"dmesh/internal/geom"
+	"dmesh/internal/heightfield"
+	"dmesh/internal/mesh"
+	"dmesh/internal/simplify"
+)
+
+func storeFor(t *testing.T, g *heightfield.Grid) (*dm.Store, *dm.Dataset) {
+	t.Helper()
+	seq, err := simplify.Run(mesh.FromGrid(g), simplify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dm.FromSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dm.BuildStore(ds, dm.StorePools{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ds
+}
+
+func lodPct(ds *dm.Dataset, p float64) float64 {
+	var es []float64
+	for i := range ds.Tree.Nodes {
+		if !ds.Tree.Nodes[i].IsLeaf() {
+			es = append(es, ds.Tree.Nodes[i].ELow)
+		}
+	}
+	sort.Float64s(es)
+	return es[int(p*float64(len(es)-1))]
+}
+
+func buildSeries(t *testing.T) (*Series, *dm.Dataset) {
+	t.Helper()
+	g1 := heightfield.Highland(33, 9)
+	g2 := heightfield.NewGrid(33)
+	copy(g2.Z, g1.Z)
+	g2.Excavate(0.3, 0.3, 0.15, 0.5)
+
+	s1, ds := storeFor(t, g1)
+	s2, _ := storeFor(t, g2)
+	series := &Series{}
+	series.Add("2025", s1)
+	series.Add("2026", s2)
+	return series, ds
+}
+
+func TestSeriesBasics(t *testing.T) {
+	series, _ := buildSeries(t)
+	if series.Len() != 2 || series.Label(0) != "2025" || series.Store(1) == nil {
+		t.Fatalf("series metadata wrong")
+	}
+	if _, err := series.Diff(0, 5, geom.Rect{MaxX: 1, MaxY: 1}, 0.001, 32, 0.01); err == nil {
+		t.Fatal("out-of-range version must error")
+	}
+}
+
+func TestDiffFindsTheExcavation(t *testing.T) {
+	series, ds := buildSeries(t)
+	roi := geom.Rect{MinX: 0.02, MinY: 0.02, MaxX: 0.98, MaxY: 0.98}
+	e := lodPct(ds, 0.5)
+	res, err := series.Diff(0, 1, roi, e, 64, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compared == 0 {
+		t.Fatal("nothing compared")
+	}
+	if res.DiskAccesses == 0 {
+		t.Fatal("diff reported no retrieval cost")
+	}
+	// The excavation is 0.5 deep; the maximum change must be near that.
+	if res.Max < 0.3 {
+		t.Fatalf("max change %g, expected ~0.5", res.Max)
+	}
+	// Change must be LOCALIZED: inside the bowl the mean |dz| is large,
+	// far away it is near zero.
+	var inSum, outSum float64
+	var inN, outN int
+	for j := 0; j < res.Raster.H; j++ {
+		for i := 0; i < res.Raster.W; i++ {
+			idx := j*res.Raster.W + i
+			if !res.Raster.Covered[idx] {
+				continue
+			}
+			x := roi.MinX + (float64(i)+0.5)/float64(res.Raster.W)*roi.Width()
+			y := roi.MinY + (float64(j)+0.5)/float64(res.Raster.H)*roi.Height()
+			d := math.Hypot(x-0.3, y-0.3)
+			dz := math.Abs(res.Raster.Z[idx])
+			if d < 0.10 {
+				inSum += dz
+				inN++
+			} else if d > 0.25 {
+				outSum += dz
+				outN++
+			}
+		}
+	}
+	if inN == 0 || outN == 0 {
+		t.Fatal("bad sampling")
+	}
+	inMean, outMean := inSum/float64(inN), outSum/float64(outN)
+	if inMean < 5*outMean {
+		t.Fatalf("change not localized: inside %.4f vs outside %.4f", inMean, outMean)
+	}
+	// Changed fraction is small (the bowl covers ~7%% of the terrain).
+	if res.ChangedFraction <= 0 || res.ChangedFraction > 0.3 {
+		t.Fatalf("changed fraction %.3f out of expected range", res.ChangedFraction)
+	}
+}
+
+func TestDiffSelfIsZero(t *testing.T) {
+	series, ds := buildSeries(t)
+	roi := geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.9, MaxY: 0.9}
+	res, err := series.Diff(0, 0, roi, lodPct(ds, 0.5), 48, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rasterization of the identical mesh twice differs only by float
+	// noise.
+	if res.Max > 1e-9 || res.ChangedFraction != 0 {
+		t.Fatalf("self diff nonzero: %+v", res)
+	}
+}
+
+func TestDiffCoarserIsCheaper(t *testing.T) {
+	series, ds := buildSeries(t)
+	roi := geom.Rect{MinX: 0.02, MinY: 0.02, MaxX: 0.98, MaxY: 0.98}
+	fine, err := series.Diff(0, 1, roi, lodPct(ds, 0.3), 48, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := series.Diff(0, 1, roi, lodPct(ds, 0.85), 48, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.Compared == 0 {
+		t.Fatal("coarse diff compared nothing")
+	}
+	if coarse.DiskAccesses >= fine.DiskAccesses {
+		t.Fatalf("coarse diff (%d DA) should cost less than fine (%d DA)",
+			coarse.DiskAccesses, fine.DiskAccesses)
+	}
+	// Even the coarse diff should spot the excavation.
+	if coarse.Max < 0.15 {
+		t.Fatalf("coarse diff missed the excavation: max %g", coarse.Max)
+	}
+}

@@ -1,0 +1,59 @@
+// Package workload generates the query workloads of the paper's Section 6:
+// for each (ROI size, LOD) combination, the same mesh is created at a
+// number of randomly selected locations (the paper uses 20) and costs are
+// averaged.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"dmesh/internal/geom"
+)
+
+// Config parameterizes workload generation.
+type Config struct {
+	// Locations is how many random ROI placements each measurement
+	// averages over (the paper uses 20).
+	Locations int
+	// Seed makes placement deterministic.
+	Seed int64
+}
+
+// Defaults fills zero fields with the paper's settings.
+func (c *Config) Defaults() {
+	if c.Locations <= 0 {
+		c.Locations = 20
+	}
+}
+
+// ROIs returns cfg.Locations square regions of interest covering the given
+// fraction of the unit data-space area, uniformly placed.
+func ROIs(cfg Config, areaFrac float64) []geom.Rect {
+	cfg.Defaults()
+	side := math.Sqrt(areaFrac)
+	if side > 1 {
+		side = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]geom.Rect, cfg.Locations)
+	for i := range out {
+		x := rng.Float64() * (1 - side)
+		y := rng.Float64() * (1 - side)
+		out[i] = geom.Rect{MinX: x, MinY: y, MaxX: x + side, MaxY: y + side}
+	}
+	return out
+}
+
+// PlaneFor builds the viewpoint-dependent query plane over roi for the
+// paper's parameterization: a starting LOD emin and an angle given as a
+// fraction of θmax = arctan(maxLOD / roiExtent) (Section 6.2 and
+// Figure 7). The LOD gradient runs along y.
+func PlaneFor(roi geom.Rect, emin, maxLOD, angleFrac float64) geom.QueryPlane {
+	thetaMax := geom.MaxAngle(maxLOD, roi.Height())
+	qp := geom.PlaneForAngle(roi, emin, thetaMax*angleFrac, 1)
+	if qp.EMax > maxLOD {
+		qp.EMax = maxLOD
+	}
+	return qp
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"dmesh/internal/geom"
+)
+
+func TestROIsCountAndSize(t *testing.T) {
+	cfg := Config{Locations: 20, Seed: 1}
+	rois := ROIs(cfg, 0.1)
+	if len(rois) != 20 {
+		t.Fatalf("got %d ROIs", len(rois))
+	}
+	for _, r := range rois {
+		if math.Abs(r.Area()-0.1) > 1e-9 {
+			t.Fatalf("ROI area %g, want 0.1", r.Area())
+		}
+		if r.MinX < 0 || r.MinY < 0 || r.MaxX > 1 || r.MaxY > 1 {
+			t.Fatalf("ROI out of data space: %v", r)
+		}
+	}
+}
+
+func TestROIsDeterministic(t *testing.T) {
+	a := ROIs(Config{Locations: 5, Seed: 7}, 0.05)
+	b := ROIs(Config{Locations: 5, Seed: 7}, 0.05)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same ROIs")
+		}
+	}
+	c := ROIs(Config{Locations: 5, Seed: 8}, 0.05)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical ROIs")
+	}
+}
+
+func TestROIsFullArea(t *testing.T) {
+	rois := ROIs(Config{Locations: 3, Seed: 1}, 1.5) // clamped to the unit square
+	for _, r := range rois {
+		if r != (geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}) {
+			t.Fatalf("oversized ROI not clamped: %v", r)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	var c Config
+	c.Defaults()
+	if c.Locations != 20 {
+		t.Fatalf("default locations = %d, want 20 (the paper's setting)", c.Locations)
+	}
+}
+
+func TestPlaneFor(t *testing.T) {
+	roi := geom.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.6, MaxY: 0.6}
+	maxLOD := 100.0
+	qp := PlaneFor(roi, 1.0, maxLOD, 0.5)
+	if qp.R != roi || qp.Axis != 1 {
+		t.Fatalf("plane misconfigured: %+v", qp)
+	}
+	if qp.EMin != 1.0 {
+		t.Fatalf("EMin = %g", qp.EMin)
+	}
+	if qp.EMax <= qp.EMin || qp.EMax > maxLOD {
+		t.Fatalf("EMax = %g out of range", qp.EMax)
+	}
+	// Full angle reaches (nearly) the maximum LOD.
+	full := PlaneFor(roi, 0, maxLOD, 1.0)
+	if math.Abs(full.EMax-maxLOD) > 1e-6 {
+		t.Fatalf("full-angle EMax = %g, want %g", full.EMax, maxLOD)
+	}
+	// Larger angle fraction means larger EMax.
+	small := PlaneFor(roi, 0, maxLOD, 0.25)
+	if small.EMax >= full.EMax {
+		t.Fatal("angle fraction not monotone in EMax")
+	}
+}
