@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: verify build vet test race bench figures
+
+# The CI gate: build, vet, and the full test suite under the race
+# detector (short mode keeps the large-terrain tests out of the loop).
+verify: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# The paper's metric: custom DA/... counters, not ns/op.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Full-scale figure reproduction (several minutes); output under results/.
+figures:
+	$(GO) run ./cmd/dmbench -fig all

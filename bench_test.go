@@ -12,8 +12,10 @@ package dmesh_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"dmesh"
 	"dmesh/internal/costmodel"
@@ -363,4 +365,67 @@ func BenchmarkAblationVisibility(b *testing.B) {
 			b.ReportMetric(float64(da)/float64(len(rois)), "DA/query")
 		})
 	}
+}
+
+// BenchmarkParallelThroughput measures concurrent query serving: the
+// figure-6(a) uniform workload answered through Store.QueryBatch against
+// a sharded buffer pool, one cold round per iteration. The serial
+// baseline (workers=1) is timed before the benchmark loop, so the
+// reported speedup is parallel QPS over serial QPS on the same machine.
+// The load-bearing invariant is DA/query: sharing the pool means a page
+// is read from the backend once no matter how many workers race to it,
+// so parallelism must leave the paper's metric untouched (serial and
+// parallel DA/query are both reported; they must match).
+func BenchmarkParallelThroughput(b *testing.B) {
+	bb := bundle(b, "highland")
+	workers := runtime.GOMAXPROCS(0)
+	store, err := bb.Terrain.NewDMStoreWithPools(dmesh.StorePools{Shards: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := bb.Terrain.LODPercentile(0.97)
+	rois := workload.ROIs(benchCfg(), 0.06)
+	qs := make([]dmesh.BatchQuery, 0, len(rois)*4)
+	for r := 0; r < 4; r++ {
+		for _, roi := range rois {
+			qs = append(qs, dmesh.BatchQuery{ROI: roi, E: e})
+		}
+	}
+
+	coldRound := func(w int) (uint64, float64) {
+		b.Helper()
+		if err := store.DropCaches(); err != nil {
+			b.Fatal(err)
+		}
+		store.ResetStats()
+		start := time.Now()
+		out := store.QueryBatch(qs, w)
+		secs := time.Since(start).Seconds()
+		var da uint64
+		for i, r := range out {
+			if r.Err != nil {
+				b.Fatalf("query %d: %v", i, r.Err)
+			}
+			da += r.DA
+		}
+		return da, secs
+	}
+
+	serialDA, serialSecs := coldRound(1)
+
+	var parDA uint64
+	var parSecs float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		da, secs := coldRound(workers)
+		parDA += da
+		parSecs += secs
+	}
+	b.StopTimer()
+
+	n := float64(b.N)
+	b.ReportMetric(float64(len(qs))*n/parSecs, "queries/sec")
+	b.ReportMetric((float64(len(qs))/parSecs*n)/(float64(len(qs))/serialSecs), "speedup-vs-serial")
+	b.ReportMetric(float64(parDA)/(float64(len(qs))*n), "DA/query")
+	b.ReportMetric(float64(serialDA)/float64(len(qs)), "serial-DA/query")
 }

@@ -4,8 +4,12 @@
 //
 // Usage:
 //
-//	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn]
+//	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn|throughput]
 //	        [-size N] [-size2 N] [-seed S] [-locations L]
+//
+// -fig throughput is not a paper figure: it measures concurrent query
+// serving against a sharded buffer pool (queries/sec and speedup by
+// worker count, with per-query disk accesses held constant).
 //
 // The 2M-point and 17M-point datasets of the paper are represented by
 // synthetic DEMs ("highland" and "crater"); -size and -size2 set their
@@ -17,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 
@@ -26,7 +31,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to reproduce (6a..6d, 8a..8f, conn, all)")
+		fig       = flag.String("fig", "all", "figure to reproduce (6a..6d, 8a..8f, conn, throughput, all)")
 		size      = flag.Int("size", 257, "grid side of the highland dataset (the paper's 2M-point terrain)")
 		size2     = flag.Int("size2", 513, "grid side of the crater dataset (the paper's 17M-point terrain)")
 		seed      = flag.Int64("seed", 1, "generation seed")
@@ -44,7 +49,8 @@ func run(fig string, size, size2 int, seed int64, locations int, csvOut bool) er
 	fig = strings.ToLower(fig)
 	cfg := workload.Config{Locations: locations, Seed: seed}
 
-	needHighland := fig == "all" || fig == "conn" || strings.HasSuffix(fig, "a") || strings.HasSuffix(fig, "b") || fig == "8c"
+	needHighland := fig == "all" || fig == "conn" || fig == "throughput" ||
+		strings.HasSuffix(fig, "a") || strings.HasSuffix(fig, "b") || fig == "8c"
 	needCrater := fig == "all" || fig == "conn" || strings.HasSuffix(fig, "c") && fig != "8c" || strings.HasSuffix(fig, "d") || strings.HasSuffix(fig, "e") || strings.HasSuffix(fig, "f")
 	if fig == "6c" {
 		needCrater = true
@@ -91,6 +97,15 @@ func run(fig string, size, size2 int, seed int64, locations int, csvOut bool) er
 		printConn(highland)
 		printConn(crater)
 		if fig == "conn" {
+			return nil
+		}
+	}
+
+	if fig == "throughput" || fig == "all" {
+		if err := printThroughput(highland, cfg); err != nil {
+			return err
+		}
+		if fig == "throughput" {
 			return nil
 		}
 	}
@@ -144,6 +159,30 @@ func printFigureCSV(id string, f *experiments.Figure) {
 			fmt.Printf("%s,%g,%s,%g\n", id, p.X, s.Method, p.DA)
 		}
 	}
+}
+
+// printThroughput runs the concurrent-serving measurement: the fig-6(a)
+// uniform workload answered by a worker pool over a sharded buffer pool.
+func printThroughput(b *experiments.Bundle, cfg workload.Config) error {
+	if b == nil {
+		return nil
+	}
+	workers := []int{1, 2, 4, 8}
+	if n := runtime.GOMAXPROCS(0); n > 8 {
+		workers = append(workers, n)
+	}
+	pts, err := b.ParallelThroughput(cfg, 0.06, workers, 20)
+	if err != nil {
+		return fmt.Errorf("throughput: %w", err)
+	}
+	fmt.Printf("\nConcurrent serving throughput (%s, %d queries/round, %d pool shards):\n",
+		b.Name, pts[0].Queries, runtime.GOMAXPROCS(0))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "workers\tqueries/sec\tspeedup\tDA/query")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%d\t%.0f\t%.2fx\t%.1f\n", p.Workers, p.QPS, p.Speedup, p.DAPerQuery)
+	}
+	return w.Flush()
 }
 
 func printConn(b *experiments.Bundle) {

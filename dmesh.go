@@ -55,6 +55,15 @@ type (
 	Result = dm.Result
 	// DMStore is the disk-resident Direct Mesh.
 	DMStore = dm.Store
+	// DMSession is a per-request view of a DMStore that attributes disk
+	// accesses to itself (DMStore.NewSession), enabling concurrent
+	// serving without a global query lock.
+	DMSession = dm.Session
+	// BatchQuery describes one independent query for DMStore.QueryBatch.
+	BatchQuery = dm.BatchQuery
+	// BatchResult is one QueryBatch outcome: mesh, per-query disk
+	// accesses, error.
+	BatchResult = dm.BatchResult
 	// PMStore is the disk-resident Progressive Mesh baseline.
 	PMStore = pm.Store
 	// HDoVStore is the disk-resident HDoV-tree baseline.

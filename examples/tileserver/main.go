@@ -4,6 +4,11 @@
 // Clients ask for a region and a LOD percentile and receive the
 // triangulated approximation as JSON.
 //
+// Requests are served fully concurrently: the buffer pool is sharded
+// across roughly one shard per CPU, and each request runs in its own
+// store session (dmesh.DMSession), so the per-tile disk-access count is
+// exact without a global query lock or a ResetStats between requests.
+//
 //	go run ./examples/tileserver [-addr :8080]
 //
 //	curl 'http://localhost:8080/tile?x0=0.2&y0=0.2&x1=0.5&y1=0.5&lod=0.9'
@@ -16,19 +21,18 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"strconv"
-	"sync"
+	"sync/atomic"
 
 	"dmesh"
 )
 
 type server struct {
 	terrain *dmesh.Terrain
-	// The pager is internally synchronized, but DropCaches/ResetStats and
-	// the disk-access read-out must not interleave between requests if the
-	// reported per-tile costs are to mean anything.
-	mu    sync.Mutex
-	store *dmesh.DMStore
+	store   *dmesh.DMStore
+	served  atomic.Uint64
+	tileDA  atomic.Uint64
 }
 
 type tileResponse struct {
@@ -47,7 +51,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	store, err := terrain.NewDMStore()
+	store, err := terrain.NewDMStoreWithPools(dmesh.StorePools{Shards: runtime.NumCPU()})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +60,8 @@ func main() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/tile", s.handleTile)
 	mux.HandleFunc("/stats", s.handleStats)
-	log.Printf("serving %d-point terrain on %s", terrain.NumPoints(), *addr)
+	log.Printf("serving %d-point terrain on %s (%d pool shards)",
+		terrain.NumPoints(), *addr, runtime.NumCPU())
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
@@ -87,15 +92,17 @@ func (s *server) handleTile(w http.ResponseWriter, r *http.Request) {
 	roi := dmesh.NewRect(x0, y0, x1, y1)
 	lod := s.terrain.LODPercentile(pct)
 
-	s.mu.Lock()
-	s.store.ResetStats()
-	res, err := s.store.ViewpointIndependent(roi, lod)
-	da := s.store.DiskAccesses()
-	s.mu.Unlock()
+	// One session per request: the session's counters see only this
+	// request's page reads, so concurrent tiles get exact costs.
+	sess := s.store.NewSession()
+	res, err := sess.ViewpointIndependent(roi, lod)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	da := sess.DiskAccesses()
+	s.served.Add(1)
+	s.tileDA.Add(da)
 
 	resp := tileResponse{
 		LOD:          lod,
@@ -123,4 +130,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, p := range []float64{0.5, 0.9, 0.99} {
 		fmt.Fprintf(w, "LOD p%2.0f:   %g\n", p*100, s.terrain.LODPercentile(p))
 	}
+	served := s.served.Load()
+	fmt.Fprintf(w, "tiles:     %d\n", served)
+	if served > 0 {
+		fmt.Fprintf(w, "DA/tile:   %.1f\n", float64(s.tileDA.Load())/float64(served))
+	}
+	fmt.Fprintf(w, "pool DA:   %d\n", s.store.DiskAccesses())
 }

@@ -83,10 +83,10 @@ func OpenStore(dir string, pools StorePools) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		heapP: pager.New(backends[0], pools.Data),
-		overP: pager.New(backends[1], pools.Overflow),
-		rtP:   pager.New(backends[2], pools.Index),
-		idxP:  pager.New(backends[3], pools.IDIndex),
+		heapP: pools.newPager(backends[0], pools.Data),
+		overP: pools.newPager(backends[1], pools.Overflow),
+		rtP:   pools.newPager(backends[2], pools.Index),
+		idxP:  pools.newPager(backends[3], pools.IDIndex),
 		maxE:  meta.MaxE,
 		space: meta.Space,
 	}

@@ -2,36 +2,69 @@ package dm
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"dmesh/internal/costmodel"
 	"dmesh/internal/geom"
 	"dmesh/internal/storage/heapfile"
 )
 
+// fetcher runs the range queries of one Direct Mesh query, reusing the
+// RID list and record/overflow buffers across strips and accumulating the
+// fetched nodes (keyed by node ID) in one map pre-sized from the first
+// index hit count.
+type fetcher struct {
+	s     *Store
+	rids  []heapfile.RID
+	buf   []byte
+	obuf  []byte
+	nodes map[int64]*Node
+}
+
+func (s *Store) newFetcher() *fetcher {
+	return &fetcher{
+		s:    s,
+		buf:  make([]byte, RecordSize),
+		obuf: make([]byte, OverflowRecordSize),
+	}
+}
+
+// fetched returns the accumulated node map (never nil).
+func (f *fetcher) fetched() map[int64]*Node {
+	if f.nodes == nil {
+		f.nodes = make(map[int64]*Node)
+	}
+	return f.nodes
+}
+
 // fetchBox retrieves every node whose vertical segment intersects box:
 // one R*-tree range query plus the data-page reads for the matching
-// records. Results accumulate into dst (keyed by node ID).
-func (s *Store) fetchBox(box geom.Box, dst map[int64]*Node) (int, error) {
-	var rids []heapfile.RID
-	err := s.rt.Search(box, func(ref int64, _ geom.Box) bool {
-		rids = append(rids, heapfile.RID(ref))
+// records. It returns the number of records read (duplicates across
+// strips are real I/O and count).
+func (f *fetcher) fetchBox(box geom.Box) (int, error) {
+	f.rids = f.rids[:0]
+	err := f.s.rt.Search(box, func(ref int64, _ geom.Box) bool {
+		f.rids = append(f.rids, heapfile.RID(ref))
 		return true
 	})
 	if err != nil {
 		return 0, fmt.Errorf("dm: index search: %w", err)
 	}
-	buf := make([]byte, RecordSize)
-	obuf := make([]byte, OverflowRecordSize)
+	if f.nodes == nil {
+		f.nodes = make(map[int64]*Node, len(f.rids))
+	}
 	fetched := 0
-	for _, rid := range rids {
-		n, err := s.fetchRecord(rid, buf, obuf)
+	for _, rid := range f.rids {
+		n, err := f.s.fetchRecord(rid, f.buf, f.obuf)
 		if err != nil {
 			return fetched, err
 		}
 		fetched++
-		if _, ok := dst[n.ID]; !ok {
+		if _, ok := f.nodes[n.ID]; !ok {
 			node := n
-			dst[n.ID] = &node
+			f.nodes[n.ID] = &node
 		}
 	}
 	return fetched, nil
@@ -50,11 +83,12 @@ func (s *Store) ViewpointIndependent(r geom.Rect, e float64) (*Result, error) {
 	if fetchE > s.maxE {
 		fetchE = s.maxE
 	}
-	fetched := make(map[int64]*Node)
-	nf, err := s.fetchBox(geom.BoxFromRect(r, fetchE, fetchE), fetched)
+	f := s.newFetcher()
+	nf, err := f.fetchBox(geom.BoxFromRect(r, fetchE, fetchE))
 	if err != nil {
 		return nil, err
 	}
+	fetched := f.fetched()
 	// The R*-tree stores closed boxes but LOD intervals are half-open:
 	// a node whose EHigh equals e is fetched yet not part of the LOD-e
 	// approximation. Filter, keeping the I/O already (correctly) paid.
@@ -76,12 +110,12 @@ func (s *Store) ViewpointIndependent(r geom.Rect, e float64) (*Result, error) {
 // data (every node between the plane and the top plane over r) is in the
 // cube, so no further I/O is needed.
 func (s *Store) SingleBase(qp geom.QueryPlane) (*Result, error) {
-	fetched := make(map[int64]*Node)
-	nf, err := s.fetchBox(geom.BoxFromRect(qp.R, qp.EMin, qp.EMax), fetched)
+	f := s.newFetcher()
+	nf, err := f.fetchBox(geom.BoxFromRect(qp.R, qp.EMin, qp.EMax))
 	if err != nil {
 		return nil, err
 	}
-	res := s.assemblePlane(qp, fetched)
+	res := s.assemblePlane(qp, f.fetched())
 	res.FetchedRecords = nf
 	res.Strips = 1
 	return res, nil
@@ -102,16 +136,85 @@ func (s *Store) MultiBase(qp geom.QueryPlane, model *costmodel.Model, maxStrips 
 
 // ExecuteStrips answers a viewpoint-dependent query with an explicit cube
 // plan (one range query per strip). MultiBase uses it with the optimizer's
-// plan; ablations pass fixed plans (costmodel.EqualStrips).
+// plan; ablations pass fixed plans (costmodel.EqualStrips). With
+// SetStripWorkers > 1 the strips are fetched by a bounded worker pool;
+// the serial path is the measurement default.
 func (s *Store) ExecuteStrips(qp geom.QueryPlane, strips []costmodel.Strip) (*Result, error) {
-	fetched := make(map[int64]*Node)
+	if workers := s.stripWorkers; workers > 1 && len(strips) > 1 {
+		if workers > len(strips) {
+			workers = len(strips)
+		}
+		return s.executeStripsParallel(qp, strips, workers)
+	}
+	f := s.newFetcher()
 	total := 0
 	for _, st := range strips {
-		nf, err := s.fetchBox(st.Box(), fetched)
+		nf, err := f.fetchBox(st.Box())
 		if err != nil {
 			return nil, err
 		}
 		total += nf
+	}
+	res := s.assemblePlane(qp, f.fetched())
+	res.FetchedRecords = total
+	res.Strips = len(strips)
+	return res, nil
+}
+
+// executeStripsParallel fans one plan's strips out over workers
+// goroutines. The strips share the store's buffer pool (each page is read
+// from the backend at most once, under its shard lock), so the union of
+// pages read matches the serial execution; per-strip node maps merge in
+// strip order with sorted node IDs, keeping the merged map — and
+// therefore the assembled mesh — identical to the serial result.
+func (s *Store) executeStripsParallel(qp geom.QueryPlane, strips []costmodel.Strip, workers int) (*Result, error) {
+	type stripResult struct {
+		nodes map[int64]*Node
+		nf    int
+		err   error
+	}
+	results := make([]stripResult, len(strips))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f := s.newFetcher()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(strips) {
+					return
+				}
+				f.nodes = nil // fresh per-strip map, reused buffers
+				nf, err := f.fetchBox(strips[i].Box())
+				results[i] = stripResult{nodes: f.fetched(), nf: nf, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+
+	total, size := 0, 0
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+		total += results[i].nf
+		size += len(results[i].nodes)
+	}
+	fetched := make(map[int64]*Node, size)
+	ids := make([]int64, 0, size)
+	for i := range results {
+		ids = ids[:0]
+		for id := range results[i].nodes {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			if _, ok := fetched[id]; !ok {
+				fetched[id] = results[i].nodes[id]
+			}
+		}
 	}
 	res := s.assemblePlane(qp, fetched)
 	res.FetchedRecords = total

@@ -36,7 +36,7 @@ func (s *Store) Radial(roi geom.Rect, viewer geom.Point2, scale float64, tiles i
 		return scale * viewer.Dist(geom.Point2{X: x, Y: y})
 	}
 
-	fetched := make(map[int64]*Node)
+	f := s.newFetcher()
 	total := 0
 	strips := 0
 	tw := roi.Width() / float64(tiles)
@@ -56,7 +56,7 @@ func (s *Store) Radial(roi geom.Rect, viewer geom.Point2, scale float64, tiles i
 			if hi > s.maxE {
 				hi = s.maxE
 			}
-			nf, err := s.fetchBox(geom.BoxFromRect(tile, lo, hi), fetched)
+			nf, err := f.fetchBox(geom.BoxFromRect(tile, lo, hi))
 			if err != nil {
 				return nil, err
 			}
@@ -65,6 +65,7 @@ func (s *Store) Radial(roi geom.Rect, viewer geom.Point2, scale float64, tiles i
 		}
 	}
 
+	fetched := f.fetched()
 	live := make(map[int64]*Node, len(fetched))
 	for id, n := range fetched {
 		if n.Interval().Contains(eAt(n.Pos.X, n.Pos.Y)) {

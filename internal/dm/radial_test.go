@@ -114,8 +114,7 @@ func TestRadialCheaperThanFullCube(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.ResetStats()
-	fetched := make(map[int64]*Node)
-	if _, err := s.fetchBox(geom.BoxFromRect(roi, lo, hi), fetched); err != nil {
+	if _, err := s.newFetcher().fetchBox(geom.BoxFromRect(roi, lo, hi)); err != nil {
 		t.Fatal(err)
 	}
 	single := s.DiskAccesses()

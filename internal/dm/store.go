@@ -33,6 +33,23 @@ type Store struct {
 
 	maxE  float64
 	space geom.Box
+
+	// stripWorkers bounds the per-query fan-out of multi-strip plans
+	// (1 = serial, the measurement default). Set before serving.
+	stripWorkers int
+}
+
+// SetStripWorkers sets how many goroutines ExecuteStrips may use to fetch
+// the strips of one multi-base plan (values below 2 keep the serial
+// execution the figure measurements use). Strips share the store's buffer
+// pool either way, so the total disk accesses of a cold query are
+// unchanged; only wall-clock time is. Call during setup, not while
+// queries are running.
+func (s *Store) SetStripWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.stripWorkers = n
 }
 
 // Layout selects the physical order of node records in the heap file.
@@ -55,10 +72,17 @@ const (
 
 // StorePools sizes the buffer pools (in pages) of the store's four files
 // and selects the record layout. The zero value selects defaults suitable
-// for tests and examples (STR layout).
+// for tests and examples (STR layout, one buffer-pool shard).
+//
+// Shards splits each buffer pool into that many independently locked
+// shards. The default of one shard reproduces a monolithic pool exactly —
+// identical evictions, identical disk-access counts — which the figure
+// measurements depend on; servers answering many queries concurrently
+// should set it to roughly the core count.
 type StorePools struct {
 	Data, Overflow, Index, IDIndex int
 	Layout                         Layout
+	Shards                         int
 }
 
 func (sp *StorePools) defaults() {
@@ -74,6 +98,14 @@ func (sp *StorePools) defaults() {
 	if sp.IDIndex <= 0 {
 		sp.IDIndex = 1024
 	}
+	if sp.Shards <= 0 {
+		sp.Shards = 1
+	}
+}
+
+// newPager builds one of the store's pagers per the pool configuration.
+func (sp *StorePools) newPager(backend pager.Backend, capPages int) *pager.Pager {
+	return pager.NewSharded(backend, capPages, sp.Shards, pager.LRU)
 }
 
 // BuildStore lays ds out on fresh in-memory pagers. Use BuildStoreAt for
@@ -90,10 +122,10 @@ func BuildStore(ds *Dataset, pools StorePools) (*Store, error) {
 func buildStore(ds *Dataset, pools StorePools, backends [4]pager.Backend) (*Store, error) {
 	pools.defaults()
 	s := &Store{
-		heapP: pager.New(backends[0], pools.Data),
-		overP: pager.New(backends[1], pools.Overflow),
-		rtP:   pager.New(backends[2], pools.Index),
-		idxP:  pager.New(backends[3], pools.IDIndex),
+		heapP: pools.newPager(backends[0], pools.Data),
+		overP: pools.newPager(backends[1], pools.Overflow),
+		rtP:   pools.newPager(backends[2], pools.Index),
+		idxP:  pools.newPager(backends[3], pools.IDIndex),
 		maxE:  ds.Tree.MaxE,
 	}
 	var err error

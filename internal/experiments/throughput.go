@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"dmesh"
+	"dmesh/internal/workload"
+)
+
+// ThroughputPoint is one worker-count measurement of the concurrent
+// serving experiment: queries per second, speedup over the 1-worker run,
+// and the average per-query disk accesses (which must not depend on the
+// worker count — parallelism buys wall-clock, never extra I/O).
+type ThroughputPoint struct {
+	Workers    int
+	Queries    int
+	QPS        float64
+	Speedup    float64
+	DAPerQuery float64
+}
+
+// ParallelThroughput measures concurrent query serving against one
+// sharded Direct Mesh store: the figure-6(a) uniform workload (random
+// ROIs at the display-density LOD) is answered by QueryBatch at each
+// worker count, cold each round, and per-query disk accesses come from
+// the batch's per-session attribution. repeat repeats the ROI list to
+// give each round enough work to time (<= 0 means 20).
+func (b *Bundle) ParallelThroughput(cfg workload.Config, roiFrac float64, workerCounts []int, repeat int) ([]ThroughputPoint, error) {
+	if repeat <= 0 {
+		repeat = 20
+	}
+	store, err := b.Terrain.NewDMStoreWithPools(dmesh.StorePools{Shards: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: sharded store: %w", err)
+	}
+	e := b.DensityLOD()
+	rois := workload.ROIs(cfg, roiFrac)
+	qs := make([]dmesh.BatchQuery, 0, len(rois)*repeat)
+	for r := 0; r < repeat; r++ {
+		for _, roi := range rois {
+			qs = append(qs, dmesh.BatchQuery{ROI: roi, E: e})
+		}
+	}
+
+	out := make([]ThroughputPoint, 0, len(workerCounts))
+	var baseline float64
+	for _, w := range workerCounts {
+		if w < 1 {
+			w = 1
+		}
+		if err := store.DropCaches(); err != nil {
+			return nil, err
+		}
+		store.ResetStats()
+		start := time.Now()
+		results := store.QueryBatch(qs, w)
+		elapsed := time.Since(start)
+		var da uint64
+		for i, r := range results {
+			if r.Err != nil {
+				return nil, fmt.Errorf("experiments: throughput query %d: %w", i, r.Err)
+			}
+			da += r.DA
+		}
+		p := ThroughputPoint{
+			Workers:    w,
+			Queries:    len(qs),
+			QPS:        float64(len(qs)) / elapsed.Seconds(),
+			DAPerQuery: float64(da) / float64(len(qs)),
+		}
+		if baseline == 0 {
+			baseline = p.QPS
+		}
+		p.Speedup = p.QPS / baseline
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -108,6 +108,15 @@ func (t *Tree) syncMeta() error {
 	return nil
 }
 
+// WithSession returns a read-only view of the tree whose page accesses
+// are additionally attributed to s (per-query disk-access accounting).
+// The view shares the underlying pager pool; do not Put/Delete through it.
+func (t *Tree) WithSession(s *pager.Session) *Tree {
+	cp := *t
+	cp.p = t.p.WithSession(s)
+	return &cp
+}
+
 // Len returns the number of keys stored.
 func (t *Tree) Len() int64 { return t.size }
 

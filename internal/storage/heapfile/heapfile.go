@@ -83,6 +83,15 @@ func (f *File) writeHeader(d []byte) {
 	binary.LittleEndian.PutUint64(d[8:], uint64(f.num))
 }
 
+// WithSession returns a read-only view of the file whose page accesses
+// are additionally attributed to s (per-query disk-access accounting).
+// The view shares the underlying pager pool; do not Append through it.
+func (f *File) WithSession(s *pager.Session) *File {
+	cp := *f
+	cp.p = f.p.WithSession(s)
+	return &cp
+}
+
 // RecordSize returns the fixed record size in bytes.
 func (f *File) RecordSize() int { return f.recSize }
 

@@ -11,7 +11,7 @@ import (
 // I/O happens, which keeps the benchmark harness deterministic and fast
 // while preserving the paper's cost metric.
 type MemBackend struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex // RLock on the read path so shards read in parallel
 	pages  [][]byte
 	closed bool
 }
@@ -21,8 +21,8 @@ func NewMemBackend() *MemBackend { return &MemBackend{} }
 
 // ReadPage implements Backend.
 func (b *MemBackend) ReadPage(id PageID, buf []byte) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	if b.closed {
 		return ErrClosed
 	}
@@ -61,8 +61,8 @@ func (b *MemBackend) Allocate() (PageID, error) {
 
 // NumPages implements Backend.
 func (b *MemBackend) NumPages() PageID {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return PageID(len(b.pages))
 }
 
@@ -81,7 +81,7 @@ func (b *MemBackend) Close() error {
 // FileBackend stores pages in a single OS file, page i at offset
 // i*PageSize.
 type FileBackend struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex // RLock on the read path (ReadAt is concurrency-safe)
 	f      *os.File
 	pages  PageID
 	closed bool
@@ -107,8 +107,8 @@ func OpenFile(path string) (*FileBackend, error) {
 
 // ReadPage implements Backend.
 func (b *FileBackend) ReadPage(id PageID, buf []byte) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	if b.closed {
 		return ErrClosed
 	}
@@ -151,8 +151,8 @@ func (b *FileBackend) Allocate() (PageID, error) {
 
 // NumPages implements Backend.
 func (b *FileBackend) NumPages() PageID {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return b.pages
 }
 

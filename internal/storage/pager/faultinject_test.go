@@ -64,6 +64,58 @@ func TestReadFaultPropagates(t *testing.T) {
 	fr.Unpin()
 }
 
+func TestClockReadFaultLeavesNoGhostFrame(t *testing.T) {
+	fb := &faultBackend{Backend: NewMemBackend()}
+	p := NewWithPolicy(fb, 4, Clock)
+	defer p.Close()
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		fr, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.MarkDirty()
+		ids = append(ids, fr.ID())
+		fr.Unpin()
+	}
+	if err := p.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A failed read must fully unregister the frame it created: before the
+	// fix it was deleted from the frame map but left in the Clock ring as a
+	// pinned ghost, leaking a ring slot per fault.
+	fb.failReads = true
+	for i := 0; i < 8; i++ {
+		if _, err := p.Get(ids[0]); !errors.Is(err, errInjected) {
+			t.Fatalf("Get error = %v, want injected fault", err)
+		}
+	}
+	for _, sh := range p.pl.shards {
+		if len(sh.ring) != 0 {
+			t.Fatalf("ring holds %d stale entries after failed reads", len(sh.ring))
+		}
+		if len(sh.frames) != 0 {
+			t.Fatalf("frame map holds %d stale entries after failed reads", len(sh.frames))
+		}
+	}
+
+	// The pool must still cycle through evictions normally afterwards.
+	fb.failReads = false
+	for round := 0; round < 3; round++ {
+		for i, id := range ids {
+			fr, err := p.Get(id)
+			if err != nil {
+				t.Fatalf("Get after faults cleared: %v", err)
+			}
+			if i == 0 && fr.Data()[0] != 0 {
+				t.Fatalf("page %d corrupted", id)
+			}
+			fr.Unpin()
+		}
+	}
+}
+
 func TestEvictionWriteFaultPropagates(t *testing.T) {
 	fb := &faultBackend{Backend: NewMemBackend()}
 	p := New(fb, 4)

@@ -9,6 +9,16 @@
 // buffer-pool miss is one disk access, and DropCache simulates the paper's
 // buffer flush. Absolute numbers therefore carry the same meaning as the
 // paper's y axes.
+//
+// The buffer pool is split into independently locked shards (page ID
+// hashed to shard, each shard with its own replacement state and capacity
+// slice) so concurrent queries scale across cores. New and NewWithPolicy
+// create a single shard, which preserves the exact replacement behavior —
+// and therefore the exact disk-access counts — of a monolithic pool; the
+// experiment harness relies on that. NewSharded opts into P shards for
+// serving workloads. Statistics are atomic counters, and a Session can be
+// attached (WithSession) to additionally attribute accesses to one query
+// while other queries run.
 package pager
 
 import (
@@ -16,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the size of every page in bytes (a common DBMS block size;
@@ -54,6 +65,56 @@ type Stats struct {
 	Evictions uint64 // frames evicted to make room
 }
 
+// counters is the atomic backing store for Stats.
+type counters struct {
+	reads     atomic.Uint64
+	writes    atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Reads:     c.reads.Load(),
+		Writes:    c.writes.Load(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}
+
+func (c *counters) reset() {
+	c.reads.Store(0)
+	c.writes.Store(0)
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+}
+
+// Session attributes page accesses to one logical query (or request) while
+// other queries run against the same pool. Attach it to a pager view with
+// WithSession; every access through that view updates both the pool's
+// global counters and the session's. A miss is charged to exactly one
+// session (the one whose access performed the backend read), so concurrent
+// sessions' Reads sum to the pool's Reads.
+type Session struct {
+	c counters
+}
+
+// NewSession returns a zeroed attribution handle.
+func NewSession() *Session { return &Session{} }
+
+// Stats returns a snapshot of the session's counters.
+func (s *Session) Stats() Stats { return s.c.snapshot() }
+
+// Reads returns the disk accesses attributed to this session — the paper's
+// cost metric, scoped to one query.
+func (s *Session) Reads() uint64 { return s.c.reads.Load() }
+
+// Reset zeroes the session's counters.
+func (s *Session) Reset() { s.c.reset() }
+
 // Policy selects the buffer pool's replacement policy.
 type Policy int
 
@@ -76,47 +137,112 @@ type frame struct {
 	slot  int           // Clock: position in the ring (-1 when absent)
 }
 
-// Pager is an LRU buffer pool over a Backend. It is safe for concurrent
-// use. Frames handed out by Get/Allocate are pinned and will not be
-// evicted until unpinned.
-type Pager struct {
-	mu      sync.Mutex
+// shard is one independently locked slice of the buffer pool with its own
+// replacement state and capacity.
+type shard struct {
+	pl     *pool
+	mu     sync.Mutex
+	cap    int
+	frames map[PageID]*frame
+	lru    *list.List // LRU: front = most recently used; unpinned frames only
+	ring   []*frame   // Clock: all frames in arrival order
+	hand   int        // Clock: sweep position
+}
+
+// pool is the shared state behind one or more Pager views.
+type pool struct {
 	backend Backend
-	cap     int
 	policy  Policy
-	frames  map[PageID]*frame
-	lru     *list.List // LRU: front = most recently used; unpinned frames only
-	ring    []*frame   // Clock: all frames in arrival order
-	hand    int        // Clock: sweep position
-	stats   Stats
-	closed  bool
+	shards  []*shard
+	allocMu sync.Mutex // serializes backend allocation
+	stats   counters
+	closed  atomic.Bool
+}
+
+// Pager is a buffer pool over a Backend. It is safe for concurrent use.
+// Frames handed out by Get/Allocate are pinned and will not be evicted
+// until unpinned. A Pager value is a view: WithSession derives further
+// views over the same pool that attribute accesses to a Session.
+type Pager struct {
+	pl   *pool
+	sess *Session
 }
 
 // New creates an LRU pager over backend with capacity for capPages
-// buffered pages (minimum 4).
+// buffered pages (minimum 4) in a single shard.
 func New(backend Backend, capPages int) *Pager {
-	return NewWithPolicy(backend, capPages, LRU)
+	return NewSharded(backend, capPages, 1, LRU)
 }
 
-// NewWithPolicy creates a pager with an explicit replacement policy.
+// NewWithPolicy creates a single-shard pager with an explicit replacement
+// policy.
 func NewWithPolicy(backend Backend, capPages int, policy Policy) *Pager {
+	return NewSharded(backend, capPages, 1, policy)
+}
+
+// NewSharded creates a pager whose buffer pool is split into shards
+// independently locked shards; page IDs hash to shards, and each shard
+// runs the replacement policy over its own slice of the capacity. One
+// shard reproduces the monolithic pool exactly (same evictions, same
+// disk-access counts); more shards let concurrent queries proceed in
+// parallel. The shard count is capped so every shard holds at least 4
+// pages.
+func NewSharded(backend Backend, capPages, shards int, policy Policy) *Pager {
 	if capPages < 4 {
 		capPages = 4
 	}
-	return &Pager{
-		backend: backend,
-		cap:     capPages,
-		policy:  policy,
-		frames:  make(map[PageID]*frame, capPages),
-		lru:     list.New(),
+	if shards < 1 {
+		shards = 1
 	}
+	if shards > capPages/4 {
+		shards = capPages / 4
+		if shards < 1 {
+			shards = 1
+		}
+	}
+	pl := &pool{backend: backend, policy: policy, shards: make([]*shard, shards)}
+	base, extra := capPages/shards, capPages%shards
+	for i := range pl.shards {
+		c := base
+		if i < extra {
+			c++
+		}
+		pl.shards[i] = &shard{
+			pl:     pl,
+			cap:    c,
+			frames: make(map[PageID]*frame, c),
+			lru:    list.New(),
+		}
+	}
+	return &Pager{pl: pl}
+}
+
+// WithSession returns a view of the same pager that additionally
+// attributes page accesses to s. Views share the buffer pool, frames and
+// global statistics; only the attribution differs. Any number of views may
+// be used concurrently.
+func (p *Pager) WithSession(s *Session) *Pager {
+	return &Pager{pl: p.pl, sess: s}
+}
+
+// Shards returns the number of buffer-pool shards.
+func (p *Pager) Shards() int { return len(p.pl.shards) }
+
+// shardOf maps a page ID to its shard (Fibonacci hashing; any fixed
+// deterministic map works, the requirement is an even spread).
+func (pl *pool) shardOf(id PageID) *shard {
+	if len(pl.shards) == 1 {
+		return pl.shards[0]
+	}
+	h := (uint64(id) + 1) * 0x9E3779B97F4A7C15
+	return pl.shards[(h>>32)%uint64(len(pl.shards))]
 }
 
 // Frame is a pinned page. Callers must Unpin it when done and call
 // MarkDirty before Unpin if they modified Data.
 type Frame struct {
-	p *Pager
-	f *frame
+	sh *shard
+	f  *frame
 }
 
 // ID returns the page ID.
@@ -127,24 +253,25 @@ func (fr *Frame) Data() []byte { return fr.f.data }
 
 // MarkDirty records that the page content was modified.
 func (fr *Frame) MarkDirty() {
-	fr.p.mu.Lock()
+	fr.sh.mu.Lock()
 	fr.f.dirty = true
-	fr.p.mu.Unlock()
+	fr.sh.mu.Unlock()
 }
 
 // Unpin releases the frame. After Unpin the Frame must not be used.
 func (fr *Frame) Unpin() {
-	fr.p.mu.Lock()
-	defer fr.p.mu.Unlock()
+	sh := fr.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	f := fr.f
 	if f.pins <= 0 {
 		panic(fmt.Sprintf("pager: unpin of page %d with pin count %d", f.id, f.pins))
 	}
 	f.pins--
 	if f.pins == 0 {
-		switch fr.p.policy {
+		switch sh.pl.policy {
 		case LRU:
-			f.elem = fr.p.lru.PushFront(f)
+			f.elem = sh.lru.PushFront(f)
 		case Clock:
 			f.ref = true
 		}
@@ -153,55 +280,69 @@ func (fr *Frame) Unpin() {
 
 // Get pins page id, reading it from the backend on a buffer-pool miss.
 func (p *Pager) Get(id PageID) (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	pl := p.pl
+	if pl.closed.Load() {
 		return nil, ErrClosed
 	}
-	if f, ok := p.frames[id]; ok {
-		p.stats.Hits++
-		p.touch(f)
-		return &Frame{p: p, f: f}, nil
+	sh := pl.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f, ok := sh.frames[id]; ok {
+		pl.stats.hits.Add(1)
+		if p.sess != nil {
+			p.sess.c.hits.Add(1)
+		}
+		sh.touch(f)
+		return &Frame{sh: sh, f: f}, nil
 	}
-	p.stats.Misses++
-	p.stats.Reads++
-	f, err := p.newFrame(id)
+	pl.stats.misses.Add(1)
+	pl.stats.reads.Add(1)
+	if p.sess != nil {
+		p.sess.c.misses.Add(1)
+		p.sess.c.reads.Add(1)
+	}
+	f, err := sh.newFrame(id, p.sess)
 	if err != nil {
 		return nil, err
 	}
-	if err := p.backend.ReadPage(id, f.data); err != nil {
-		delete(p.frames, id)
+	if err := pl.backend.ReadPage(id, f.data); err != nil {
+		sh.dropFrame(f)
 		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
 	}
-	return &Frame{p: p, f: f}, nil
+	return &Frame{sh: sh, f: f}, nil
 }
 
 // Allocate creates a new zeroed page, pinned and marked dirty. No disk
 // read is charged (the page is born in the buffer pool).
 func (p *Pager) Allocate() (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	pl := p.pl
+	if pl.closed.Load() {
 		return nil, ErrClosed
 	}
-	id, err := p.backend.Allocate()
+	pl.allocMu.Lock()
+	id, err := pl.backend.Allocate()
+	pl.allocMu.Unlock()
 	if err != nil {
 		return nil, fmt.Errorf("pager: allocate: %w", err)
 	}
-	f, err := p.newFrame(id)
+	sh := pl.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, err := sh.newFrame(id, p.sess)
 	if err != nil {
 		return nil, err
 	}
 	f.dirty = true
-	return &Frame{p: p, f: f}, nil
+	return &Frame{sh: sh, f: f}, nil
 }
 
 // touch pins f, removing it from the LRU list if it was unpinned.
-func (p *Pager) touch(f *frame) {
-	switch p.policy {
+// Caller holds sh.mu.
+func (sh *shard) touch(f *frame) {
+	switch sh.pl.policy {
 	case LRU:
 		if f.pins == 0 && f.elem != nil {
-			p.lru.Remove(f.elem)
+			sh.lru.Remove(f.elem)
 			f.elem = nil
 		}
 	case Clock:
@@ -211,43 +352,69 @@ func (p *Pager) touch(f *frame) {
 }
 
 // newFrame makes room for and registers a pinned frame for page id.
-// Caller holds p.mu.
-func (p *Pager) newFrame(id PageID) (*frame, error) {
-	if err := p.makeRoom(); err != nil {
+// Caller holds sh.mu.
+func (sh *shard) newFrame(id PageID, sess *Session) (*frame, error) {
+	if err := sh.makeRoom(sess); err != nil {
 		return nil, err
 	}
 	f := &frame{id: id, data: make([]byte, PageSize), pins: 1, slot: -1}
-	p.frames[id] = f
-	if p.policy == Clock {
-		f.slot = len(p.ring)
-		p.ring = append(p.ring, f)
+	sh.frames[id] = f
+	if sh.pl.policy == Clock {
+		f.slot = len(sh.ring)
+		sh.ring = append(sh.ring, f)
 	}
 	return f, nil
 }
 
-// makeRoom evicts one unpinned frame (per policy) when the pool is full.
-// Caller holds p.mu.
-func (p *Pager) makeRoom() error {
-	if len(p.frames) < p.cap {
+// dropFrame unregisters a just-created pinned frame after a failed backend
+// read — including its Clock ring slot, which would otherwise linger as a
+// permanently pinned ghost entry every future sweep must step over.
+// Caller holds sh.mu.
+func (sh *shard) dropFrame(f *frame) {
+	delete(sh.frames, f.id)
+	if sh.pl.policy == Clock && f.slot >= 0 {
+		sh.removeFromRing(f)
+	}
+}
+
+// removeFromRing takes f out of the Clock ring (swap with the last entry)
+// and renormalizes the sweep hand. Caller holds sh.mu.
+func (sh *shard) removeFromRing(f *frame) {
+	last := len(sh.ring) - 1
+	sh.ring[f.slot] = sh.ring[last]
+	sh.ring[f.slot].slot = f.slot
+	sh.ring = sh.ring[:last]
+	if len(sh.ring) > 0 {
+		sh.hand %= len(sh.ring)
+	} else {
+		sh.hand = 0
+	}
+	f.slot = -1
+}
+
+// makeRoom evicts one unpinned frame (per policy) when the shard is full.
+// Caller holds sh.mu.
+func (sh *shard) makeRoom(sess *Session) error {
+	if len(sh.frames) < sh.cap {
 		return nil
 	}
 	var victim *frame
-	switch p.policy {
+	switch sh.pl.policy {
 	case LRU:
-		elem := p.lru.Back()
+		elem := sh.lru.Back()
 		if elem == nil {
-			return fmt.Errorf("pager: buffer pool exhausted: all %d frames pinned", p.cap)
+			return fmt.Errorf("pager: buffer pool exhausted: all %d frames pinned", sh.cap)
 		}
 		victim = elem.Value.(*frame)
-		p.lru.Remove(elem)
+		sh.lru.Remove(elem)
 		victim.elem = nil
 	case Clock:
 		// Second-chance sweep: clear reference bits until an unpinned,
 		// unreferenced frame comes around. Two full sweeps with no victim
 		// means everything is pinned.
-		for scanned := 0; scanned < 2*len(p.ring); scanned++ {
-			f := p.ring[p.hand]
-			p.hand = (p.hand + 1) % len(p.ring)
+		for scanned := 0; scanned < 2*len(sh.ring); scanned++ {
+			f := sh.ring[sh.hand]
+			sh.hand = (sh.hand + 1) % len(sh.ring)
 			if f.pins > 0 {
 				continue
 			}
@@ -259,118 +426,129 @@ func (p *Pager) makeRoom() error {
 			break
 		}
 		if victim == nil {
-			return fmt.Errorf("pager: buffer pool exhausted: all %d frames pinned", p.cap)
+			return fmt.Errorf("pager: buffer pool exhausted: all %d frames pinned", sh.cap)
 		}
-		// Remove from the ring (swap with the last entry).
-		last := len(p.ring) - 1
-		p.ring[victim.slot] = p.ring[last]
-		p.ring[victim.slot].slot = victim.slot
-		p.ring = p.ring[:last]
-		if p.hand > last {
-			p.hand = 0
-		} else if p.hand == last+1 {
-			p.hand = 0
-		}
-		if len(p.ring) > 0 {
-			p.hand %= len(p.ring)
-		} else {
-			p.hand = 0
-		}
-		victim.slot = -1
+		sh.removeFromRing(victim)
 	}
 	if victim.dirty {
-		p.stats.Writes++
-		if err := p.backend.WritePage(victim.id, victim.data); err != nil {
+		sh.pl.stats.writes.Add(1)
+		if sess != nil {
+			sess.c.writes.Add(1)
+		}
+		if err := sh.pl.backend.WritePage(victim.id, victim.data); err != nil {
 			return fmt.Errorf("pager: evict page %d: %w", victim.id, err)
 		}
 	}
-	delete(p.frames, victim.id)
-	p.stats.Evictions++
+	delete(sh.frames, victim.id)
+	sh.pl.stats.evictions.Add(1)
+	if sess != nil {
+		sess.c.evictions.Add(1)
+	}
 	return nil
+}
+
+// lockAll acquires every shard lock in shard order (the fixed order makes
+// whole-pool operations deadlock-free against each other).
+func (pl *pool) lockAll() {
+	for _, sh := range pl.shards {
+		sh.mu.Lock()
+	}
+}
+
+func (pl *pool) unlockAll() {
+	for _, sh := range pl.shards {
+		sh.mu.Unlock()
+	}
 }
 
 // FlushAll writes every dirty buffered page to the backend (pages stay
 // buffered).
 func (p *Pager) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	pl := p.pl
+	if pl.closed.Load() {
 		return ErrClosed
 	}
-	return p.flushAllLocked()
+	pl.lockAll()
+	defer pl.unlockAll()
+	return pl.flushAllLocked()
 }
 
-func (p *Pager) flushAllLocked() error {
-	for id, f := range p.frames {
-		if !f.dirty {
-			continue
+// flushAllLocked flushes every shard. Caller holds all shard locks.
+func (pl *pool) flushAllLocked() error {
+	for _, sh := range pl.shards {
+		for id, f := range sh.frames {
+			if !f.dirty {
+				continue
+			}
+			pl.stats.writes.Add(1)
+			if err := pl.backend.WritePage(id, f.data); err != nil {
+				return fmt.Errorf("pager: flush page %d: %w", id, err)
+			}
+			f.dirty = false
 		}
-		p.stats.Writes++
-		if err := p.backend.WritePage(id, f.data); err != nil {
-			return fmt.Errorf("pager: flush page %d: %w", id, err)
-		}
-		f.dirty = false
 	}
-	return p.backend.Sync()
+	return pl.backend.Sync()
 }
 
 // DropCache flushes dirty pages and then empties the buffer pool,
 // simulating the cold-cache state the paper establishes before each
 // measured query ("the database and system buffer is flushed before each
-// test"). It fails if any frame is pinned.
+// test"). It fails if any frame is pinned; concurrent Get/Unpin callers
+// simply serialize against it.
 func (p *Pager) DropCache() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	pl := p.pl
+	if pl.closed.Load() {
 		return ErrClosed
 	}
-	for _, f := range p.frames {
-		if f.pins > 0 {
-			return fmt.Errorf("pager: DropCache with page %d pinned", f.id)
+	pl.lockAll()
+	defer pl.unlockAll()
+	for _, sh := range pl.shards {
+		for _, f := range sh.frames {
+			if f.pins > 0 {
+				return fmt.Errorf("pager: DropCache with page %d pinned", f.id)
+			}
 		}
 	}
-	if err := p.flushAllLocked(); err != nil {
+	if err := pl.flushAllLocked(); err != nil {
 		return err
 	}
-	p.frames = make(map[PageID]*frame, p.cap)
-	p.lru.Init()
-	p.ring = p.ring[:0]
-	p.hand = 0
+	for _, sh := range pl.shards {
+		sh.frames = make(map[PageID]*frame, sh.cap)
+		sh.lru.Init()
+		sh.ring = sh.ring[:0]
+		sh.hand = 0
+	}
 	return nil
 }
 
-// Stats returns a snapshot of the counters.
-func (p *Pager) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
-}
+// Stats returns a snapshot of the pool-wide counters. Under concurrency
+// the fields are individually, not mutually, consistent.
+func (p *Pager) Stats() Stats { return p.pl.stats.snapshot() }
 
-// ResetStats zeroes the counters (typically right after DropCache, before
-// a measured query).
-func (p *Pager) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
-}
+// ResetStats zeroes the pool-wide counters (typically right after
+// DropCache, before a measured query). Attached Sessions are unaffected.
+func (p *Pager) ResetStats() { p.pl.stats.reset() }
 
 // NumPages reports the number of allocated pages in the backend.
 func (p *Pager) NumPages() PageID {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.backend.NumPages()
+	return p.pl.backend.NumPages()
 }
 
-// Close flushes and closes the pager and its backend.
+// Close flushes and closes the pager and its backend. All views share the
+// closed state.
 func (p *Pager) Close() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	pl := p.pl
+	if pl.closed.Load() {
 		return nil
 	}
-	if err := p.flushAllLocked(); err != nil {
+	pl.lockAll()
+	defer pl.unlockAll()
+	if pl.closed.Load() {
+		return nil
+	}
+	if err := pl.flushAllLocked(); err != nil {
 		return err
 	}
-	p.closed = true
-	return p.backend.Close()
+	pl.closed.Store(true)
+	return pl.backend.Close()
 }
