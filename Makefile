@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race bench figures
+.PHONY: verify build vet test race bench benchsmoke figures
 
 # The CI gate: build, vet, and the full test suite under the race
 # detector (short mode keeps the large-terrain tests out of the loop).
@@ -18,9 +18,16 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-# The paper's metric: custom DA/... counters, not ns/op.
-bench:
-	$(GO) test -bench=. -benchmem
+# The paper's metric: custom DA/... counters, not ns/op. Runs the unit
+# suite first (a benchmark of broken code measures nothing); -run '^$$'
+# keeps the tests out of the timed benchmark binary itself.
+bench: test
+	$(GO) test -bench=. -benchmem -run '^$$'
+
+# One-iteration benchmark pass: proves every benchmark still runs
+# without paying for statistically meaningful timings (the CI smoke).
+benchsmoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 
 # Full-scale figure reproduction (several minutes); output under results/.
 figures:

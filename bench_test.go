@@ -310,6 +310,27 @@ func BenchmarkAblationPoolSize(b *testing.B) {
 	}
 }
 
+// BenchmarkFlyoverCoherent runs one point of the temporal-coherence
+// experiment (90% frame overlap on a memory-constrained store) and
+// reports each engine's mean disk accesses per frame — the incremental
+// engine's DA/IncSB is the headline number against DA/FullWarm.
+func BenchmarkFlyoverCoherent(b *testing.B) {
+	bb := bundle(b, "highland")
+	var fig *experiments.FlyoverFigure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = bb.Flyover(benchCfg(), []float64{0.9}, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	p := fig.Points[0]
+	b.ReportMetric(p.FullColdDA, "DA/FullCold")
+	b.ReportMetric(p.FullWarmDA, "DA/FullWarm")
+	b.ReportMetric(p.IncSBDA, "DA/IncSB")
+	b.ReportMetric(p.IncMBDA, "DA/IncMB")
+}
+
 // BenchmarkBuildPipeline measures end-to-end dataset construction (terrain
 // generation, simplification, store building) — the once-off cost the
 // paper excludes from query measurements.

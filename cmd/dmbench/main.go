@@ -4,12 +4,21 @@
 //
 // Usage:
 //
-//	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn|throughput]
+//	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn|throughput|flyover]
 //	        [-size N] [-size2 N] [-seed S] [-locations L]
+//	        [-cpuprofile F] [-memprofile F]
 //
 // -fig throughput is not a paper figure: it measures concurrent query
 // serving against a sharded buffer pool (queries/sec and speedup by
 // worker count, with per-query disk accesses held constant).
+//
+// -fig flyover is not a paper figure either: it measures the
+// temporal-coherence extension — mean disk accesses per frame along a
+// camera path, full re-query vs the incremental (delta) engine, swept
+// over the frame-to-frame overlap on a memory-constrained store.
+//
+// -cpuprofile and -memprofile write pprof profiles of whatever figure
+// selection ran (go tool pprof reads them).
 //
 // The 2M-point and 17M-point datasets of the paper are represented by
 // synthetic DEMs ("highland" and "crater"); -size and -size2 set their
@@ -22,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
 
@@ -30,6 +40,16 @@ import (
 )
 
 func main() {
+	if err := mainErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "dmbench:", err)
+		os.Exit(1)
+	}
+}
+
+// mainErr holds the flag parsing and profile lifecycle; keeping the
+// deferred profile flushes out of main lets them run even when the
+// selected figure fails.
+func mainErr() error {
 	var (
 		fig       = flag.String("fig", "all", "figure to reproduce (6a..6d, 8a..8f, conn, throughput, all)")
 		size      = flag.Int("size", 257, "grid side of the highland dataset (the paper's 2M-point terrain)")
@@ -37,21 +57,47 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generation seed")
 		locations = flag.Int("locations", 20, "random ROI placements averaged per measurement")
 		csvOut    = flag.Bool("csv", false, "emit figures as CSV instead of aligned tables")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	if err := run(*fig, *size, *size2, *seed, *locations, *csvOut); err != nil {
-		fmt.Fprintln(os.Stderr, "dmbench:", err)
-		os.Exit(1)
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
 	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dmbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dmbench:", err)
+			}
+		}()
+	}
+	return run(*fig, *size, *size2, *seed, *locations, *csvOut)
 }
 
 func run(fig string, size, size2 int, seed int64, locations int, csvOut bool) error {
 	fig = strings.ToLower(fig)
 	cfg := workload.Config{Locations: locations, Seed: seed}
 
-	needHighland := fig == "all" || fig == "conn" || fig == "throughput" ||
+	needHighland := fig == "all" || fig == "conn" || fig == "throughput" || fig == "flyover" ||
 		strings.HasSuffix(fig, "a") || strings.HasSuffix(fig, "b") || fig == "8c"
-	needCrater := fig == "all" || fig == "conn" || strings.HasSuffix(fig, "c") && fig != "8c" || strings.HasSuffix(fig, "d") || strings.HasSuffix(fig, "e") || strings.HasSuffix(fig, "f")
+	needCrater := fig == "all" || fig == "conn" || fig == "flyover" ||
+		strings.HasSuffix(fig, "c") && fig != "8c" || strings.HasSuffix(fig, "d") || strings.HasSuffix(fig, "e") || strings.HasSuffix(fig, "f")
 	if fig == "6c" {
 		needCrater = true
 	}
@@ -106,6 +152,17 @@ func run(fig string, size, size2 int, seed int64, locations int, csvOut bool) er
 			return err
 		}
 		if fig == "throughput" {
+			return nil
+		}
+	}
+
+	if fig == "flyover" || fig == "all" {
+		for _, b := range []*experiments.Bundle{highland, crater} {
+			if err := printFlyover(b, cfg); err != nil {
+				return err
+			}
+		}
+		if fig == "flyover" {
 			return nil
 		}
 	}
@@ -181,6 +238,34 @@ func printThroughput(b *experiments.Bundle, cfg workload.Config) error {
 	fmt.Fprintln(w, "workers\tqueries/sec\tspeedup\tDA/query")
 	for _, p := range pts {
 		fmt.Fprintf(w, "%d\t%.0f\t%.2fx\t%.1f\n", p.Workers, p.QPS, p.Speedup, p.DAPerQuery)
+	}
+	return w.Flush()
+}
+
+// printFlyover runs the temporal-coherence measurement: a camera path
+// answered by full re-query (cold and warm pool) and by the incremental
+// coherent engine, on a deliberately memory-constrained store.
+func printFlyover(b *experiments.Bundle, cfg workload.Config) error {
+	if b == nil {
+		return nil
+	}
+	overlaps := []float64{0.5, 0.7, 0.8, 0.9, 0.95}
+	fig, err := b.Flyover(cfg, overlaps, 40)
+	if err != nil {
+		return fmt.Errorf("flyover: %w", err)
+	}
+	fmt.Printf("\nFlyover coherence (%s, %d frames/path, pools %d/%d/%d/%d pages, mean DA/frame, frame 0 excluded):\n",
+		fig.Name, fig.Frames, fig.Pools.Data, fig.Pools.Overflow, fig.Pools.Index, fig.Pools.IDIndex)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "overlap\trealized\tFullCold\tFullWarm\tIncSB\tIncMB\tWarm/IncSB\tfallbacks")
+	for _, p := range fig.Points {
+		ratio := 0.0
+		if p.IncSBDA > 0 {
+			ratio = p.FullWarmDA / p.IncSBDA
+		}
+		fmt.Fprintf(w, "%.2f\t%.2f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1fx\t%d/%d\n",
+			p.Overlap, p.Realized, p.FullColdDA, p.FullWarmDA, p.IncSBDA, p.IncMBDA, ratio,
+			p.IncSBFull, p.IncMBFull)
 	}
 	return w.Flush()
 }

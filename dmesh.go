@@ -59,6 +59,13 @@ type (
 	// accesses to itself (DMStore.NewSession), enabling concurrent
 	// serving without a global query lock.
 	DMSession = dm.Session
+	// DMCoherentSession answers a temporally coherent frame sequence (a
+	// terrain flyover) incrementally, retaining the previous frame's
+	// fetched nodes and triangulation (DMStore.NewCoherentSession).
+	DMCoherentSession = dm.CoherentSession
+	// FrameStats describes how one coherent frame was answered: delta vs
+	// full, nodes retained/fetched/evicted, disk accesses.
+	FrameStats = dm.FrameStats
 	// BatchQuery describes one independent query for DMStore.QueryBatch.
 	BatchQuery = dm.BatchQuery
 	// BatchResult is one QueryBatch outcome: mesh, per-query disk

@@ -1,8 +1,13 @@
 // Flyover: a camera travels across the terrain issuing one viewpoint-
 // dependent query per frame — the interactive-visualization workload the
-// paper's introduction motivates. Each frame's mesh is finest near the
-// camera and coarsens with distance; the program reports per-frame mesh
-// sizes and I/O, comparing single-base and multi-base retrieval.
+// paper's introduction motivates. Consecutive frames overlap heavily, so
+// the program answers the same camera path twice: once by re-running the
+// full query every frame (warm buffer pool — the stateless engine's best
+// case) and once with a coherent session (dmesh.DMCoherentSession) that
+// retains the previous frame's nodes and triangulation and only fetches
+// the newly exposed volume. The buffer pool is deliberately small, as on
+// a server answering many flyovers at once; that is the regime where
+// temporal coherence pays.
 //
 //	go run ./examples/flyover
 package main
@@ -12,16 +17,19 @@ import (
 	"log"
 
 	"dmesh"
+	"dmesh/internal/workload"
 )
 
-const frames = 12
+const frames = 16
 
 func main() {
 	terrain, err := dmesh.Build(dmesh.Config{Dataset: "crater", Size: 129, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
-	store, err := terrain.NewDMStore()
+	store, err := terrain.NewDMStoreWithPools(dmesh.StorePools{
+		Data: 64, Overflow: 16, Index: 64, IDIndex: 16,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,48 +38,59 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The camera flies south to north over the crater; each frame sees a
-	// viewport-sized ROI ahead of it with LOD falling off with distance.
-	const (
-		viewWidth = 0.5
-		viewDepth = 0.4
-	)
-	eNear := terrain.LODPercentile(0.75) // fine near the camera
-	eFar := terrain.LODPercentile(0.99)  // coarse at the horizon
-
-	fmt.Printf("%5s  %-28s  %8s  %8s  %10s  %10s\n",
-		"frame", "view", "verts", "tris", "DA(single)", "DA(multi)")
-	for f := 0; f < frames; f++ {
-		camY := float64(f) / frames * (1 - viewDepth)
-		roi := dmesh.NewRect(0.5-viewWidth/2, camY, 0.5+viewWidth/2, camY+viewDepth)
-		plane := dmesh.QueryPlane{R: roi, EMin: eNear, EMax: eFar, Axis: 1}
-
-		if err := store.DropCaches(); err != nil {
-			log.Fatal(err)
-		}
-		store.ResetStats()
-		sb, err := store.SingleBase(plane)
-		if err != nil {
-			log.Fatal(err)
-		}
-		daSingle := store.DiskAccesses()
-
-		if err := store.DropCaches(); err != nil {
-			log.Fatal(err)
-		}
-		store.ResetStats()
-		mb, err := store.MultiBase(plane, model, 0)
-		if err != nil {
-			log.Fatal(err)
-		}
-		daMulti := store.DiskAccesses()
-
-		if len(mb.Vertices) != len(sb.Vertices) {
-			log.Fatalf("frame %d: single/multi vertex sets differ (%d vs %d)",
-				f, len(sb.Vertices), len(mb.Vertices))
-		}
-		fmt.Printf("%5d  y=[%.2f,%.2f] x=[%.2f,%.2f]  %8d  %8d  %10d  %10d\n",
-			f, roi.MinY, roi.MaxY, roi.MinX, roi.MaxX,
-			len(sb.Vertices), len(sb.Triangles), daSingle, daMulti)
+	// The camera flies south to north, each frame seeing a viewport-sized
+	// ROI with LOD falling off with distance; consecutive frames share 85%
+	// of their view.
+	path := workload.CameraPath{
+		Frames:    frames,
+		ViewWidth: 0.5, ViewHeight: 0.4,
+		Overlap: 0.85,
+		Axis:    1,
+		EMin:    terrain.LODPercentile(0.75), // fine near the camera
+		EMax:    terrain.LODPercentile(0.99), // coarse at the horizon
+		Seed:    7,
 	}
+	planes := path.Planes()
+
+	// Pass 1: full re-query per frame against a warm pool.
+	if err := store.DropCaches(); err != nil {
+		log.Fatal(err)
+	}
+	sess := store.NewSession()
+	fullDA := make([]uint64, len(planes))
+	for f, plane := range planes {
+		sess.ResetStats()
+		if _, err := sess.SingleBase(plane); err != nil {
+			log.Fatal(err)
+		}
+		fullDA[f] = sess.DiskAccesses()
+	}
+
+	// Pass 2: the coherent session answers the same frames incrementally.
+	if err := store.DropCaches(); err != nil {
+		log.Fatal(err)
+	}
+	cs := store.NewCoherentSession(model)
+	fmt.Printf("%5s  %-14s  %6s  %6s  %7s  %7s  %7s  %8s  %7s\n",
+		"frame", "view y", "verts", "tris", "retain", "fetch", "evict", "DA(full)", "DA(inc)")
+	var sumFull, sumInc uint64
+	for f, plane := range planes {
+		res, st, err := cs.Frame(plane)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := ""
+		if st.Full {
+			mode = " (full)"
+		}
+		fmt.Printf("%5d  y=[%.2f,%.2f]  %6d  %6d  %7d  %7d  %7d  %8d  %6d%s\n",
+			f, plane.R.MinY, plane.R.MaxY, len(res.Vertices), len(res.Triangles),
+			st.Retained, st.Fetched, st.Evicted, fullDA[f], st.DA, mode)
+		if f > 0 { // frame 0 is cold for both engines
+			sumFull += fullDA[f]
+			sumInc += st.DA
+		}
+	}
+	fmt.Printf("\nframes 1..%d: full re-query %d disk accesses, incremental %d (%.1fx fewer)\n",
+		len(planes)-1, sumFull, sumInc, float64(sumFull)/float64(sumInc))
 }

@@ -9,9 +9,16 @@
 // store session (dmesh.DMSession), so the per-tile disk-access count is
 // exact without a global query lock or a ResetStats between requests.
 //
+// Clients animating a camera use /frame instead of /tile: naming a
+// session keeps a coherent session (dmesh.DMCoherentSession) alive on
+// the server between requests, so consecutive overlapping frames are
+// answered incrementally — only the newly exposed volume is fetched.
+//
 //	go run ./examples/tileserver [-addr :8080]
 //
 //	curl 'http://localhost:8080/tile?x0=0.2&y0=0.2&x1=0.5&y1=0.5&lod=0.9'
+//	curl 'http://localhost:8080/frame?session=cam1&x0=0.2&y0=0.0&x1=0.7&y1=0.4&near=0.75&far=0.99'
+//	curl 'http://localhost:8080/frame?session=cam1&x0=0.2&y0=0.1&x1=0.7&y1=0.5&near=0.75&far=0.99'
 //	curl 'http://localhost:8080/stats'
 package main
 
@@ -23,7 +30,9 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"dmesh"
 )
@@ -31,8 +40,50 @@ import (
 type server struct {
 	terrain *dmesh.Terrain
 	store   *dmesh.DMStore
+	model   *dmesh.CostModel
 	served  atomic.Uint64
 	tileDA  atomic.Uint64
+
+	// Named coherent sessions, one per animating client. A coherent
+	// session is stateful and not safe for concurrent use, so each entry
+	// carries its own lock; the map itself has another.
+	camMu   sync.Mutex
+	cameras map[string]*camera
+}
+
+// maxCameras caps the retained coherent sessions; the least recently
+// used one is dropped when a new client would exceed it.
+const maxCameras = 64
+
+type camera struct {
+	mu       sync.Mutex
+	cs       *dmesh.DMCoherentSession
+	lastUsed time.Time
+	frames   uint64
+	da       uint64
+}
+
+// lookupCamera returns the named client's coherent session, creating it
+// (and evicting the least recently used one past the cap) if needed.
+func (s *server) lookupCamera(name string) *camera {
+	s.camMu.Lock()
+	defer s.camMu.Unlock()
+	if c, ok := s.cameras[name]; ok {
+		c.lastUsed = time.Now()
+		return c
+	}
+	if len(s.cameras) >= maxCameras {
+		var oldest string
+		for n, c := range s.cameras {
+			if oldest == "" || c.lastUsed.Before(s.cameras[oldest].lastUsed) {
+				oldest = n
+			}
+		}
+		delete(s.cameras, oldest)
+	}
+	c := &camera{cs: s.store.NewCoherentSession(s.model), lastUsed: time.Now()}
+	s.cameras[name] = c
+	return c
 }
 
 type tileResponse struct {
@@ -55,10 +106,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{terrain: terrain, store: store}
+	model, err := dmesh.NewCostModel(store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &server{terrain: terrain, store: store, model: model, cameras: make(map[string]*camera)}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/tile", s.handleTile)
+	mux.HandleFunc("/frame", s.handleFrame)
 	mux.HandleFunc("/stats", s.handleStats)
 	log.Printf("serving %d-point terrain on %s (%d pool shards)",
 		terrain.NumPoints(), *addr, runtime.NumCPU())
@@ -122,6 +178,86 @@ func (s *server) handleTile(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+type frameResponse struct {
+	Session      string                `json:"session"`
+	Full         bool                  `json:"full"`
+	Retained     int                   `json:"retained"`
+	Fetched      int                   `json:"fetched"`
+	Evicted      int                   `json:"evicted"`
+	Vertices     map[string][3]float64 `json:"vertices"`
+	Triangles    [][3]int64            `json:"triangles"`
+	DiskAccesses uint64                `json:"disk_accesses"`
+}
+
+// handleFrame answers one frame of a named client's camera animation
+// through its retained coherent session. near and far are LOD
+// percentiles at the low- and high-y edges of the view (equal values
+// give a uniform frame); overlapping consecutive frames are answered
+// incrementally.
+func (s *server) handleFrame(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("session")
+	if name == "" {
+		http.Error(w, "session parameter required", http.StatusBadRequest)
+		return
+	}
+	x0, err1 := queryFloat(r, "x0", 0)
+	y0, err2 := queryFloat(r, "y0", 0)
+	x1, err3 := queryFloat(r, "x1", 1)
+	y1, err4 := queryFloat(r, "y1", 1)
+	near, err5 := queryFloat(r, "near", 0.75)
+	far, err6 := queryFloat(r, "far", 0.99)
+	for _, err := range []error{err1, err2, err3, err4, err5, err6} {
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if near < 0 || near > 1 || far < 0 || far > 1 {
+		http.Error(w, "near and far must be percentiles in [0,1]", http.StatusBadRequest)
+		return
+	}
+	plane := dmesh.QueryPlane{
+		R:    dmesh.NewRect(x0, y0, x1, y1),
+		EMin: s.terrain.LODPercentile(near),
+		EMax: s.terrain.LODPercentile(far),
+		Axis: 1,
+	}
+
+	cam := s.lookupCamera(name)
+	cam.mu.Lock()
+	res, st, err := cam.cs.Frame(plane)
+	if err == nil {
+		cam.frames++
+		cam.da += st.DA
+	}
+	cam.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	resp := frameResponse{
+		Session:      name,
+		Full:         st.Full,
+		Retained:     st.Retained,
+		Fetched:      st.Fetched,
+		Evicted:      st.Evicted,
+		Vertices:     make(map[string][3]float64, len(res.Vertices)),
+		Triangles:    make([][3]int64, 0, len(res.Triangles)),
+		DiskAccesses: st.DA,
+	}
+	for id, p := range res.Vertices {
+		resp.Vertices[strconv.FormatInt(id, 10)] = [3]float64{p.X, p.Y, p.Z}
+	}
+	for _, t := range res.Triangles {
+		resp.Triangles = append(resp.Triangles, [3]int64{t.A, t.B, t.C})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("frame encode: %v", err)
+	}
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "points:    %d\n", s.terrain.NumPoints())
@@ -134,6 +270,21 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "tiles:     %d\n", served)
 	if served > 0 {
 		fmt.Fprintf(w, "DA/tile:   %.1f\n", float64(s.tileDA.Load())/float64(served))
+	}
+	s.camMu.Lock()
+	var camFrames, camDA uint64
+	nCams := len(s.cameras)
+	for _, c := range s.cameras {
+		c.mu.Lock()
+		camFrames += c.frames
+		camDA += c.da
+		c.mu.Unlock()
+	}
+	s.camMu.Unlock()
+	fmt.Fprintf(w, "cameras:   %d\n", nCams)
+	fmt.Fprintf(w, "frames:    %d\n", camFrames)
+	if camFrames > 0 {
+		fmt.Fprintf(w, "DA/frame:  %.1f\n", float64(camDA)/float64(camFrames))
 	}
 	fmt.Fprintf(w, "pool DA:   %d\n", s.store.DiskAccesses())
 }

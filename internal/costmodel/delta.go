@@ -1,0 +1,28 @@
+package costmodel
+
+import "dmesh/internal/geom"
+
+// EstimateBoxes sums formula (1) over a set of query boxes, one
+// independent range query per box. No sharing credit is applied between
+// boxes: a coherent query's delta fragments are narrow and rarely
+// co-resident in the same index subtree, and overcounting only biases
+// the decision toward the safe full requery.
+func (m *Model) EstimateBoxes(boxes []geom.Box) float64 {
+	var sum float64
+	for _, b := range boxes {
+		sum += m.EstimateDA(b)
+	}
+	return sum
+}
+
+// DeltaDecision compares answering a moved query volume incrementally
+// (fetch only the uncovered fragments) against from scratch (refetch
+// the whole target volume). It returns the two formula (1) estimates
+// and whether the delta plan is predicted strictly cheaper — when the
+// viewpoint jumps, the fragments degenerate to (roughly) the full
+// target and the coherent engine falls back to a clean full query.
+func (m *Model) DeltaDecision(target, fragments []geom.Box) (useDelta bool, fullDA, deltaDA float64) {
+	fullDA = m.EstimateBoxes(target)
+	deltaDA = m.EstimateBoxes(fragments)
+	return deltaDA < fullDA, fullDA, deltaDA
+}

@@ -1,0 +1,53 @@
+package costmodel
+
+import (
+	"testing"
+
+	"dmesh/internal/geom"
+)
+
+func TestEstimateBoxesSums(t *testing.T) {
+	tr := buildTree(t, 2000, 3)
+	m, err := FromRTree(tr, unitSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := geom.Box{MinX: 0.1, MinY: 0.1, MinE: 0.1, MaxX: 0.3, MaxY: 0.3, MaxE: 0.3}
+	b := geom.Box{MinX: 0.5, MinY: 0.5, MinE: 0.5, MaxX: 0.8, MaxY: 0.8, MaxE: 0.8}
+	if got, want := m.EstimateBoxes([]geom.Box{a, b}), m.EstimateDA(a)+m.EstimateDA(b); got != want {
+		t.Fatalf("EstimateBoxes = %g, want %g", got, want)
+	}
+	if got := m.EstimateBoxes(nil); got != 0 {
+		t.Fatalf("EstimateBoxes(nil) = %g, want 0", got)
+	}
+}
+
+func TestDeltaDecision(t *testing.T) {
+	tr := buildTree(t, 2000, 4)
+	m, err := FromRTree(tr, unitSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := []geom.Box{{MinX: 0.1, MinY: 0.1, MinE: 0.1, MaxX: 0.6, MaxY: 0.6, MaxE: 0.6}}
+
+	// Nothing new to fetch: the delta plan is free and must win.
+	useDelta, fullDA, deltaDA := m.DeltaDecision(target, nil)
+	if !useDelta || deltaDA != 0 || fullDA <= 0 {
+		t.Fatalf("empty delta: useDelta=%v full=%g delta=%g", useDelta, fullDA, deltaDA)
+	}
+
+	// Fragments identical to the target volume: no predicted gain, so
+	// the engine must prefer the clean full requery.
+	useDelta, fullDA, deltaDA = m.DeltaDecision(target, target)
+	if useDelta || deltaDA != fullDA {
+		t.Fatalf("identical delta: useDelta=%v full=%g delta=%g", useDelta, fullDA, deltaDA)
+	}
+
+	// A thin uncovered slab must be predicted cheaper than the full box.
+	frag := target[0]
+	frag.MinY = frag.MaxY - 0.05
+	useDelta, fullDA, deltaDA = m.DeltaDecision(target, []geom.Box{frag})
+	if !useDelta || deltaDA >= fullDA {
+		t.Fatalf("thin delta: useDelta=%v full=%g delta=%g", useDelta, fullDA, deltaDA)
+	}
+}

@@ -1,0 +1,320 @@
+package dm
+
+import (
+	"errors"
+
+	"dmesh/internal/costmodel"
+	"dmesh/internal/geom"
+	"dmesh/internal/pm"
+	"dmesh/internal/rtree"
+)
+
+var errFrameNeedsModel = errors.New("dm: FrameMultiBase requires a cost model")
+
+// CoherentSession answers a sequence of temporally coherent queries —
+// the frames of a terrain flyover — incrementally. It retains the
+// previous frame's fetched node set (with LOD intervals) and its
+// triangulation; for the next frame it subtracts the covered volume
+// from the new query volume, issues narrow range queries only for the
+// newly exposed fragments, evicts nodes whose vertical segments left
+// the volume, and repairs the triangulation only around the nodes that
+// changed, walking their connection lists. When the cost model predicts
+// the delta plan to be no cheaper than starting over (the viewpoint
+// jumped), the frame falls back to a full query and the state resets.
+//
+// The invariant that makes every frame exact is fetched-set equality:
+// after each frame the retained map holds precisely the nodes whose
+// stored segments intersect the frame's query volume — the same set a
+// from-scratch query fetches — and the patched mesh equals the
+// assembler's output over that set (same vertices, edges, triangles;
+// slice orders differ).
+//
+// A CoherentSession wraps its own pager.Session, so FrameStats.DA is
+// the frame's exact page-read count even while other sessions share the
+// store. It is not safe for concurrent use; servers keep one per
+// client.
+type CoherentSession struct {
+	sess  *Session
+	model *costmodel.Model
+
+	cover   []geom.Box       // query volume of the previous frame
+	fetched map[int64]*Node  // nodes whose segments intersect cover
+	rep     map[int64]int64  // live representative per fetched node (-1: none)
+	live    map[int64]*Node  // the previous frame's cut
+	mesh    *patchMesh
+}
+
+// FrameStats describes how one coherent frame was answered.
+type FrameStats struct {
+	// Full reports whether the frame ran as a full query (first frame,
+	// Invalidate, or cost-model fallback) instead of a delta.
+	Full bool
+	// Strips is the number of query cubes in the frame's plan.
+	Strips int
+	// Fragments is the number of uncovered delta boxes the plan reduced
+	// to (0 when the frame ran full).
+	Fragments int
+	// Fetched is the number of node records read this frame.
+	Fetched int
+	// Retained is the number of nodes carried over from the previous
+	// frame; Evicted is the number dropped because their segments left
+	// the query volume.
+	Retained, Evicted int
+	// PredFullDA and PredDeltaDA are the cost model's formula (1)
+	// estimates that drove the delta-vs-full decision (zero on the
+	// first frame, where there is nothing to compare).
+	PredFullDA, PredDeltaDA float64
+	// DA is the disk accesses the frame actually paid, attributed to
+	// this session only.
+	DA uint64
+}
+
+// NewCoherentSession returns a coherent view of the store. The cost
+// model drives the delta-vs-full fallback; a nil model disables the
+// fallback (frames after the first always run the delta plan).
+func (s *Store) NewCoherentSession(model *costmodel.Model) *CoherentSession {
+	return &CoherentSession{sess: s.NewSession(), model: model}
+}
+
+// Invalidate drops the retained state; the next frame runs as a full
+// query. Call it when the store contents changed underneath.
+func (c *CoherentSession) Invalidate() {
+	c.cover = nil
+	c.fetched = nil
+	c.rep = nil
+	c.live = nil
+	c.mesh = nil
+}
+
+// DiskAccesses returns the total pages read by this session's frames.
+func (c *CoherentSession) DiskAccesses() uint64 { return c.sess.DiskAccesses() }
+
+// FrameUniform answers a viewpoint-independent frame Q(M, r, e),
+// incrementally when the previous frame's volume overlaps. It matches
+// Store.ViewpointIndependent exactly, including the fetch clamp to the
+// dataset's maximum LOD.
+func (c *CoherentSession) FrameUniform(r geom.Rect, e float64) (*Result, FrameStats, error) {
+	fetchE := e
+	if fetchE > c.sess.maxE {
+		fetchE = c.sess.maxE
+	}
+	qp := geom.QueryPlane{R: r, EMin: e, EMax: e}
+	return c.frame(qp, []geom.Box{geom.BoxFromRect(r, fetchE, fetchE)})
+}
+
+// Frame answers a single-base viewpoint-dependent frame, matching
+// Store.SingleBase exactly.
+func (c *CoherentSession) Frame(qp geom.QueryPlane) (*Result, FrameStats, error) {
+	return c.frame(qp, []geom.Box{geom.BoxFromRect(qp.R, qp.EMin, qp.EMax)})
+}
+
+// FrameMultiBase answers a multi-base viewpoint-dependent frame: the
+// cost model plans the strips (as Store.MultiBase would) and the delta
+// is computed against their union. Requires a cost model.
+func (c *CoherentSession) FrameMultiBase(qp geom.QueryPlane, maxStrips int) (*Result, FrameStats, error) {
+	if c.model == nil {
+		return nil, FrameStats{}, errFrameNeedsModel
+	}
+	return c.FrameStrips(qp, c.model.PlanStrips(qp, maxStrips))
+}
+
+// FrameStrips answers a viewpoint-dependent frame with an explicit cube
+// plan, matching Store.ExecuteStrips on the same plan exactly.
+func (c *CoherentSession) FrameStrips(qp geom.QueryPlane, strips []costmodel.Strip) (*Result, FrameStats, error) {
+	target := make([]geom.Box, len(strips))
+	for i, st := range strips {
+		target[i] = st.Box()
+	}
+	return c.frame(qp, target)
+}
+
+// frame is the engine: decide delta vs full, reconcile the fetched set
+// with the new target volume, then patch the mesh around the dirty
+// nodes.
+func (c *CoherentSession) frame(qp geom.QueryPlane, target []geom.Box) (*Result, FrameStats, error) {
+	c.sess.ResetStats()
+	st := FrameStats{Strips: len(target)}
+
+	full := c.fetched == nil
+	var frags []geom.Box
+	if !full {
+		frags = rtree.DeltaBoxes(target, c.cover)
+		st.Fragments = len(frags)
+		if c.model != nil {
+			useDelta, fullDA, deltaDA := c.model.DeltaDecision(target, frags)
+			st.PredFullDA, st.PredDeltaDA = fullDA, deltaDA
+			full = !useDelta
+		}
+	}
+
+	f := c.sess.newFetcher()
+	f.track = true
+	var evicted map[int64]*Node
+	if full {
+		st.Full = true
+		st.Fragments = 0
+		c.Invalidate()
+		f.nodes = make(map[int64]*Node)
+		c.mesh = newPatchMesh()
+	} else {
+		// Evict nodes whose stored segments no longer intersect the
+		// target volume: the same closed-box intersection the R-tree
+		// applies, so retention and (re)fetching agree bit for bit.
+		evicted = make(map[int64]*Node)
+		for id, n := range c.fetched {
+			if !segmentIntersectsAny(segmentOf(&n.Node, c.sess.maxE), target) {
+				evicted[id] = n
+				delete(c.fetched, id)
+			}
+		}
+		st.Evicted = len(evicted)
+		st.Retained = len(c.fetched)
+		f.nodes = c.fetched
+	}
+	fetchBoxes := target
+	if !full {
+		fetchBoxes = frags
+	}
+	for _, b := range fetchBoxes {
+		nf, err := f.fetchBox(b)
+		if err != nil {
+			// The retained state may be mid-reconciliation; start clean.
+			c.Invalidate()
+			return nil, st, err
+		}
+		st.Fetched += nf
+	}
+	c.fetched = f.fetched()
+
+	newLive, newRep := liveAndReps(qp, c.fetched)
+
+	// Dirty set: every node whose presence or live representative
+	// changed. Any edge the frame adds or removes has a witness pair
+	// with at least one dirty endpoint (a liveness flip always changes
+	// the node's own rep, and a rep chain through an evicted or newly
+	// fetched node changes the chain root's rep), so walking the dirty
+	// nodes' connection lists visits every affected pair.
+	dirty := make(map[int64]bool, len(f.added)+len(evicted))
+	for _, id := range f.added {
+		dirty[id] = true
+	}
+	for id := range evicted {
+		dirty[id] = true
+	}
+	for id, r := range newRep {
+		if !dirty[id] {
+			if old, ok := c.rep[id]; ok && old != r {
+				dirty[id] = true
+			}
+		}
+	}
+
+	oldRep := c.rep // nil on full frames: no old contributions to remove
+	for a := range dirty {
+		n := c.fetched[a]
+		if n == nil {
+			n = evicted[a]
+		}
+		for _, b := range n.Conn {
+			if dirty[b] && b < a {
+				continue // the pair is handled from b's side
+			}
+			oldE, oldOK := edgeContribution(oldRep, a, b)
+			newE, newOK := edgeContribution(newRep, a, b)
+			if oldOK == newOK && (!oldOK || oldE == newE) {
+				continue
+			}
+			if oldOK {
+				c.mesh.dec(oldE)
+			}
+			if newOK {
+				c.mesh.inc(newE)
+			}
+		}
+	}
+
+	c.cover = append(c.cover[:0:0], target...)
+	c.rep = newRep
+	c.live = newLive
+
+	res := c.mesh.result(newLive)
+	res.FetchedRecords = st.Fetched
+	res.Strips = len(fetchBoxes)
+	st.DA = c.sess.DiskAccesses()
+	return res, st, nil
+}
+
+// edgeContribution returns the lifted edge witnessed by the connection
+// pair (a, b) under the given representative map, mirroring
+// assembleLifted: both endpoints must be fetched (have reps) and lift
+// to distinct live nodes. A nil map (full frame) contributes nothing.
+func edgeContribution(rep map[int64]int64, a, b int64) ([2]int64, bool) {
+	ra, ok := rep[a]
+	if !ok || ra < 0 {
+		return [2]int64{}, false
+	}
+	rb, ok := rep[b]
+	if !ok || rb < 0 || rb == ra {
+		return [2]int64{}, false
+	}
+	return edgeKey(ra, rb), true
+}
+
+// liveAndReps computes the frame's cut and every fetched node's live
+// representative, with exactly assemblePlane/assembleLifted semantics:
+// live nodes are those whose interval contains the plane's requirement
+// at their position; a non-live node's rep walks parent pointers while
+// they stay inside the fetched set. On a degenerate plane (uniform LOD)
+// nodes represent only themselves.
+func liveAndReps(qp geom.QueryPlane, fetched map[int64]*Node) (map[int64]*Node, map[int64]int64) {
+	live := make(map[int64]*Node, len(fetched))
+	for id, n := range fetched {
+		if n.Interval().Contains(qp.EAt(n.Pos.X, n.Pos.Y)) {
+			live[id] = n
+		}
+	}
+	rep := make(map[int64]int64, len(fetched))
+	if qp.EMin == qp.EMax {
+		for id := range fetched {
+			if _, ok := live[id]; ok {
+				rep[id] = id
+			} else {
+				rep[id] = -1
+			}
+		}
+		return live, rep
+	}
+	// The memo cache may pick up chain nodes outside the fetched set
+	// (their rep is -1); rep itself must hold exactly the fetched IDs,
+	// because membership in it encodes membership in the frame.
+	const unresolved = int64(-2)
+	cache := make(map[int64]int64, len(fetched))
+	var walk func(id int64) int64
+	walk = func(id int64) int64 {
+		if r, ok := cache[id]; ok {
+			return r
+		}
+		cache[id] = unresolved // cycle guard; overwritten below
+		var r int64 = -1
+		if _, ok := live[id]; ok {
+			r = id
+		} else if n, ok := fetched[id]; ok && n.Parent != pm.None {
+			r = walk(n.Parent)
+		}
+		cache[id] = r
+		return r
+	}
+	for id := range fetched {
+		rep[id] = walk(id)
+	}
+	return live, rep
+}
+
+func segmentIntersectsAny(seg geom.Box, boxes []geom.Box) bool {
+	for _, b := range boxes {
+		if seg.Intersects(b) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,429 @@
+package dm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dmesh/internal/geom"
+)
+
+// requireSameMesh compares two results as sets: same vertex IDs and
+// positions, same edge set, same triangle set. Slice orders differ
+// between the incremental and from-scratch assemblers by design.
+func requireSameMesh(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if len(got.Vertices) != len(want.Vertices) {
+		t.Fatalf("%s: %d vertices, want %d", label, len(got.Vertices), len(want.Vertices))
+	}
+	for id, p := range want.Vertices {
+		if gp, ok := got.Vertices[id]; !ok || gp != p {
+			t.Fatalf("%s: vertex %d = %v, want %v", label, id, gp, p)
+		}
+	}
+	sortEdges := func(es [][2]int64) [][2]int64 {
+		out := append([][2]int64(nil), es...)
+		sort.Slice(out, func(i, j int) bool {
+			if out[i][0] != out[j][0] {
+				return out[i][0] < out[j][0]
+			}
+			return out[i][1] < out[j][1]
+		})
+		return out
+	}
+	ge, we := sortEdges(got.Edges), sortEdges(want.Edges)
+	if len(ge) != len(we) {
+		t.Fatalf("%s: %d edges, want %d", label, len(ge), len(we))
+	}
+	for i := range ge {
+		if ge[i] != we[i] {
+			t.Fatalf("%s: edge[%d] = %v, want %v", label, i, ge[i], we[i])
+		}
+	}
+	sortTris := func(ts []geom.Triangle) []geom.Triangle {
+		out := make([]geom.Triangle, len(ts))
+		for i, tr := range ts {
+			out[i] = tr.Canon()
+		}
+		sort.Slice(out, func(i, j int) bool {
+			a, b := out[i], out[j]
+			if a.A != b.A {
+				return a.A < b.A
+			}
+			if a.B != b.B {
+				return a.B < b.B
+			}
+			return a.C < b.C
+		})
+		return out
+	}
+	gt, wt := sortTris(got.Triangles), sortTris(want.Triangles)
+	if len(gt) != len(wt) {
+		t.Fatalf("%s: %d triangles, want %d", label, len(gt), len(wt))
+	}
+	for i := range gt {
+		if gt[i] != wt[i] {
+			t.Fatalf("%s: triangle[%d] = %v, want %v", label, i, gt[i], wt[i])
+		}
+	}
+}
+
+// cameraWalk yields a drifting ROI with occasional teleports — the
+// random camera path of the exactness property test.
+type cameraWalk struct {
+	rng  *rand.Rand
+	x, y float64
+	w, h float64
+}
+
+func newCameraWalk(seed int64, w, h float64) *cameraWalk {
+	rng := rand.New(rand.NewSource(seed))
+	return &cameraWalk{rng: rng, x: rng.Float64() * (1 - w), y: rng.Float64() * (1 - h), w: w, h: h}
+}
+
+func (c *cameraWalk) next(teleport bool) geom.Rect {
+	if teleport {
+		c.x = c.rng.Float64() * (1 - c.w)
+		c.y = c.rng.Float64() * (1 - c.h)
+	} else {
+		c.x += (c.rng.Float64()*2 - 1) * 0.08 * c.w
+		c.y += (0.2 + c.rng.Float64()*0.6) * 0.15 * c.h // mostly forward
+	}
+	clamp := func(v, hi float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	c.x, c.y = clamp(c.x, 1-c.w), clamp(c.y, 1-c.h)
+	return geom.Rect{MinX: c.x, MinY: c.y, MaxX: c.x + c.w, MaxY: c.y + c.h}
+}
+
+// TestCoherentSingleBaseExact drives a >= 30-frame random camera path
+// on both datasets and checks that every incremental single-base frame
+// equals the from-scratch query of the same plane.
+func TestCoherentSingleBaseExact(t *testing.T) {
+	for _, name := range []string{"highland", "crater"} {
+		ds, _ := buildDataset(t, 9, name)
+		s := newTestStore(t, ds)
+		model, err := s.CostModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := s.NewCoherentSession(model)
+		walk := newCameraWalk(101, 0.55, 0.45)
+		emin := eAtPercentile(ds, 0.5)
+		emax := eAtPercentile(ds, 0.95)
+		for i := 0; i < 36; i++ {
+			roi := walk.next(i == 12 || i == 24)
+			qp := geom.QueryPlane{R: roi, EMin: emin, EMax: emax, Axis: 1}
+			got, st, err := cs.Frame(qp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := s.SingleBase(qp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameMesh(t, fmt.Sprintf("%s SB frame %d (full=%v)", name, i, st.Full), got, want)
+		}
+	}
+}
+
+// TestCoherentMultiBaseExact does the same for cost-model strip plans:
+// the incremental frame must equal ExecuteStrips on the identical plan.
+func TestCoherentMultiBaseExact(t *testing.T) {
+	for _, name := range []string{"highland", "crater"} {
+		ds, _ := buildDataset(t, 9, name)
+		s := newTestStore(t, ds)
+		model, err := s.CostModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := s.NewCoherentSession(model)
+		walk := newCameraWalk(202, 0.6, 0.5)
+		emin := eAtPercentile(ds, 0.4)
+		for i := 0; i < 32; i++ {
+			roi := walk.next(i == 16)
+			// Vary the plane slope so LOD-band changes dirty the mesh
+			// even when the ROI barely moves.
+			emax := emin + (0.5+0.5*float64(i%5)/4)*(ds.MaxE()-emin)
+			qp := geom.QueryPlane{R: roi, EMin: emin, EMax: emax, Axis: 1}
+			strips := model.PlanStrips(qp, 8)
+			got, st, err := cs.FrameStrips(qp, strips)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := s.ExecuteStrips(qp, strips)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameMesh(t, fmt.Sprintf("%s MB frame %d (full=%v strips=%d)", name, i, st.Full, len(strips)), got, want)
+		}
+	}
+}
+
+// TestCoherentUniformExact checks viewpoint-independent frames,
+// including LODs above the dataset maximum (fetch clamp) and the
+// whole-terrain rectangle.
+func TestCoherentUniformExact(t *testing.T) {
+	for _, name := range []string{"highland", "crater"} {
+		ds, _ := buildDataset(t, 9, name)
+		s := newTestStore(t, ds)
+		model, err := s.CostModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := s.NewCoherentSession(model)
+		walk := newCameraWalk(303, 0.5, 0.5)
+		for i := 0; i < 30; i++ {
+			roi := walk.next(i == 10)
+			if i == 20 {
+				roi = fullRect()
+			}
+			e := eAtPercentile(ds, 0.3+0.6*float64(i%7)/6)
+			if i%9 == 8 {
+				e = ds.MaxE() * 1.5 // above every stored segment: root cut
+			}
+			got, st, err := cs.FrameUniform(roi, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := s.ViewpointIndependent(roi, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameMesh(t, fmt.Sprintf("%s uniform frame %d (full=%v e=%g)", name, i, st.Full, e), got, want)
+		}
+	}
+}
+
+// TestCoherentMixedModesExact interleaves uniform, single-base, and
+// multi-base frames in one session: the retained state must carry
+// across plane types (uniform and lifted representative maps differ).
+func TestCoherentMixedModesExact(t *testing.T) {
+	ds, _ := buildDataset(t, 9, "highland")
+	s := newTestStore(t, ds)
+	model, err := s.CostModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := s.NewCoherentSession(model)
+	walk := newCameraWalk(404, 0.5, 0.45)
+	emin := eAtPercentile(ds, 0.5)
+	emax := eAtPercentile(ds, 0.97)
+	for i := 0; i < 33; i++ {
+		roi := walk.next(i == 11)
+		qp := geom.QueryPlane{R: roi, EMin: emin, EMax: emax, Axis: 1}
+		label := fmt.Sprintf("mixed frame %d mode %d", i, i%3)
+		switch i % 3 {
+		case 0:
+			got, _, err := cs.FrameUniform(roi, emax)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := s.ViewpointIndependent(roi, emax)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameMesh(t, label, got, want)
+		case 1:
+			got, _, err := cs.Frame(qp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := s.SingleBase(qp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameMesh(t, label, got, want)
+		default:
+			got, _, err := cs.FrameMultiBase(qp, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := s.MultiBase(qp, model, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameMesh(t, label, got, want)
+		}
+	}
+}
+
+// TestCoherentFallbackAndEviction pins the control-flow behavior: the
+// first frame is full, drifting frames run incrementally with evictions
+// and retained nodes, a teleport falls back to a full requery, and
+// Invalidate forces one.
+func TestCoherentFallbackAndEviction(t *testing.T) {
+	ds, _ := buildDataset(t, 9, "highland")
+	s := newTestStore(t, ds)
+	model, err := s.CostModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := s.NewCoherentSession(model)
+	emin, emax := eAtPercentile(ds, 0.5), eAtPercentile(ds, 0.95)
+	plane := func(y float64) geom.QueryPlane {
+		return geom.QueryPlane{R: geom.Rect{MinX: 0.1, MinY: y, MaxX: 0.6, MaxY: y + 0.4}, EMin: emin, EMax: emax, Axis: 1}
+	}
+	_, st, err := cs.Frame(plane(0.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Full {
+		t.Fatal("first frame must be full")
+	}
+	sawEvict := false
+	for i := 1; i <= 5; i++ {
+		_, st, err = cs.Frame(plane(0.04 * float64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Full {
+			t.Fatalf("drift frame %d fell back to full (predFull=%g predDelta=%g)", i, st.PredFullDA, st.PredDeltaDA)
+		}
+		if st.Retained == 0 {
+			t.Fatalf("drift frame %d retained nothing", i)
+		}
+		sawEvict = sawEvict || st.Evicted > 0
+	}
+	if !sawEvict {
+		t.Fatal("no drift frame evicted anything")
+	}
+	// Teleport to a disjoint ROI: the fragments equal the target, so
+	// the decision must prefer the clean full query.
+	qp := plane(0.55)
+	qp.R.MinX, qp.R.MaxX = 0.62, 0.98
+	_, st, err = cs.Frame(qp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Full {
+		t.Fatalf("teleport frame not full (predFull=%g predDelta=%g)", st.PredFullDA, st.PredDeltaDA)
+	}
+	cs.Invalidate()
+	_, st, err = cs.Frame(qp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Full {
+		t.Fatal("frame after Invalidate must be full")
+	}
+}
+
+// TestCoherentIdenticalFrameFree: re-querying the same plane must fetch
+// nothing and still return the identical mesh.
+func TestCoherentIdenticalFrame(t *testing.T) {
+	ds, _ := buildDataset(t, 9, "crater")
+	s := newTestStore(t, ds)
+	model, err := s.CostModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := s.NewCoherentSession(model)
+	qp := geom.QueryPlane{
+		R:    geom.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.7, MaxY: 0.7},
+		EMin: eAtPercentile(ds, 0.5), EMax: eAtPercentile(ds, 0.9), Axis: 1,
+	}
+	first, _, err := cs.Frame(qp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, st, err := cs.Frame(qp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Full || st.Fetched != 0 || st.Evicted != 0 {
+		t.Fatalf("identical frame not free: %+v", st)
+	}
+	requireSameMesh(t, "identical frame", second, first)
+}
+
+// TestConnListsSymmetric pins the assumption the dirty-pair walk relies
+// on: if b is in a's connection list, a is in b's. Without symmetry a
+// dirty node could fail to find a clean partner's pair.
+func TestConnListsSymmetric(t *testing.T) {
+	for _, name := range []string{"highland", "crater"} {
+		ds, _ := buildDataset(t, 9, name)
+		for id := range ds.Conn {
+			for _, b := range ds.Conn[id] {
+				found := false
+				for _, back := range ds.Conn[b] {
+					if back == int64(id) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("%s: conn asymmetry: %d lists %d but not vice versa", name, id, b)
+				}
+			}
+		}
+	}
+}
+
+// TestCoherentSavesDiskAccesses is the economics check: on a
+// memory-constrained store (multi-tenant pool pressure), a drifting
+// 90%-overlap path answered incrementally must pay well under half the
+// disk accesses of warm full requeries of the same frames.
+func TestCoherentSavesDiskAccesses(t *testing.T) {
+	ds, _ := buildDataset(t, 17, "highland")
+	s, err := BuildStore(ds, StorePools{Data: 8, Overflow: 4, Index: 8, IDIndex: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := s.CostModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	emin, emax := eAtPercentile(ds, 0.5), eAtPercentile(ds, 0.95)
+	planes := make([]geom.QueryPlane, 20)
+	for i := range planes {
+		y := 0.02 * float64(i)
+		planes[i] = geom.QueryPlane{
+			R:    geom.Rect{MinX: 0.1, MinY: y, MaxX: 0.7, MaxY: y + 0.45},
+			EMin: emin, EMax: emax, Axis: 1,
+		}
+	}
+
+	if err := s.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	sess := s.NewSession()
+	var fullDA uint64
+	for i, qp := range planes {
+		sess.ResetStats()
+		if _, err := sess.SingleBase(qp); err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 { // frame 0 is cold for both engines; compare steady state
+			fullDA += sess.DiskAccesses()
+		}
+	}
+
+	if err := s.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	cs := s.NewCoherentSession(model)
+	var incDA uint64
+	for i, qp := range planes {
+		_, st, err := cs.Frame(qp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Full && i > 0 {
+			t.Fatalf("frame %d unexpectedly full", i)
+		}
+		if i > 0 {
+			incDA += st.DA
+		}
+	}
+	if incDA*2 > fullDA {
+		t.Fatalf("incremental DA %d not 2x better than full %d", incDA, fullDA)
+	}
+}

@@ -21,6 +21,11 @@ type fetcher struct {
 	buf   []byte
 	obuf  []byte
 	nodes map[int64]*Node
+	// track records the IDs of nodes newly added to the map in added —
+	// the coherent engine points nodes at its retained map and needs to
+	// know which fetched nodes it had not seen before.
+	track bool
+	added []int64
 }
 
 func (s *Store) newFetcher() *fetcher {
@@ -65,6 +70,9 @@ func (f *fetcher) fetchBox(box geom.Box) (int, error) {
 		if _, ok := f.nodes[n.ID]; !ok {
 			node := n
 			f.nodes[n.ID] = &node
+			if f.track {
+				f.added = append(f.added, n.ID)
+			}
 		}
 	}
 	return fetched, nil

@@ -160,3 +160,66 @@ func TestExplainPlane(t *testing.T) {
 		t.Fatal("nil model must be rejected")
 	}
 }
+
+// TestRadialTileBoundaryPointsOnce: a grid point lying exactly on a
+// shared tile edge is fetched by every adjacent tile's range query
+// (closed boxes), but the merged result must contain it — and the edges
+// and triangles around it — exactly once, and the live set must still
+// match the radial profile oracle.
+func TestRadialTileBoundaryPointsOnce(t *testing.T) {
+	ds, _ := buildDataset(t, 9, "highland") // grid coords k/8: x=0.5 is a 2x2 tile edge
+	s := newTestStore(t, ds)
+	viewer := geom.Point2{X: 0.25, Y: 0.25}
+	roi := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	scale := eAtPercentile(ds, 0.6) / 0.3
+	res, err := s.Radial(roi, viewer, scale, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	onBoundary := func(p geom.Point2) bool { return p.X == 0.5 || p.Y == 0.5 }
+	want := make(map[int64]bool)
+	boundaryLive := 0
+	for i := range ds.Tree.Nodes {
+		n := &ds.Tree.Nodes[i]
+		if !roi.ContainsPoint(n.Pos.XY()) {
+			continue
+		}
+		if n.Interval().Contains(scale * viewer.Dist(n.Pos.XY())) {
+			want[int64(i)] = true
+			if onBoundary(n.Pos.XY()) {
+				boundaryLive++
+			}
+		}
+	}
+	if boundaryLive == 0 {
+		t.Fatal("test is vacuous: no live point on a tile boundary")
+	}
+	if len(res.Vertices) != len(want) {
+		t.Fatalf("live set %d, want %d", len(res.Vertices), len(want))
+	}
+	for id := range want {
+		if _, ok := res.Vertices[id]; !ok {
+			t.Fatalf("live node %d (pos %v) missing", id, ds.Tree.Nodes[id].Pos.XY())
+		}
+	}
+
+	edges := make(map[[2]int64]bool, len(res.Edges))
+	for _, e := range res.Edges {
+		if e[0] >= e[1] {
+			t.Fatalf("edge %v not normalized", e)
+		}
+		if edges[e] {
+			t.Fatalf("edge %v appears twice", e)
+		}
+		edges[e] = true
+	}
+	tris := make(map[geom.Triangle]bool, len(res.Triangles))
+	for _, tr := range res.Triangles {
+		c := tr.Canon()
+		if tris[c] {
+			t.Fatalf("triangle %v appears twice", c)
+		}
+		tris[c] = true
+	}
+}

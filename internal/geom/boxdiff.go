@@ -1,0 +1,78 @@
+package geom
+
+// Subtract returns boxes that cover every point of b not covered by c.
+// The fragments and the remainder b ∩ c partition b (the axis-sweep
+// construction peels at most six slabs off b, one per face of c), so
+// their union with c covers b exactly; fragments are closed boxes whose
+// pairwise overlap — and overlap with c — is limited to shared boundary
+// faces. Subtracting a box that only touches b on a face returns b
+// whole: a zero-volume contact exposes no new query volume.
+//
+// Fragments inherit b's extent on the non-split axes, so subtracting
+// from a degenerate box (a query plane r x [e, e]) yields degenerate
+// fragments, which remain valid range-query volumes.
+func (b Box) Subtract(c Box) []Box {
+	i := b.Intersect(c)
+	if !i.Valid() {
+		return []Box{b}
+	}
+	// Face contact only: the intersection is degenerate on an axis where
+	// b is not, so it carves nothing measurable out of b.
+	if (i.Width() == 0 && b.Width() > 0) ||
+		(i.Height() == 0 && b.Height() > 0) ||
+		(i.Depth() == 0 && b.Depth() > 0) {
+		return []Box{b}
+	}
+	if c.Contains(b) {
+		return nil
+	}
+	out := make([]Box, 0, 6)
+	rem := b
+	if i.MinX > rem.MinX {
+		out = append(out, Box{rem.MinX, rem.MinY, rem.MinE, i.MinX, rem.MaxY, rem.MaxE})
+		rem.MinX = i.MinX
+	}
+	if i.MaxX < rem.MaxX {
+		out = append(out, Box{i.MaxX, rem.MinY, rem.MinE, rem.MaxX, rem.MaxY, rem.MaxE})
+		rem.MaxX = i.MaxX
+	}
+	if i.MinY > rem.MinY {
+		out = append(out, Box{rem.MinX, rem.MinY, rem.MinE, rem.MaxX, i.MinY, rem.MaxE})
+		rem.MinY = i.MinY
+	}
+	if i.MaxY < rem.MaxY {
+		out = append(out, Box{rem.MinX, i.MaxY, rem.MinE, rem.MaxX, rem.MaxY, rem.MaxE})
+		rem.MaxY = i.MaxY
+	}
+	if i.MinE > rem.MinE {
+		out = append(out, Box{rem.MinX, rem.MinY, rem.MinE, rem.MaxX, rem.MaxY, i.MinE})
+		rem.MinE = i.MinE
+	}
+	if i.MaxE < rem.MaxE {
+		out = append(out, Box{rem.MinX, rem.MinY, i.MaxE, rem.MaxX, rem.MaxY, rem.MaxE})
+		rem.MaxE = i.MaxE
+	}
+	return out
+}
+
+// Difference returns boxes covering every point of ∪targets not covered
+// by ∪cover: each target is chipped by each cover box in turn, so the
+// result depends deterministically on the input order. Every removed
+// point lies in some cover box, which is the contract delta queries
+// rely on: fetching the returned fragments plus whatever was already
+// fetched for cover sees every item intersecting the targets.
+func Difference(targets, cover []Box) []Box {
+	frags := make([]Box, len(targets))
+	copy(frags, targets)
+	for _, c := range cover {
+		if len(frags) == 0 {
+			break
+		}
+		next := frags[:0:0]
+		for _, f := range frags {
+			next = append(next, f.Subtract(c)...)
+		}
+		frags = next
+	}
+	return frags
+}

@@ -1,0 +1,124 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmesh/internal/geom"
+)
+
+// TestSearchDeltaInvariant checks the contract coherent queries rely
+// on: for random item sets and random target/cover volumes, every item
+// intersecting a target box is either found by the delta search or
+// intersects a cover box; and the delta search only returns items that
+// intersect a target box.
+func TestSearchDeltaInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr, _ := newTree(t, 64)
+	var items []Item
+	for i := 0; i < 400; i++ {
+		b := randBox(rng, 0.1)
+		items = append(items, Item{Box: b, Ref: int64(i)})
+		if err := tr.Insert(b, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	intersectsAny := func(b geom.Box, boxes []geom.Box) bool {
+		for _, q := range boxes {
+			if b.Intersects(q) {
+				return true
+			}
+		}
+		return false
+	}
+	for iter := 0; iter < 50; iter++ {
+		target := []geom.Box{randBox(rng, 0.5), randBox(rng, 0.5)}
+		cover := []geom.Box{randBox(rng, 0.5), randBox(rng, 0.4), randBox(rng, 0.3)}
+		found := make(map[int64]bool)
+		err := tr.SearchDelta(target, cover, func(ref int64, _ geom.Box) bool {
+			if found[ref] {
+				t.Fatalf("iter %d: ref %d visited twice", iter, ref)
+			}
+			found[ref] = true
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range items {
+			inTarget := intersectsAny(it.Box, target)
+			if found[it.Ref] && !inTarget {
+				t.Fatalf("iter %d: delta search returned ref %d outside targets", iter, it.Ref)
+			}
+			if inTarget && !found[it.Ref] && !intersectsAny(it.Box, cover) {
+				t.Fatalf("iter %d: ref %d intersects target, misses cover, not found", iter, it.Ref)
+			}
+		}
+	}
+}
+
+// TestSearchBoxesDedupAndOrder checks that an entry matching several
+// boxes is visited once, and that the visit order is deterministic.
+func TestSearchBoxesDedupAndOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr, _ := newTree(t, 64)
+	for i := 0; i < 200; i++ {
+		if err := tr.Insert(randBox(rng, 0.2), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two heavily overlapping boxes: most entries match both.
+	boxes := []geom.Box{
+		{MinX: 0, MinY: 0, MinE: 0, MaxX: 0.8, MaxY: 0.8, MaxE: 0.8},
+		{MinX: 0.1, MinY: 0.1, MinE: 0.1, MaxX: 0.9, MaxY: 0.9, MaxE: 0.9},
+	}
+	run := func() []int64 {
+		var out []int64
+		if err := tr.SearchBoxes(boxes, func(ref int64, _ geom.Box) bool {
+			out = append(out, ref)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a := run()
+	seen := make(map[int64]bool, len(a))
+	for _, ref := range a {
+		if seen[ref] {
+			t.Fatalf("ref %d visited twice", ref)
+		}
+		seen[ref] = true
+	}
+	union := collect(t, tr, boxes[0])
+	for _, ref := range collect(t, tr, boxes[1]) {
+		if !seen[ref] {
+			t.Fatalf("ref %d in box[1] missing from SearchBoxes result", ref)
+		}
+	}
+	for _, ref := range union {
+		if !seen[ref] {
+			t.Fatalf("ref %d in box[0] missing from SearchBoxes result", ref)
+		}
+	}
+	b := run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic result count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic order at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Early stop after 5 entries.
+	count := 0
+	if err := tr.SearchBoxes(boxes, func(int64, geom.Box) bool {
+		count++
+		return count < 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("early stop visited %d entries, want 5", count)
+	}
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"dmesh/internal/geom"
+)
+
+// CameraPath describes a deterministic terrain flyover: a viewport of
+// fixed extent advancing through the unit data space along the LOD
+// gradient axis, with consecutive frames sharing the configured
+// fraction of their volume. It generates the frame sequence the
+// coherent (incremental) query engine is measured on.
+type CameraPath struct {
+	// Frames is the number of query planes to generate (<= 0 means 30).
+	Frames int
+	// ViewWidth and ViewHeight are the viewport extent in data space
+	// (defaults 0.4 x 0.3).
+	ViewWidth, ViewHeight float64
+	// Overlap is the fraction of the viewport shared by consecutive
+	// frames along the flight direction: the camera advances
+	// (1 - Overlap) * extent(Axis) per frame. Clamped to [0, 0.99].
+	Overlap float64
+	// Axis is the flight direction and the plane's LOD gradient axis
+	// (0 = x, 1 = y).
+	Axis int
+	// EMin and EMax are the plane's near- and far-edge LODs, constant
+	// along the path (EMax <= EMin yields uniform planes at EMin).
+	EMin, EMax float64
+	// Drift is the per-frame lateral drift amplitude as a fraction of
+	// the lateral extent (0 = straight flight). Drifting lowers the
+	// realized overlap below the configured one.
+	Drift float64
+	// Seed makes the drift deterministic.
+	Seed int64
+}
+
+func (cp *CameraPath) defaults() {
+	if cp.Frames <= 0 {
+		cp.Frames = 30
+	}
+	if cp.ViewWidth <= 0 {
+		cp.ViewWidth = 0.4
+	}
+	if cp.ViewHeight <= 0 {
+		cp.ViewHeight = 0.3
+	}
+	if cp.Overlap < 0 {
+		cp.Overlap = 0
+	}
+	if cp.Overlap > 0.99 {
+		cp.Overlap = 0.99
+	}
+}
+
+// Planes generates the path's query planes. The camera starts at the
+// low edge of the flight axis and ping-pongs when the viewport reaches
+// the data-space boundary, so any number of frames stays inside the
+// unit square. The sequence is a pure function of the configuration.
+func (cp CameraPath) Planes() []geom.QueryPlane {
+	cp.defaults()
+	rng := rand.New(rand.NewSource(cp.Seed))
+	along, lateral := cp.ViewHeight, cp.ViewWidth
+	if cp.Axis == 0 {
+		along, lateral = cp.ViewWidth, cp.ViewHeight
+	}
+	step := (1 - cp.Overlap) * along
+	pos, lat := 0.0, (1-lateral)/2 // start centered at the low edge
+	dir := 1.0
+	clamp := func(v, hi float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	out := make([]geom.QueryPlane, cp.Frames)
+	for i := range out {
+		var r geom.Rect
+		if cp.Axis == 0 {
+			r = geom.Rect{MinX: pos, MinY: lat, MaxX: pos + along, MaxY: lat + lateral}
+		} else {
+			r = geom.Rect{MinX: lat, MinY: pos, MaxX: lat + lateral, MaxY: pos + along}
+		}
+		out[i] = geom.QueryPlane{R: r, EMin: cp.EMin, EMax: math.Max(cp.EMin, cp.EMax), Axis: cp.Axis}
+		pos += dir * step
+		if pos < 0 || pos > 1-along {
+			dir = -dir
+			pos = clamp(pos, 1-along)
+		}
+		if cp.Drift > 0 {
+			lat = clamp(lat+(rng.Float64()*2-1)*cp.Drift*lateral, 1-lateral)
+		}
+	}
+	return out
+}
+
+// MeanOverlap returns the mean area overlap between consecutive frames
+// of the path, as a fraction of the viewport area — the realized
+// temporal coherence (ping-pong turns and drift push it off the
+// configured value).
+func MeanOverlap(planes []geom.QueryPlane) float64 {
+	if len(planes) < 2 {
+		return 1
+	}
+	var sum float64
+	for i := 1; i < len(planes); i++ {
+		inter := planes[i].R.Intersect(planes[i-1].R)
+		if inter.Valid() {
+			sum += inter.Area() / planes[i].R.Area()
+		}
+	}
+	return sum / float64(len(planes)-1)
+}

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCameraPathDeterministicAndInBounds(t *testing.T) {
+	cp := CameraPath{Frames: 50, Overlap: 0.85, Axis: 1, EMin: 1, EMax: 5, Drift: 0.2, Seed: 9}
+	a, b := cp.Planes(), cp.Planes()
+	if len(a) != 50 {
+		t.Fatalf("got %d planes", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("frame %d not deterministic: %+v vs %+v", i, a[i], b[i])
+		}
+		r := a[i].R
+		if r.MinX < 0 || r.MinY < 0 || r.MaxX > 1 || r.MaxY > 1 {
+			t.Fatalf("frame %d leaves the data space: %v", i, r)
+		}
+		if a[i].EMin != 1 || a[i].EMax != 5 || a[i].Axis != 1 {
+			t.Fatalf("frame %d plane misconfigured: %+v", i, a[i])
+		}
+	}
+	if c := (CameraPath{Frames: 50, Overlap: 0.85, Axis: 1, EMin: 1, EMax: 5, Drift: 0.2, Seed: 10}).Planes(); c[10] == a[10] && c[20] == a[20] {
+		t.Fatal("different seeds gave an identical drifting path")
+	}
+}
+
+func TestCameraPathOverlap(t *testing.T) {
+	// Straight flight: realized overlap matches the configured one
+	// except at ping-pong turns.
+	for _, want := range []float64{0.5, 0.8, 0.9} {
+		cp := CameraPath{Frames: 20, Overlap: want, EMin: 1, EMax: 2}
+		got := MeanOverlap(cp.Planes())
+		if got < want-0.05 || got > 1 {
+			t.Fatalf("overlap %g: realized %g", want, got)
+		}
+	}
+	// Consecutive straight frames overlap exactly (1 - step/along).
+	cp := CameraPath{Frames: 5, Overlap: 0.9, EMin: 1, EMax: 2}
+	planes := cp.Planes()
+	inter := planes[1].R.Intersect(planes[0].R)
+	if frac := inter.Area() / planes[0].R.Area(); math.Abs(frac-0.9) > 1e-9 {
+		t.Fatalf("frame-1 overlap %g, want 0.9", frac)
+	}
+}
+
+func TestCameraPathAxisX(t *testing.T) {
+	cp := CameraPath{Frames: 10, Overlap: 0.5, Axis: 0, EMin: 0.5, EMax: 3}
+	planes := cp.Planes()
+	for i := 1; i < len(planes); i++ {
+		if planes[i].R.MinY != planes[0].R.MinY {
+			t.Fatalf("x-axis flight moved laterally without drift")
+		}
+	}
+	if planes[1].R.MinX == planes[0].R.MinX {
+		t.Fatal("x-axis flight did not advance along x")
+	}
+}
+
+func TestCameraPathUniformPlanes(t *testing.T) {
+	// EMax below EMin degrades to uniform planes at EMin.
+	cp := CameraPath{Frames: 3, Overlap: 0.8, EMin: 2, EMax: 0}
+	for i, qp := range cp.Planes() {
+		if qp.EMin != 2 || qp.EMax != 2 {
+			t.Fatalf("frame %d not uniform: %+v", i, qp)
+		}
+	}
+}

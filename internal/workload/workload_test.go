@@ -84,3 +84,76 @@ func TestPlaneFor(t *testing.T) {
 		t.Fatal("angle fraction not monotone in EMax")
 	}
 }
+
+func TestPlaneForEMaxClamping(t *testing.T) {
+	roi := geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.5, MaxY: 0.5}
+	maxLOD := 50.0
+
+	// angleFrac 0: a flat plane, EMax exactly EMin (tan 0 = 0).
+	flat := PlaneFor(roi, 2.5, maxLOD, 0)
+	if flat.EMax != flat.EMin || flat.EMin != 2.5 {
+		t.Fatalf("flat plane: EMin=%g EMax=%g", flat.EMin, flat.EMax)
+	}
+
+	// angleFrac 1 with a positive EMin: the un-clamped EMax would be
+	// emin + maxLOD; PlaneFor must clamp it to the dataset maximum.
+	steep := PlaneFor(roi, 5, maxLOD, 1)
+	if steep.EMax != maxLOD {
+		t.Fatalf("steep plane EMax = %g, want clamp to %g", steep.EMax, maxLOD)
+	}
+	if steep.EMin != 5 {
+		t.Fatalf("steep plane EMin = %g, want 5", steep.EMin)
+	}
+
+	// angleFrac 1 from EMin 0 reaches maxLOD up to float error and must
+	// never exceed it.
+	full := PlaneFor(roi, 0, maxLOD, 1)
+	if full.EMax > maxLOD || math.Abs(full.EMax-maxLOD) > 1e-6 {
+		t.Fatalf("full-angle EMax = %g", full.EMax)
+	}
+}
+
+func TestPlaneForDegenerateROI(t *testing.T) {
+	// A zero-height ROI makes θmax = π/2; the zero run must not produce
+	// NaN or Inf — the plane degrades to a uniform one at EMin.
+	line := geom.Rect{MinX: 0.2, MinY: 0.4, MaxX: 0.8, MaxY: 0.4}
+	for _, frac := range []float64{0, 0.5, 1} {
+		qp := PlaneFor(line, 3, 50, frac)
+		if math.IsNaN(qp.EMax) || math.IsInf(qp.EMax, 0) {
+			t.Fatalf("angleFrac %g: EMax = %g", frac, qp.EMax)
+		}
+		if qp.EMax != qp.EMin {
+			t.Fatalf("angleFrac %g: degenerate ROI should be uniform, EMin=%g EMax=%g", frac, qp.EMin, qp.EMax)
+		}
+	}
+	// The fully degenerate point ROI as well.
+	point := geom.PointRect(geom.Point2{X: 0.3, Y: 0.7})
+	qp := PlaneFor(point, 1, 10, 1)
+	if math.IsNaN(qp.EMax) || qp.EMax != 1 {
+		t.Fatalf("point ROI: EMax = %g, want 1", qp.EMax)
+	}
+}
+
+// TestROIPlacementAcrossSeeds extends the determinism check: each seed
+// reproduces its own placements, distinct seeds differ, and the
+// placement stream is independent of the area fraction (the same seed
+// places ROI centers identically for any size).
+func TestROIPlacementAcrossSeeds(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		a := ROIs(Config{Locations: 8, Seed: seed}, 0.08)
+		b := ROIs(Config{Locations: 8, Seed: seed}, 0.08)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d not reproducible at ROI %d", seed, i)
+			}
+		}
+	}
+	seen := make(map[geom.Rect]int64)
+	for seed := int64(0); seed < 5; seed++ {
+		r := ROIs(Config{Locations: 1, Seed: seed}, 0.08)[0]
+		if prev, dup := seen[r]; dup {
+			t.Fatalf("seeds %d and %d placed identical ROIs", prev, seed)
+		}
+		seen[r] = seed
+	}
+}
