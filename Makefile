@@ -1,10 +1,16 @@
 GO ?= go
 
-.PHONY: verify build vet test race bench benchsmoke figures
+.PHONY: verify fmt build vet test race racecache bench benchsmoke figures
 
-# The CI gate: build, vet, and the full test suite under the race
-# detector (short mode keeps the large-terrain tests out of the loop).
-verify: build vet race
+# The CI gate: formatting, build, vet, and the full test suite under the
+# race detector (short mode keeps the large-terrain tests out of the
+# loop), plus a non-short race pass over the concurrent tile cache.
+verify: fmt build vet race racecache
+
+# gofmt cleanliness: fails listing the offending files, fixes nothing.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -17,6 +23,12 @@ test:
 
 race:
 	$(GO) test -race -short ./...
+
+# The tile cache is the most concurrent subsystem (singleflight,
+# eviction, invalidation racing queries); run its full suite — including
+# tests a -short pass would skip — under the race detector.
+racecache:
+	$(GO) test -race -count=1 ./internal/tilecache/
 
 # The paper's metric: custom DA/... counters, not ns/op. Runs the unit
 # suite first (a benchmark of broken code measures nothing); -run '^$$'

@@ -450,3 +450,24 @@ func BenchmarkParallelThroughput(b *testing.B) {
 	b.ReportMetric(float64(parDA)/(float64(len(qs))*n), "DA/query")
 	b.ReportMetric(float64(serialDA)/float64(len(qs)), "serial-DA/query")
 }
+
+// BenchmarkTileCacheSharing measures the shared mesh-tile cache on the
+// skewed multi-client workload: mean disk accesses per query for the
+// direct engine (cold cache per query) vs the cache-served engine cold
+// and at steady state, plus the sharing counters.
+func BenchmarkTileCacheSharing(b *testing.B) {
+	bb := bundle(b, "highland")
+	var fig *experiments.TileCacheFigure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = bb.TileCacheSharing(benchSeed, 8, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(fig.UncachedDA, "DA/uncached")
+	b.ReportMetric(fig.CachedColdDA, "DA/cached-cold")
+	b.ReportMetric(fig.CachedSteadyDA, "DA/cached-steady")
+	b.ReportMetric(float64(fig.ColdMisses), "tiles-materialized")
+	b.ReportMetric(float64(fig.DedupedMisses), "deduped-misses")
+}

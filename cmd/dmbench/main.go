@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn|throughput|flyover]
+//	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn|throughput|flyover|tilecache]
 //	        [-size N] [-size2 N] [-seed S] [-locations L]
 //	        [-cpuprofile F] [-memprofile F]
 //
@@ -16,6 +16,10 @@
 // temporal-coherence extension — mean disk accesses per frame along a
 // camera path, full re-query vs the incremental (delta) engine, swept
 // over the frame-to-frame overlap on a memory-constrained store.
+//
+// -fig tilecache measures the shared mesh-tile cache: mean disk accesses
+// per query on a skewed (hot-spot) multi-client workload, direct engine
+// vs cache-served, with cold-miss and singleflight-dedup counts.
 //
 // -cpuprofile and -memprofile write pprof profiles of whatever figure
 // selection ran (go tool pprof reads them).
@@ -51,7 +55,7 @@ func main() {
 // selected figure fails.
 func mainErr() error {
 	var (
-		fig       = flag.String("fig", "all", "figure to reproduce (6a..6d, 8a..8f, conn, throughput, all)")
+		fig       = flag.String("fig", "all", "figure to reproduce (6a..6d, 8a..8f, conn, throughput, flyover, tilecache, all)")
 		size      = flag.Int("size", 257, "grid side of the highland dataset (the paper's 2M-point terrain)")
 		size2     = flag.Int("size2", 513, "grid side of the crater dataset (the paper's 17M-point terrain)")
 		seed      = flag.Int64("seed", 1, "generation seed")
@@ -87,103 +91,171 @@ func mainErr() error {
 			}
 		}()
 	}
-	return run(*fig, *size, *size2, *seed, *locations, *csvOut)
+	env := &benchEnv{
+		cfg:   workload.Config{Locations: *locations, Seed: *seed},
+		size:  *size,
+		size2: *size2,
+		seed:  *seed,
+		csv:   *csvOut,
+	}
+	return run(env, strings.ToLower(*fig))
 }
 
-func run(fig string, size, size2 int, seed int64, locations int, csvOut bool) error {
-	fig = strings.ToLower(fig)
-	cfg := workload.Config{Locations: locations, Seed: seed}
+// benchEnv is the shared setup every figure runner draws on: flag-derived
+// parameters plus lazily built, memoized dataset bundles — a runner only
+// pays for the datasets it actually touches.
+type benchEnv struct {
+	cfg         workload.Config
+	size, size2 int
+	seed        int64
+	csv         bool
 
-	needHighland := fig == "all" || fig == "conn" || fig == "throughput" || fig == "flyover" ||
-		strings.HasSuffix(fig, "a") || strings.HasSuffix(fig, "b") || fig == "8c"
-	needCrater := fig == "all" || fig == "conn" || fig == "flyover" ||
-		strings.HasSuffix(fig, "c") && fig != "8c" || strings.HasSuffix(fig, "d") || strings.HasSuffix(fig, "e") || strings.HasSuffix(fig, "f")
-	if fig == "6c" {
-		needCrater = true
+	bundles map[string]*experiments.Bundle
+}
+
+// bundle builds (once) and returns the named dataset bundle.
+func (e *benchEnv) bundle(name string) (*experiments.Bundle, error) {
+	if b, ok := e.bundles[name]; ok {
+		return b, nil
 	}
+	size := e.size
+	if name == "crater" {
+		size = e.size2
+	}
+	fmt.Fprintf(os.Stderr, "building %s dataset (%dx%d points)...\n", name, size, size)
+	b, err := experiments.BuildBundle(name, size, e.seed)
+	if err != nil {
+		return nil, err
+	}
+	if e.bundles == nil {
+		e.bundles = make(map[string]*experiments.Bundle)
+	}
+	e.bundles[name] = b
+	return b, nil
+}
 
-	var highland, crater *experiments.Bundle
-	var err error
-	if needHighland {
-		fmt.Fprintf(os.Stderr, "building highland dataset (%dx%d points)...\n", size, size)
-		if highland, err = experiments.BuildBundle("highland", size, seed); err != nil {
+// paperFigure adapts one Fig6/Fig8 measurement into a runner: build the
+// dataset, run the workload, print the series table (or CSV).
+func paperFigure(id, dataset string, f func(*experiments.Bundle, workload.Config) (*experiments.Figure, error)) figureRunner {
+	return figureRunner{id: id, run: func(e *benchEnv) error {
+		b, err := e.bundle(dataset)
+		if err != nil {
 			return err
 		}
-	}
-	if needCrater {
-		fmt.Fprintf(os.Stderr, "building crater dataset (%dx%d points)...\n", size2, size2)
-		if crater, err = experiments.BuildBundle("crater", size2, seed); err != nil {
-			return err
+		fig, err := f(b, e.cfg)
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", id, err)
 		}
-	}
+		if e.csv {
+			printFigureCSV(id, fig)
+		} else {
+			printFigure(id, fig)
+		}
+		return nil
+	}}
+}
 
+// figureRunner is one -fig selection: runners share the benchEnv setup,
+// so adding a figure is one table entry.
+type figureRunner struct {
+	id  string
+	run func(*benchEnv) error
+}
+
+// runners dispatches -fig. Order is the -fig all output order.
+func runners() []figureRunner {
 	roiFracsH := []float64{0.02, 0.04, 0.06, 0.08, 0.10, 0.12}
 	roiFracsC := []float64{0.01, 0.02, 0.03, 0.04, 0.05}
 	lodPcts := []float64{0.70, 0.80, 0.90, 0.95, 0.99}
 	angleFracs := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
 
-	type job struct {
-		id  string
-		run func() (*experiments.Figure, error)
-	}
-	jobs := []job{
-		{"6a", func() (*experiments.Figure, error) { return highland.Fig6ROI(cfg, roiFracsH) }},
-		{"6b", func() (*experiments.Figure, error) { return highland.Fig6LOD(cfg, 0.10, lodPcts) }},
-		{"6c", func() (*experiments.Figure, error) { return crater.Fig6ROI(cfg, roiFracsC) }},
-		{"6d", func() (*experiments.Figure, error) { return crater.Fig6LOD(cfg, 0.05, lodPcts) }},
-		{"8a", func() (*experiments.Figure, error) { return highland.Fig8ROI(cfg, roiFracsH) }},
-		{"8b", func() (*experiments.Figure, error) { return highland.Fig8LOD(cfg, 0.10, lodPcts) }},
-		{"8c", func() (*experiments.Figure, error) { return highland.Fig8Angle(cfg, 0.10, angleFracs) }},
-		{"8d", func() (*experiments.Figure, error) { return crater.Fig8ROI(cfg, roiFracsC) }},
-		{"8e", func() (*experiments.Figure, error) { return crater.Fig8LOD(cfg, 0.05, lodPcts) }},
-		{"8f", func() (*experiments.Figure, error) { return crater.Fig8Angle(cfg, 0.05, angleFracs) }},
-	}
-
-	if fig == "conn" || fig == "all" {
-		printConn(highland)
-		printConn(crater)
-		if fig == "conn" {
+	return []figureRunner{
+		{"conn", func(e *benchEnv) error {
+			for _, name := range []string{"highland", "crater"} {
+				b, err := e.bundle(name)
+				if err != nil {
+					return err
+				}
+				printConn(b)
+			}
 			return nil
-		}
-	}
-
-	if fig == "throughput" || fig == "all" {
-		if err := printThroughput(highland, cfg); err != nil {
-			return err
-		}
-		if fig == "throughput" {
-			return nil
-		}
-	}
-
-	if fig == "flyover" || fig == "all" {
-		for _, b := range []*experiments.Bundle{highland, crater} {
-			if err := printFlyover(b, cfg); err != nil {
+		}},
+		{"throughput", func(e *benchEnv) error {
+			b, err := e.bundle("highland")
+			if err != nil {
 				return err
 			}
-		}
-		if fig == "flyover" {
+			return printThroughput(b, e.cfg)
+		}},
+		{"flyover", func(e *benchEnv) error {
+			for _, name := range []string{"highland", "crater"} {
+				b, err := e.bundle(name)
+				if err != nil {
+					return err
+				}
+				if err := printFlyover(b, e.cfg); err != nil {
+					return err
+				}
+			}
 			return nil
-		}
+		}},
+		paperFigure("6a", "highland", func(b *experiments.Bundle, cfg workload.Config) (*experiments.Figure, error) {
+			return b.Fig6ROI(cfg, roiFracsH)
+		}),
+		paperFigure("6b", "highland", func(b *experiments.Bundle, cfg workload.Config) (*experiments.Figure, error) {
+			return b.Fig6LOD(cfg, 0.10, lodPcts)
+		}),
+		paperFigure("6c", "crater", func(b *experiments.Bundle, cfg workload.Config) (*experiments.Figure, error) {
+			return b.Fig6ROI(cfg, roiFracsC)
+		}),
+		paperFigure("6d", "crater", func(b *experiments.Bundle, cfg workload.Config) (*experiments.Figure, error) {
+			return b.Fig6LOD(cfg, 0.05, lodPcts)
+		}),
+		paperFigure("8a", "highland", func(b *experiments.Bundle, cfg workload.Config) (*experiments.Figure, error) {
+			return b.Fig8ROI(cfg, roiFracsH)
+		}),
+		paperFigure("8b", "highland", func(b *experiments.Bundle, cfg workload.Config) (*experiments.Figure, error) {
+			return b.Fig8LOD(cfg, 0.10, lodPcts)
+		}),
+		paperFigure("8c", "highland", func(b *experiments.Bundle, cfg workload.Config) (*experiments.Figure, error) {
+			return b.Fig8Angle(cfg, 0.10, angleFracs)
+		}),
+		paperFigure("8d", "crater", func(b *experiments.Bundle, cfg workload.Config) (*experiments.Figure, error) {
+			return b.Fig8ROI(cfg, roiFracsC)
+		}),
+		paperFigure("8e", "crater", func(b *experiments.Bundle, cfg workload.Config) (*experiments.Figure, error) {
+			return b.Fig8LOD(cfg, 0.05, lodPcts)
+		}),
+		paperFigure("8f", "crater", func(b *experiments.Bundle, cfg workload.Config) (*experiments.Figure, error) {
+			return b.Fig8Angle(cfg, 0.05, angleFracs)
+		}),
+		{"tilecache", func(e *benchEnv) error {
+			for _, name := range []string{"highland", "crater"} {
+				b, err := e.bundle(name)
+				if err != nil {
+					return err
+				}
+				if err := printTileCache(b, e.seed); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
 	}
+}
 
+func run(env *benchEnv, fig string) error {
 	ran := false
-	for _, j := range jobs {
-		if fig != "all" && fig != j.id {
+	for _, r := range runners() {
+		if fig != "all" && fig != r.id {
 			continue
 		}
 		ran = true
-		f, err := j.run()
-		if err != nil {
-			return fmt.Errorf("figure %s: %w", j.id, err)
-		}
-		if csvOut {
-			printFigureCSV(j.id, f)
-		} else {
-			printFigure(j.id, f)
+		if err := r.run(env); err != nil {
+			return err
 		}
 	}
-	if !ran && fig != "all" && fig != "conn" {
+	if !ran {
 		return fmt.Errorf("unknown figure %q", fig)
 	}
 	return nil
@@ -267,6 +339,32 @@ func printFlyover(b *experiments.Bundle, cfg workload.Config) error {
 			p.Overlap, p.Realized, p.FullColdDA, p.FullWarmDA, p.IncSBDA, p.IncMBDA, ratio,
 			p.IncSBFull, p.IncMBFull)
 	}
+	return w.Flush()
+}
+
+// printTileCache runs the shared mesh-tile cache measurement: mean disk
+// accesses per query on the skewed multi-client workload, direct engine
+// vs cache-served.
+func printTileCache(b *experiments.Bundle, seed int64) error {
+	if b == nil {
+		return nil
+	}
+	fig, err := b.TileCacheSharing(seed, 8, 20)
+	if err != nil {
+		return fmt.Errorf("tilecache: %w", err)
+	}
+	fmt.Printf("\nShared tile cache (%s, %d clients x %d queries, %d hot spots, LOD p%.0f, mean DA/query):\n",
+		fig.Name, fig.Clients, fig.PerClient, fig.Spots, 100*fig.EPct)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "uncached\tcached(cold)\tcached(steady)\tspeedup\tcold misses\tdeduped\thits\tevictions\ttiles\tMB")
+	speedup := "inf"
+	if fig.Speedup > 0 {
+		speedup = fmt.Sprintf("%.1fx", fig.Speedup)
+	}
+	fmt.Fprintf(w, "%.1f\t%.1f\t%.1f\t%s\t%d\t%d\t%d\t%d\t%d\t%.2f\n",
+		fig.UncachedDA, fig.CachedColdDA, fig.CachedSteadyDA, speedup,
+		fig.ColdMisses, fig.DedupedMisses, fig.Hits, fig.Evictions,
+		fig.Tiles, float64(fig.Bytes)/(1<<20))
 	return w.Flush()
 }
 

@@ -36,6 +36,7 @@ import (
 	"dmesh/internal/pm"
 	"dmesh/internal/simplify"
 	"dmesh/internal/temporal"
+	"dmesh/internal/tilecache"
 )
 
 // Re-exported geometry types: these appear throughout the query API.
@@ -66,6 +67,20 @@ type (
 	// FrameStats describes how one coherent frame was answered: delta vs
 	// full, nodes retained/fetched/evicted, disk accesses.
 	FrameStats = dm.FrameStats
+	// DMTileCache serves uniform queries from a shared cache of
+	// materialized mesh tiles (quadtree grid x discrete LOD ladder), so
+	// overlapping ROIs from many clients cost one materialization
+	// (Terrain.NewTileCache, tilecache.New).
+	DMTileCache = tilecache.Cache
+	// TileCacheConfig parameterizes a DMTileCache (store, LOD ladder,
+	// grid depth, byte budget).
+	TileCacheConfig = tilecache.Config
+	// TileCacheStats is a DMTileCache counter snapshot (hits, misses,
+	// singleflight dedups, evictions, bytes).
+	TileCacheStats = tilecache.Stats
+	// TileQueryStats describes how one DMTileCache.Query was answered
+	// (snapped LOD, tiles stitched, cold misses, disk accesses).
+	TileQueryStats = tilecache.QueryStats
 	// BatchQuery describes one independent query for DMStore.QueryBatch.
 	BatchQuery = dm.BatchQuery
 	// BatchResult is one QueryBatch outcome: mesh, per-query disk
@@ -272,6 +287,41 @@ func (t *Terrain) BuildDMStoreAt(dir string) (*DMStore, error) {
 // OpenDMStore opens a store directory written by BuildDMStoreAt.
 func OpenDMStore(dir string) (*DMStore, error) {
 	return dm.OpenStore(dir, dm.StorePools{})
+}
+
+// DefaultLODLadder returns the discrete LOD rungs a tile cache
+// materializes at by default: a spread of the terrain's LOD percentiles
+// from mid-detail to the coarse end, deduplicated and ascending.
+func (t *Terrain) DefaultLODLadder() []float64 {
+	pcts := []float64{0.50, 0.70, 0.80, 0.90, 0.95, 0.97, 0.99, 0.995}
+	var ladder []float64
+	for _, p := range pcts {
+		e := t.LODPercentile(p)
+		if len(ladder) == 0 || e > ladder[len(ladder)-1] {
+			ladder = append(ladder, e)
+		}
+	}
+	return ladder
+}
+
+// NewTileCache builds a shared mesh-tile cache over a DM store built from
+// this terrain, using the default LOD ladder. maxBytes <= 0 selects the
+// default byte budget.
+func (t *Terrain) NewTileCache(s *DMStore, maxBytes int) (*DMTileCache, error) {
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	return tilecache.New(tilecache.Config{
+		Store:    s,
+		Ladder:   t.DefaultLODLadder(),
+		MaxBytes: maxBytes,
+	})
+}
+
+// NewTileCacheWithConfig builds a tile cache with explicit configuration
+// (custom LOD ladder, grid depth, byte budget).
+func NewTileCacheWithConfig(cfg TileCacheConfig) (*DMTileCache, error) {
+	return tilecache.New(cfg)
 }
 
 // NewCostModel scans a DM store's R*-tree into the cost model driving the

@@ -238,3 +238,55 @@ func TestRadialThroughFacade(t *testing.T) {
 		t.Fatalf("expected 16 tiles, got %d", res.Strips)
 	}
 }
+
+func TestTileCacheFacade(t *testing.T) {
+	tr := buildTerrain(t)
+	store, err := tr.NewDMStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder := tr.DefaultLODLadder()
+	if len(ladder) == 0 {
+		t.Fatal("empty default ladder")
+	}
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i] <= ladder[i-1] {
+			t.Fatalf("ladder not strictly ascending: %v", ladder)
+		}
+	}
+	cache, err := tr.NewTileCache(store, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roi := dmesh.NewRect(0.2, 0.2, 0.7, 0.6)
+	e := tr.LODPercentile(0.9)
+	res, qs, err := cache.Query(roi, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Vertices) == 0 || len(res.Triangles) == 0 {
+		t.Fatal("empty cached result")
+	}
+	want, err := store.ViewpointIndependent(roi, qs.SnappedE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Vertices) != len(want.Vertices) || len(res.Triangles) != len(want.Triangles) {
+		t.Fatalf("cached %d/%d verts/tris, direct %d/%d",
+			len(res.Vertices), len(res.Triangles), len(want.Vertices), len(want.Triangles))
+	}
+	if st := cache.Stats(); st.Queries != 1 || st.Misses == 0 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+
+	// Explicit-config constructor.
+	c2, err := dmesh.NewTileCacheWithConfig(dmesh.TileCacheConfig{
+		Store: store, Ladder: []float64{e}, MaxLevel: 2, MaxBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.SnapE(e * 3); got != e {
+		t.Fatalf("SnapE = %g, want %g", got, e)
+	}
+}

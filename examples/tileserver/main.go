@@ -9,6 +9,13 @@
 // store session (dmesh.DMSession), so the per-tile disk-access count is
 // exact without a global query lock or a ResetStats between requests.
 //
+// Tiles are served through a shared mesh-tile cache (dmesh.DMTileCache):
+// the requested region and LOD quantize onto a canonical quadtree tile
+// grid, hot tiles are materialized once and stitched per request, so
+// overlapping requests from many clients cost one materialization
+// instead of N full queries. /cachestats exposes the cache counters;
+// tile?nocache=1 bypasses the cache for comparison.
+//
 // Clients animating a camera use /frame instead of /tile: naming a
 // session keeps a coherent session (dmesh.DMCoherentSession) alive on
 // the server between requests, so consecutive overlapping frames are
@@ -20,6 +27,7 @@
 //	curl 'http://localhost:8080/frame?session=cam1&x0=0.2&y0=0.0&x1=0.7&y1=0.4&near=0.75&far=0.99'
 //	curl 'http://localhost:8080/frame?session=cam1&x0=0.2&y0=0.1&x1=0.7&y1=0.5&near=0.75&far=0.99'
 //	curl 'http://localhost:8080/stats'
+//	curl 'http://localhost:8080/cachestats'
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -41,14 +50,20 @@ type server struct {
 	terrain *dmesh.Terrain
 	store   *dmesh.DMStore
 	model   *dmesh.CostModel
+	cache   *dmesh.DMTileCache
 	served  atomic.Uint64
 	tileDA  atomic.Uint64
 
 	// Named coherent sessions, one per animating client. A coherent
 	// session is stateful and not safe for concurrent use, so each entry
-	// carries its own lock; the map itself has another.
-	camMu   sync.Mutex
-	cameras map[string]*camera
+	// carries its own lock; the map itself has another. Evicted clients'
+	// frame and disk-access totals roll up into the evicted* fields so
+	// /stats never under-reports served work.
+	camMu         sync.Mutex
+	cameras       map[string]*camera
+	camEvictions  uint64
+	evictedFrames uint64
+	evictedDA     uint64
 }
 
 // maxCameras caps the retained coherent sessions; the least recently
@@ -79,7 +94,17 @@ func (s *server) lookupCamera(name string) *camera {
 				oldest = n
 			}
 		}
+		// Roll the evicted client's stats into the totals instead of
+		// silently dropping them with the session.
+		old := s.cameras[oldest]
+		old.mu.Lock()
+		frames, da := old.frames, old.da
+		old.mu.Unlock()
+		s.camEvictions++
+		s.evictedFrames += frames
+		s.evictedDA += da
 		delete(s.cameras, oldest)
+		log.Printf("evicted coherent session %q (%d frames, %d disk accesses)", oldest, frames, da)
 	}
 	c := &camera{cs: s.store.NewCoherentSession(s.model), lastUsed: time.Now()}
 	s.cameras[name] = c
@@ -110,12 +135,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{terrain: terrain, store: store, model: model, cameras: make(map[string]*camera)}
+	cache, err := terrain.NewTileCache(store, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &server{terrain: terrain, store: store, model: model, cache: cache, cameras: make(map[string]*camera)}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/tile", s.handleTile)
 	mux.HandleFunc("/frame", s.handleFrame)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/cachestats", s.handleCacheStats)
 	log.Printf("serving %d-point terrain on %s (%d pool shards)",
 		terrain.NumPoints(), *addr, runtime.NumCPU())
 	log.Fatal(http.ListenAndServe(*addr, mux))
@@ -148,15 +178,27 @@ func (s *server) handleTile(w http.ResponseWriter, r *http.Request) {
 	roi := dmesh.NewRect(x0, y0, x1, y1)
 	lod := s.terrain.LODPercentile(pct)
 
-	// One session per request: the session's counters see only this
-	// request's page reads, so concurrent tiles get exact costs.
-	sess := s.store.NewSession()
-	res, err := sess.ViewpointIndependent(roi, lod)
+	var res *dmesh.Result
+	var da uint64
+	var err error
+	if r.URL.Query().Get("nocache") != "" {
+		// Bypass the tile cache: one session per request, so the
+		// session's counters see only this request's page reads.
+		sess := s.store.NewSession()
+		res, err = sess.ViewpointIndependent(roi, lod)
+		da = sess.DiskAccesses()
+	} else {
+		// The cache snaps the LOD onto its ladder, materializes any cold
+		// tiles (once, however many requests race) and stitches; da is
+		// only the store I/O this request's cold tiles cost.
+		var qs dmesh.TileQueryStats
+		res, qs, err = s.cache.Query(roi, lod)
+		lod, da = qs.SnappedE, qs.DA
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	da := sess.DiskAccesses()
 	s.served.Add(1)
 	s.tileDA.Add(da)
 
@@ -258,33 +300,111 @@ func (s *server) handleFrame(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// cameraStats is one retained coherent session's accounting in /stats.
+type cameraStats struct {
+	Session      string `json:"session"`
+	Frames       uint64 `json:"frames"`
+	DiskAccesses uint64 `json:"disk_accesses"`
+	IdleSeconds  int64  `json:"idle_seconds"`
+}
+
+type statsResponse struct {
+	Points         int                `json:"points"`
+	Nodes          int                `json:"nodes"`
+	MaxLOD         float64            `json:"max_lod"`
+	LODPercentiles map[string]float64 `json:"lod_percentiles"`
+
+	TilesServed uint64  `json:"tiles_served"`
+	TileDA      uint64  `json:"tile_disk_accesses"`
+	DAPerTile   float64 `json:"da_per_tile"`
+
+	// Coherent-session LRU: per-client occupancy plus eviction counts.
+	// Totals include clients already evicted from the LRU, so nothing is
+	// silently dropped.
+	Cameras          []cameraStats `json:"cameras"`
+	CameraOccupancy  int           `json:"camera_occupancy"`
+	CameraCapacity   int           `json:"camera_capacity"`
+	CameraEvictions  uint64        `json:"camera_evictions"`
+	TotalFrames      uint64        `json:"total_frames"`
+	TotalFrameDA     uint64        `json:"total_frame_disk_accesses"`
+	EvictedFrames    uint64        `json:"evicted_frames"`
+	EvictedFrameDA   uint64        `json:"evicted_frame_disk_accesses"`
+	StoreDiskAccsses uint64        `json:"store_disk_accesses"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "points:    %d\n", s.terrain.NumPoints())
-	fmt.Fprintf(w, "nodes:     %d\n", s.terrain.Dataset.Tree.Len())
-	fmt.Fprintf(w, "max LOD:   %g\n", s.terrain.MaxLOD())
-	for _, p := range []float64{0.5, 0.9, 0.99} {
-		fmt.Fprintf(w, "LOD p%2.0f:   %g\n", p*100, s.terrain.LODPercentile(p))
+	resp := statsResponse{
+		Points:         s.terrain.NumPoints(),
+		Nodes:          s.terrain.Dataset.Tree.Len(),
+		MaxLOD:         s.terrain.MaxLOD(),
+		LODPercentiles: make(map[string]float64),
+		TilesServed:    s.served.Load(),
+		TileDA:         s.tileDA.Load(),
+		CameraCapacity: maxCameras,
 	}
-	served := s.served.Load()
-	fmt.Fprintf(w, "tiles:     %d\n", served)
-	if served > 0 {
-		fmt.Fprintf(w, "DA/tile:   %.1f\n", float64(s.tileDA.Load())/float64(served))
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		resp.LODPercentiles[fmt.Sprintf("p%.0f", p*100)] = s.terrain.LODPercentile(p)
+	}
+	if resp.TilesServed > 0 {
+		resp.DAPerTile = float64(resp.TileDA) / float64(resp.TilesServed)
 	}
 	s.camMu.Lock()
-	var camFrames, camDA uint64
-	nCams := len(s.cameras)
-	for _, c := range s.cameras {
+	resp.CameraOccupancy = len(s.cameras)
+	resp.CameraEvictions = s.camEvictions
+	resp.EvictedFrames = s.evictedFrames
+	resp.EvictedFrameDA = s.evictedDA
+	resp.TotalFrames = s.evictedFrames
+	resp.TotalFrameDA = s.evictedDA
+	for name, c := range s.cameras {
 		c.mu.Lock()
-		camFrames += c.frames
-		camDA += c.da
+		resp.Cameras = append(resp.Cameras, cameraStats{
+			Session:      name,
+			Frames:       c.frames,
+			DiskAccesses: c.da,
+			IdleSeconds:  int64(time.Since(c.lastUsed).Seconds()),
+		})
+		resp.TotalFrames += c.frames
+		resp.TotalFrameDA += c.da
 		c.mu.Unlock()
 	}
 	s.camMu.Unlock()
-	fmt.Fprintf(w, "cameras:   %d\n", nCams)
-	fmt.Fprintf(w, "frames:    %d\n", camFrames)
-	if camFrames > 0 {
-		fmt.Fprintf(w, "DA/frame:  %.1f\n", float64(camDA)/float64(camFrames))
+	sort.Slice(resp.Cameras, func(i, j int) bool { return resp.Cameras[i].Session < resp.Cameras[j].Session })
+	resp.StoreDiskAccsses = s.store.DiskAccesses()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("stats encode: %v", err)
 	}
-	fmt.Fprintf(w, "pool DA:   %d\n", s.store.DiskAccesses())
+}
+
+// handleCacheStats reports the shared tile cache: global counters plus
+// the per-tile hit/cost accounting, hottest tiles first.
+func (s *server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	type tileStat struct {
+		Level int    `json:"level"`
+		IX    int    `json:"ix"`
+		IY    int    `json:"iy"`
+		Band  int    `json:"band"`
+		Hits  uint64 `json:"hits"`
+		DA    uint64 `json:"disk_accesses"`
+		Bytes int    `json:"bytes"`
+		Nodes int    `json:"nodes"`
+	}
+	var resp struct {
+		Stats  dmesh.TileCacheStats `json:"stats"`
+		Ladder []float64            `json:"lod_ladder"`
+		Tiles  []tileStat           `json:"tiles"`
+	}
+	resp.Stats = s.cache.Stats()
+	resp.Ladder = s.cache.Ladder()
+	for _, ts := range s.cache.TileStats() {
+		resp.Tiles = append(resp.Tiles, tileStat{
+			Level: ts.Key.Level, IX: ts.Key.IX, IY: ts.Key.IY, Band: ts.Key.Band,
+			Hits: ts.Hits, DA: ts.DA, Bytes: ts.Bytes, Nodes: ts.Nodes,
+		})
+	}
+	sort.SliceStable(resp.Tiles, func(i, j int) bool { return resp.Tiles[i].Hits > resp.Tiles[j].Hits })
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("cachestats encode: %v", err)
+	}
 }

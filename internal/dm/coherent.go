@@ -37,10 +37,10 @@ type CoherentSession struct {
 	sess  *Session
 	model *costmodel.Model
 
-	cover   []geom.Box       // query volume of the previous frame
-	fetched map[int64]*Node  // nodes whose segments intersect cover
-	rep     map[int64]int64  // live representative per fetched node (-1: none)
-	live    map[int64]*Node  // the previous frame's cut
+	cover   []geom.Box      // query volume of the previous frame
+	fetched map[int64]*Node // nodes whose segments intersect cover
+	rep     map[int64]int64 // live representative per fetched node (-1: none)
+	live    map[int64]*Node // the previous frame's cut
 	mesh    *patchMesh
 }
 

@@ -1,0 +1,123 @@
+package quadtree
+
+import (
+	"math"
+	"testing"
+
+	"dmesh/internal/storage/pager"
+)
+
+func TestStatsEmptyTree(t *testing.T) {
+	tr, _, _ := build(t, nil)
+	st, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != (TreeStats{}) {
+		t.Fatalf("empty tree stats = %+v, want zero", st)
+	}
+}
+
+func TestStatsSingleLeaf(t *testing.T) {
+	// Few enough records to stay in the root leaf: one page, depth 1.
+	items := buildItems(10, 3, false)
+	tr, _, _ := build(t, items)
+	st, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InnerNodes != 0 || st.LeafPages != 1 || st.MaxDepth != 1 {
+		t.Fatalf("single-leaf stats = %+v", st)
+	}
+	if st.Records != len(items) {
+		t.Fatalf("Records = %d, want %d", st.Records, len(items))
+	}
+	wantFill := float64(len(items)) / float64(tr.perLeaf())
+	if math.Abs(st.AvgLeafFill-wantFill) > 1e-12 {
+		t.Fatalf("AvgLeafFill = %g, want %g", st.AvgLeafFill, wantFill)
+	}
+}
+
+func TestStatsSplitTree(t *testing.T) {
+	items := buildItems(5000, 5, true)
+	tr, _, _ := build(t, items)
+	st, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != len(items) || int(tr.Len()) != len(items) {
+		t.Fatalf("Records = %d (Len %d), want %d", st.Records, tr.Len(), len(items))
+	}
+	if st.InnerNodes == 0 {
+		t.Fatal("5000 records in 4KiB pages must split into inner nodes")
+	}
+	if st.MaxDepth < 2 {
+		t.Fatalf("MaxDepth = %d, want >= 2 after splitting", st.MaxDepth)
+	}
+	if st.LeafPages < st.Records/tr.perLeaf() {
+		t.Fatalf("%d leaf pages cannot hold %d records (%d per leaf)",
+			st.LeafPages, st.Records, tr.perLeaf())
+	}
+	if st.AvgLeafFill <= 0 || st.AvgLeafFill > 1 {
+		t.Fatalf("AvgLeafFill = %g, want in (0, 1]", st.AvgLeafFill)
+	}
+}
+
+func TestStatsDuplicatePointsOverflowChain(t *testing.T) {
+	// Identical coordinates cannot be split spatially; the leaf must grow
+	// an overflow chain, which Stats counts page by page.
+	n := 600 // > perLeaf for 16-byte records in 4 KiB pages
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{X: 0.5, Y: 0.5, E: 0.25, Payload: payloadFor(i)}
+	}
+	tr, _, _ := build(t, items)
+	st, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != n {
+		t.Fatalf("Records = %d, want %d", st.Records, n)
+	}
+	if st.LeafPages < 2 {
+		t.Fatalf("LeafPages = %d, want an overflow chain for %d duplicate records", st.LeafPages, n)
+	}
+}
+
+func TestStatsDeterministic(t *testing.T) {
+	items := buildItems(2000, 11, false)
+	a, _, _ := build(t, items)
+	b, _, _ := build(t, items)
+	sa, err := a.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Fatalf("same input, different stats: %+v vs %+v", sa, sb)
+	}
+}
+
+func TestStatsBadPageType(t *testing.T) {
+	items := buildItems(50, 1, false)
+	p := pager.New(pager.NewMemBackend(), 4096)
+	tr, _, err := Build(p, 16, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the root page's type byte; Stats must surface the error
+	// instead of misreading the page.
+	fr, err := p.Get(tr.root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Data()[0] = 0xFF
+	fr.MarkDirty()
+	fr.Unpin()
+	if _, err := tr.Stats(); err == nil {
+		t.Fatal("corrupted page type must fail Stats")
+	}
+}

@@ -1,0 +1,143 @@
+// Package tilecache serves Direct Mesh queries from a shared cache of
+// materialized mesh tiles. It quantizes an arbitrary uniform query
+// Q(r, e) onto a canonical quadtree-aligned tile grid crossed with a
+// discrete LOD ladder, materializes each (tile, LOD-band) key at most
+// once as a self-contained dm.TilePatch, and answers queries by stitching
+// cached patches along their connection lists and clipping to the true
+// ROI — exactly equal to the direct query at the snapped LOD, with zero
+// store I/O on a full hit.
+//
+// Overlapping ROIs at similar LOD map to the same keys, so N clients
+// flying over the same popular terrain share one materialization: the
+// classic canonical-tiling fix for redundant spatial work (cf. the
+// Hierarchical Triangular Mesh), with the cached tile as the unit of I/O.
+package tilecache
+
+import (
+	"math"
+	"sort"
+
+	"dmesh/internal/geom"
+)
+
+// Key identifies one cacheable tile: a cell of the 2^Level x 2^Level
+// quadtree grid over the unit square, at one rung of the LOD ladder.
+// Identical keys are what overlapping queries share.
+type Key struct {
+	// Level is the quadtree depth; the grid is 2^Level cells per side.
+	Level int
+	// IX, IY are the cell's column and row, in [0, 2^Level).
+	IX, IY int
+	// Band indexes the cache's LOD ladder.
+	Band int
+}
+
+// Less is the total order used everywhere tiles are iterated or
+// tie-broken: by level, then row, column, band.
+func (k Key) Less(o Key) bool {
+	if k.Level != o.Level {
+		return k.Level < o.Level
+	}
+	if k.IY != o.IY {
+		return k.IY < o.IY
+	}
+	if k.IX != o.IX {
+		return k.IX < o.IX
+	}
+	return k.Band < o.Band
+}
+
+// grid quantizes queries for one store: a power-of-two tile grid over the
+// unit square whose border cells are widened to the store's data space
+// (collapse placement may position merged nodes slightly outside the unit
+// square; every node must land in some tile for covers to stay exact).
+type grid struct {
+	dataRect geom.Rect // (x, y) bounds of the stored segments
+	maxLevel int
+	ladder   []float64 // ascending discrete LODs
+}
+
+// snapE maps a requested LOD onto the ladder: the largest rung <= e, or
+// the lowest rung when e undercuts the whole ladder. Snapping down means
+// the served mesh is never coarser than requested.
+func (g *grid) snapE(e float64) (band int, snapped float64) {
+	i := sort.SearchFloat64s(g.ladder, e) // first rung > e is at i if not exact
+	if i < len(g.ladder) && g.ladder[i] == e {
+		return i, e
+	}
+	if i == 0 {
+		return 0, g.ladder[0]
+	}
+	return i - 1, g.ladder[i-1]
+}
+
+// levelFor picks the grid level for an ROI: the deepest level whose tile
+// side still covers the ROI's larger dimension, clamped to [0, maxLevel].
+// Covers then span at most 2x2 tiles (plus boundary inclusivity), and
+// similar-size ROIs land on the same level — the sharing precondition.
+func (g *grid) levelFor(r geom.Rect) int {
+	d := r.Width()
+	if h := r.Height(); h > d {
+		d = h
+	}
+	if d <= 0 {
+		return g.maxLevel
+	}
+	lv := int(math.Floor(math.Log2(1 / d)))
+	if lv < 0 {
+		lv = 0
+	}
+	if lv > g.maxLevel {
+		lv = g.maxLevel
+	}
+	return lv
+}
+
+// cover returns the keys of the tiles intersecting r at the given level
+// and band, in Key total order. Indices are clamped to the grid, so ROIs
+// reaching past the unit square fall into the (widened) border tiles.
+func (g *grid) cover(r geom.Rect, level, band int) []Key {
+	n := 1 << level
+	clamp := func(f float64) int {
+		if !(f >= 0) { // also catches NaN
+			return 0
+		}
+		if f > float64(n-1) {
+			return n - 1
+		}
+		return int(f)
+	}
+	ix0, ix1 := clamp(r.MinX*float64(n)), clamp(r.MaxX*float64(n))
+	iy0, iy1 := clamp(r.MinY*float64(n)), clamp(r.MaxY*float64(n))
+	out := make([]Key, 0, (ix1-ix0+1)*(iy1-iy0+1))
+	for iy := iy0; iy <= iy1; iy++ {
+		for ix := ix0; ix <= ix1; ix++ {
+			out = append(out, Key{Level: level, IX: ix, IY: iy, Band: band})
+		}
+	}
+	return out
+}
+
+// rectFor is the tile footprint: cell boundaries are exact binary
+// fractions (ix * 2^-level), and border cells extend to the data space.
+func (g *grid) rectFor(k Key) geom.Rect {
+	n := 1 << k.Level
+	side := 1.0 / float64(n)
+	t := geom.Rect{
+		MinX: float64(k.IX) * side, MinY: float64(k.IY) * side,
+		MaxX: float64(k.IX+1) * side, MaxY: float64(k.IY+1) * side,
+	}
+	if k.IX == 0 && g.dataRect.MinX < t.MinX {
+		t.MinX = g.dataRect.MinX
+	}
+	if k.IX == n-1 && g.dataRect.MaxX > t.MaxX {
+		t.MaxX = g.dataRect.MaxX
+	}
+	if k.IY == 0 && g.dataRect.MinY < t.MinY {
+		t.MinY = g.dataRect.MinY
+	}
+	if k.IY == n-1 && g.dataRect.MaxY > t.MaxY {
+		t.MaxY = g.dataRect.MaxY
+	}
+	return t
+}

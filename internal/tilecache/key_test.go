@@ -1,0 +1,156 @@
+package tilecache
+
+import (
+	"reflect"
+	"testing"
+
+	"dmesh/internal/geom"
+)
+
+func testGrid() *grid {
+	return &grid{
+		dataRect: geom.Rect{MinX: -0.02, MinY: 0, MaxX: 1.01, MaxY: 1},
+		maxLevel: 4,
+		ladder:   []float64{0.1, 0.5, 2.0},
+	}
+}
+
+func TestSnapE(t *testing.T) {
+	g := testGrid()
+	cases := []struct {
+		e       float64
+		band    int
+		snapped float64
+	}{
+		{0.05, 0, 0.1}, // below the ladder: lowest rung
+		{0.1, 0, 0.1},  // exact rung
+		{0.3, 0, 0.1},  // between rungs: snap down
+		{0.5, 1, 0.5},
+		{1.9, 1, 0.5},
+		{2.0, 2, 2.0},
+		{7.0, 2, 2.0}, // above the ladder: top rung
+	}
+	for _, c := range cases {
+		band, snapped := g.snapE(c.e)
+		if band != c.band || snapped != c.snapped {
+			t.Errorf("snapE(%g) = (%d, %g), want (%d, %g)", c.e, band, snapped, c.band, c.snapped)
+		}
+	}
+}
+
+func TestLevelFor(t *testing.T) {
+	g := testGrid()
+	cases := []struct {
+		r     geom.Rect
+		level int
+	}{
+		{geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 0},           // whole space
+		{geom.Rect{MinX: 0, MinY: 0, MaxX: 0.5, MaxY: 0.5}, 1},       // exactly one level-1 tile
+		{geom.Rect{MinX: 0, MinY: 0, MaxX: 0.3, MaxY: 0.3}, 1},       // between: snap to coarser
+		{geom.Rect{MinX: 0, MinY: 0, MaxX: 0.25, MaxY: 0.1}, 2},      // max dimension rules
+		{geom.Rect{MinX: 0, MinY: 0, MaxX: 0.01, MaxY: 0.01}, 4},     // tiny: clamp to maxLevel
+		{geom.Rect{MinX: 0.3, MinY: 0.3, MaxX: 0.3, MaxY: 0.3}, 4},   // zero-area
+		{geom.Rect{MinX: -0.5, MinY: -0.5, MaxX: 1.5, MaxY: 1.5}, 0}, // oversized: clamp to 0
+	}
+	for _, c := range cases {
+		if lv := g.levelFor(c.r); lv != c.level {
+			t.Errorf("levelFor(%v) = %d, want %d", c.r, lv, c.level)
+		}
+	}
+}
+
+func TestCoverBoundaryAndDegenerate(t *testing.T) {
+	g := testGrid()
+
+	// ROI exactly on level-2 tile boundaries: inclusive boundaries pull in
+	// the touching row/column of tiles on the max side.
+	r := geom.Rect{MinX: 0.25, MinY: 0.25, MaxX: 0.5, MaxY: 0.5}
+	got := g.cover(r, 2, 1)
+	want := []Key{
+		{Level: 2, IX: 1, IY: 1, Band: 1}, {Level: 2, IX: 2, IY: 1, Band: 1},
+		{Level: 2, IX: 1, IY: 2, Band: 1}, {Level: 2, IX: 2, IY: 2, Band: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("boundary cover = %v, want %v", got, want)
+	}
+
+	// Degenerate zero-area ROI on a tile corner: a single tile (the one
+	// whose min corner it is).
+	p := geom.Rect{MinX: 0.5, MinY: 0.5, MaxX: 0.5, MaxY: 0.5}
+	got = g.cover(p, 1, 0)
+	want = []Key{{Level: 1, IX: 1, IY: 1, Band: 0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("zero-area cover = %v, want %v", got, want)
+	}
+
+	// ROI past the data space: indices clamp to the border tiles.
+	o := geom.Rect{MinX: -3, MinY: 0.6, MaxX: 9, MaxY: 0.6}
+	got = g.cover(o, 1, 2)
+	want = []Key{{Level: 1, IX: 0, IY: 1, Band: 2}, {Level: 1, IX: 1, IY: 1, Band: 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("clamped cover = %v, want %v", got, want)
+	}
+
+	// Covers come out in Key total order.
+	for i := 1; i < len(got); i++ {
+		if !got[i-1].Less(got[i]) {
+			t.Fatalf("cover not sorted: %v", got)
+		}
+	}
+}
+
+func TestRectForBorderWidening(t *testing.T) {
+	g := testGrid()
+
+	// Interior tile: exact binary-fraction boundaries.
+	in := g.rectFor(Key{Level: 2, IX: 1, IY: 1})
+	if in != (geom.Rect{MinX: 0.25, MinY: 0.25, MaxX: 0.5, MaxY: 0.5}) {
+		t.Errorf("interior tile = %v", in)
+	}
+
+	// Border tiles stretch to the data space, which here pokes out of the
+	// unit square on both x sides but not in y.
+	bl := g.rectFor(Key{Level: 2, IX: 0, IY: 0})
+	if bl.MinX != g.dataRect.MinX || bl.MinY != 0 {
+		t.Errorf("min border tile = %v", bl)
+	}
+	tr := g.rectFor(Key{Level: 2, IX: 3, IY: 3})
+	if tr.MaxX != g.dataRect.MaxX || tr.MaxY != 1 {
+		t.Errorf("max border tile = %v", tr)
+	}
+
+	// Adjacent tiles share their interior boundary exactly.
+	a, b := g.rectFor(Key{Level: 3, IX: 2, IY: 5}), g.rectFor(Key{Level: 3, IX: 3, IY: 5})
+	if a.MaxX != b.MinX {
+		t.Errorf("interior seam mismatch: %v vs %v", a, b)
+	}
+
+	// Level-0 cover is a single tile spanning the whole data space.
+	whole := g.rectFor(Key{Level: 0, IX: 0, IY: 0})
+	if !whole.ContainsRect(g.dataRect) {
+		t.Errorf("level-0 tile %v does not contain data space %v", whole, g.dataRect)
+	}
+}
+
+func TestKeyLessTotalOrder(t *testing.T) {
+	ks := []Key{
+		{Level: 1, IX: 0, IY: 0, Band: 0},
+		{Level: 0, IX: 1, IY: 1, Band: 2},
+		{Level: 1, IX: 1, IY: 0, Band: 0},
+		{Level: 1, IX: 0, IY: 0, Band: 1},
+		{Level: 1, IX: 0, IY: 1, Band: 0},
+	}
+	for i, a := range ks {
+		for j, b := range ks {
+			if i == j {
+				if a.Less(b) {
+					t.Fatalf("key %v less than itself", a)
+				}
+				continue
+			}
+			if a.Less(b) == b.Less(a) {
+				t.Fatalf("Less not antisymmetric for %v, %v", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package tilecache
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dmesh/internal/dm"
+	"dmesh/internal/geom"
+)
+
+// Config parameterizes a Cache.
+type Config struct {
+	// Store is the Direct Mesh store tiles are materialized from.
+	Store *dm.Store
+	// Ladder is the ascending list of discrete LOD values tiles are
+	// materialized at; requested LODs snap down onto it. Required.
+	Ladder []float64
+	// MaxLevel caps the quadtree depth (grid is at most 2^MaxLevel cells
+	// per side). Default 4.
+	MaxLevel int
+	// MaxBytes is the byte budget for resident patches (estimated with
+	// TilePatch.Bytes). Default 64 MiB. Patches larger than the whole
+	// budget are served but not retained.
+	MaxBytes int
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	Queries        uint64 // Query calls
+	TileLookups    uint64 // tile fetches (several per query)
+	Hits           uint64 // lookups served from a resident patch
+	Misses         uint64 // lookups that materialized the patch
+	DedupedMisses  uint64 // lookups that waited on another's materialization
+	Evictions      uint64 // patches evicted for space
+	Invalidations  uint64 // Invalidate/InvalidateAll calls
+	MaterializeDA  uint64 // disk accesses spent materializing, total
+	Entries        int    // resident patches
+	Bytes          int    // estimated resident bytes
+	UnretainedOver int    // patches served but too large to retain
+}
+
+// TileStat is the per-tile accounting view: how hot a resident tile is
+// and what it cost to build.
+type TileStat struct {
+	Key   Key
+	Hits  uint64 // lookups served by this resident patch
+	DA    uint64 // disk accesses its materialization cost
+	Bytes int
+	Nodes int
+}
+
+// QueryStats describes how one Query was answered.
+type QueryStats struct {
+	SnappedE   float64 // the ladder rung actually served
+	Level      int     // grid level chosen for the ROI
+	Tiles      int     // tiles stitched
+	ColdMisses int     // tiles this query materialized itself
+	Deduped    int     // tiles this query waited on another for
+	DA         uint64  // disk accesses charged to this query
+}
+
+// entry is one resident patch plus its GreedyDual-Size-Frequency state.
+type entry struct {
+	patch *dm.TilePatch
+	bytes int
+	hits  uint64
+	cost  uint64  // materialization disk accesses
+	pri   float64 // GDSF priority; larger survives longer
+}
+
+// flight is an in-progress materialization other lookups wait on.
+type flight struct {
+	done  chan struct{}
+	patch *dm.TilePatch
+	da    uint64
+	err   error
+	gen   uint64 // cache generation when the flight started
+}
+
+// Cache is the shared mesh-tile cache. All methods are safe for
+// concurrent use; materializations run outside the lock and are
+// deduplicated per key (singleflight), so N concurrent requests for a
+// cold tile cost one store query.
+type Cache struct {
+	store *dm.Store
+	grid  grid
+
+	maxBytes int
+
+	mu      sync.Mutex
+	entries map[Key]*entry
+	flights map[Key]*flight
+	bytes   int
+	clockL  float64 // GDSF inflation clock: priority floor for new entries
+	gen     uint64  // bumped by invalidation; stale flights don't insert
+	stats   Stats
+}
+
+// New validates cfg and returns an empty cache.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("tilecache: nil store")
+	}
+	if len(cfg.Ladder) == 0 {
+		return nil, fmt.Errorf("tilecache: empty LOD ladder")
+	}
+	ladder := append([]float64(nil), cfg.Ladder...)
+	sort.Float64s(ladder)
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i] == ladder[i-1] {
+			return nil, fmt.Errorf("tilecache: duplicate ladder rung %g", ladder[i])
+		}
+	}
+	if cfg.MaxLevel == 0 {
+		cfg.MaxLevel = 4
+	}
+	if cfg.MaxLevel < 0 {
+		return nil, fmt.Errorf("tilecache: negative MaxLevel")
+	}
+	if cfg.MaxBytes == 0 {
+		cfg.MaxBytes = 64 << 20
+	}
+	if cfg.MaxBytes < 0 {
+		return nil, fmt.Errorf("tilecache: negative MaxBytes")
+	}
+	ds := cfg.Store.DataSpace()
+	c := &Cache{
+		store: cfg.Store,
+		grid: grid{
+			dataRect: geom.Rect{MinX: ds.MinX, MinY: ds.MinY, MaxX: ds.MaxX, MaxY: ds.MaxY},
+			maxLevel: cfg.MaxLevel,
+			ladder:   ladder,
+		},
+		entries: make(map[Key]*entry),
+		flights: make(map[Key]*flight),
+	}
+	c.maxBytes = cfg.MaxBytes
+	return c, nil
+}
+
+// Ladder returns the cache's LOD ladder (ascending copy).
+func (c *Cache) Ladder() []float64 {
+	return append([]float64(nil), c.grid.ladder...)
+}
+
+// SnapE maps a requested LOD to the ladder rung Query would serve.
+func (c *Cache) SnapE(e float64) float64 {
+	_, s := c.grid.snapE(e)
+	return s
+}
+
+// Query answers Q(r, e) from the cache: e snaps down onto the LOD
+// ladder, the ROI quantizes onto the tile grid, missing tiles are
+// materialized (once, however many requests race), and the covered
+// patches are stitched and clipped to r. The result is exactly equal to
+// a direct dm query at QueryStats.SnappedE.
+func (c *Cache) Query(r geom.Rect, e float64) (*dm.Result, QueryStats, error) {
+	band, snapped := c.grid.snapE(e)
+	level := c.grid.levelFor(r)
+	keys := c.grid.cover(r, level, band)
+	qs := QueryStats{SnappedE: snapped, Level: level, Tiles: len(keys)}
+
+	c.mu.Lock()
+	c.stats.Queries++
+	c.mu.Unlock()
+
+	patches := make([]*dm.TilePatch, len(keys))
+	for i, k := range keys { // sorted cover order: deterministic I/O order
+		p, da, cold, deduped, err := c.tile(k)
+		if err != nil {
+			return nil, qs, fmt.Errorf("tilecache: tile %+v: %w", k, err)
+		}
+		patches[i] = p
+		qs.DA += da
+		if cold {
+			qs.ColdMisses++
+		}
+		if deduped {
+			qs.Deduped++
+		}
+	}
+	res, err := dm.StitchTiles(r, snapped, patches)
+	if err != nil {
+		return nil, qs, err
+	}
+	return res, qs, nil
+}
+
+// tile returns the patch for k, materializing it if absent. The returned
+// da is nonzero only for the lookup that ran the materialization (cold),
+// so concurrent sessions' charges sum to the store's real I/O.
+func (c *Cache) tile(k Key) (p *dm.TilePatch, da uint64, cold, deduped bool, err error) {
+	c.mu.Lock()
+	c.stats.TileLookups++
+	if ent, ok := c.entries[k]; ok {
+		ent.hits++
+		ent.pri = c.clockL + float64(ent.hits+1)*float64(ent.cost+1)/float64(ent.bytes)
+		c.stats.Hits++
+		c.mu.Unlock()
+		return ent.patch, 0, false, false, nil
+	}
+	if f, ok := c.flights[k]; ok {
+		c.stats.DedupedMisses++
+		c.mu.Unlock()
+		<-f.done
+		return f.patch, 0, false, true, f.err
+	}
+	f := &flight{done: make(chan struct{}), gen: c.gen}
+	c.flights[k] = f
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	sess := c.store.NewSession()
+	f.patch, f.err = sess.MaterializeTile(c.grid.rectFor(k), c.grid.ladder[k.Band])
+	f.da = sess.DiskAccesses()
+
+	c.mu.Lock()
+	if c.flights[k] == f {
+		delete(c.flights, k)
+	}
+	c.stats.MaterializeDA += f.da
+	if f.err == nil && f.gen == c.gen {
+		c.insertLocked(k, f.patch, f.da)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.patch, f.da, true, false, f.err
+}
+
+// insertLocked adds a materialized patch under the byte budget, evicting
+// lowest-priority entries first (GreedyDual-Size-Frequency: priority =
+// clock + hits * cost/size, clock inflated to each eviction victim's
+// priority so long-resident cold entries age out). Ties break on Key
+// total order, so eviction is deterministic given the access history.
+func (c *Cache) insertLocked(k Key, p *dm.TilePatch, cost uint64) {
+	bytes := p.Bytes()
+	if bytes > c.maxBytes {
+		c.stats.UnretainedOver++
+		return
+	}
+	for c.bytes+bytes > c.maxBytes && len(c.entries) > 0 {
+		var victim Key
+		var vent *entry
+		for ck, ce := range c.entries {
+			if vent == nil || ce.pri < vent.pri || (ce.pri == vent.pri && ck.Less(victim)) {
+				victim, vent = ck, ce
+			}
+		}
+		if vent.pri > c.clockL {
+			c.clockL = vent.pri
+		}
+		c.bytes -= vent.bytes
+		delete(c.entries, victim)
+		c.stats.Evictions++
+	}
+	ent := &entry{patch: p, bytes: bytes, cost: cost}
+	ent.pri = c.clockL + float64(ent.hits+1)*float64(ent.cost+1)/float64(ent.bytes)
+	c.entries[k] = ent
+	c.bytes += bytes
+}
+
+// Invalidate drops every resident tile whose footprint intersects r and
+// prevents in-flight materializations started before the call from being
+// retained. Call it after mutating the underlying terrain region.
+func (c *Cache) Invalidate(r geom.Rect) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.stats.Invalidations++
+	for k, ent := range c.entries {
+		if ent.patch.Rect.Intersects(r) {
+			c.bytes -= ent.bytes
+			delete(c.entries, k)
+		}
+	}
+}
+
+// InvalidateAll drops every resident tile.
+func (c *Cache) InvalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.stats.Invalidations++
+	c.entries = make(map[Key]*entry)
+	c.bytes = 0
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = len(c.entries)
+	st.Bytes = c.bytes
+	return st
+}
+
+// TileStats returns the per-tile accounting for every resident patch, in
+// Key total order.
+func (c *Cache) TileStats() []TileStat {
+	c.mu.Lock()
+	out := make([]TileStat, 0, len(c.entries))
+	for k, ent := range c.entries {
+		out = append(out, TileStat{
+			Key: k, Hits: ent.hits, DA: ent.cost,
+			Bytes: ent.bytes, Nodes: len(ent.patch.Nodes),
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Less(out[j].Key) })
+	return out
+}

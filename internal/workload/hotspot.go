@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"dmesh/internal/geom"
+)
+
+// HotSpot parameterizes a skewed multi-client workload: many clients fly
+// over the same few popular regions, the access pattern a shared tile
+// cache exists for. A HotFrac share of every client's queries lands
+// jittered around one of a small set of hot centers; the rest are
+// uniform over the data space.
+type HotSpot struct {
+	// Clients is how many independent query streams to generate.
+	Clients int
+	// PerClient is the number of queries in each stream.
+	PerClient int
+	// AreaFrac is each ROI's area as a fraction of the unit data space.
+	AreaFrac float64
+	// Spots is how many hot centers the skew concentrates on. Default 3.
+	Spots int
+	// HotFrac is the fraction of queries aimed at a hot center (the rest
+	// are uniform). Default 0.9.
+	HotFrac float64
+	// Jitter is the maximum |offset| of a hot ROI's center from its hot
+	// center, per axis. Default half the ROI side.
+	Jitter float64
+	// Seed makes the whole workload deterministic: hot centers derive
+	// from Seed alone, client streams from Seed and the client index.
+	Seed int64
+	// Epoch varies the random draws without moving the hot centers:
+	// successive epochs are fresh query sets over the same popular
+	// terrain (steady-state measurement).
+	Epoch int64
+}
+
+// Defaults fills zero fields.
+func (h *HotSpot) Defaults() {
+	if h.Clients <= 0 {
+		h.Clients = 8
+	}
+	if h.PerClient <= 0 {
+		h.PerClient = 20
+	}
+	if h.AreaFrac <= 0 {
+		h.AreaFrac = 0.04
+	}
+	if h.Spots <= 0 {
+		h.Spots = 3
+	}
+	if h.HotFrac <= 0 {
+		h.HotFrac = 0.9
+	}
+}
+
+// Centers returns the hot centers, a function of Seed only — the same
+// terrain stays popular across epochs.
+func (h HotSpot) Centers() []geom.Point2 {
+	h.Defaults()
+	rng := rand.New(rand.NewSource(h.Seed))
+	out := make([]geom.Point2, h.Spots)
+	for i := range out {
+		out[i] = geom.Point2{X: 0.15 + 0.7*rng.Float64(), Y: 0.15 + 0.7*rng.Float64()}
+	}
+	return out
+}
+
+// ROIs generates the workload: out[i] is client i's query stream, in
+// order. ROIs are clamped to the unit data space.
+func (h HotSpot) ROIs() [][]geom.Rect {
+	h.Defaults()
+	side := sqrtClamped(h.AreaFrac)
+	jitter := h.Jitter
+	if jitter == 0 {
+		jitter = side / 2
+	}
+	centers := h.Centers()
+	out := make([][]geom.Rect, h.Clients)
+	for i := range out {
+		rng := rand.New(rand.NewSource(h.Seed ^ (int64(i)+1)*1_000_003 ^ h.Epoch*777_767_777))
+		qs := make([]geom.Rect, h.PerClient)
+		for q := range qs {
+			var cx, cy float64
+			if rng.Float64() < h.HotFrac {
+				c := centers[rng.Intn(len(centers))]
+				cx = c.X + (2*rng.Float64()-1)*jitter
+				cy = c.Y + (2*rng.Float64()-1)*jitter
+			} else {
+				cx = rng.Float64()
+				cy = rng.Float64()
+			}
+			qs[q] = clampUnit(geom.RectAround(geom.Point2{X: cx, Y: cy}, side, side))
+		}
+		out[i] = qs
+	}
+	return out
+}
+
+func sqrtClamped(areaFrac float64) float64 {
+	s := math.Sqrt(areaFrac)
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+func clampUnit(r geom.Rect) geom.Rect {
+	if r.MinX < 0 {
+		r.MaxX -= r.MinX
+		r.MinX = 0
+	}
+	if r.MinY < 0 {
+		r.MaxY -= r.MinY
+		r.MinY = 0
+	}
+	if r.MaxX > 1 {
+		r.MinX -= r.MaxX - 1
+		r.MaxX = 1
+	}
+	if r.MaxY > 1 {
+		r.MinY -= r.MaxY - 1
+		r.MaxY = 1
+	}
+	return r
+}
