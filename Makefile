@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: verify fmt build vet test race racecache bench benchsmoke figures
+.PHONY: verify fmt build vet test race racecache chaos bench benchsmoke figures
 
 # The CI gate: formatting, build, vet, and the full test suite under the
 # race detector (short mode keeps the large-terrain tests out of the
-# loop), plus a non-short race pass over the concurrent tile cache.
-verify: fmt build vet race racecache
+# loop), plus a non-short race pass over the concurrent tile cache and
+# the small-scale chaos run.
+verify: fmt build vet race racecache chaos
 
 # gofmt cleanliness: fails listing the offending files, fixes nothing.
 fmt:
@@ -29,6 +30,12 @@ race:
 # tests a -short pass would skip — under the race detector.
 racecache:
 	$(GO) test -race -count=1 ./internal/tilecache/
+
+# Chaos gate: the fault-tolerance figure at small scale. dmbench exits
+# nonzero if any query under injected read failures / bit flips panics
+# or returns an answer that differs from the clean oracle store.
+chaos:
+	$(GO) run ./cmd/dmbench -fig faults -size 65 -size2 65
 
 # The paper's metric: custom DA/... counters, not ns/op. Runs the unit
 # suite first (a benchmark of broken code measures nothing); -run '^$$'

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn|throughput|flyover|tilecache]
+//	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn|throughput|flyover|tilecache|faults]
 //	        [-size N] [-size2 N] [-seed S] [-locations L]
 //	        [-cpuprofile F] [-memprofile F]
 //
@@ -20,6 +20,12 @@
 // -fig tilecache measures the shared mesh-tile cache: mean disk accesses
 // per query on a skewed (hot-spot) multi-client workload, direct engine
 // vs cache-served, with cold-miss and singleflight-dedup counts.
+//
+// -fig faults is the chaos run: the hot-spot workload served off a
+// checksummed store whose (simulated) disk fails reads and flips bits at
+// a sweep of fault rates, reporting error rate, degraded-answer rate
+// (retry-once), and DA overhead — with zero panics and zero answers that
+// differ from a clean oracle store.
 //
 // -cpuprofile and -memprofile write pprof profiles of whatever figure
 // selection ran (go tool pprof reads them).
@@ -55,7 +61,7 @@ func main() {
 // selected figure fails.
 func mainErr() error {
 	var (
-		fig       = flag.String("fig", "all", "figure to reproduce (6a..6d, 8a..8f, conn, throughput, flyover, tilecache, all)")
+		fig       = flag.String("fig", "all", "figure to reproduce (6a..6d, 8a..8f, conn, throughput, flyover, tilecache, faults, all)")
 		size      = flag.Int("size", 257, "grid side of the highland dataset (the paper's 2M-point terrain)")
 		size2     = flag.Int("size2", 513, "grid side of the crater dataset (the paper's 17M-point terrain)")
 		seed      = flag.Int64("seed", 1, "generation seed")
@@ -241,6 +247,18 @@ func runners() []figureRunner {
 			}
 			return nil
 		}},
+		{"faults", func(e *benchEnv) error {
+			for _, name := range []string{"highland", "crater"} {
+				b, err := e.bundle(name)
+				if err != nil {
+					return err
+				}
+				if err := printFaults(b, e.seed); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
 	}
 }
 
@@ -366,6 +384,49 @@ func printTileCache(b *experiments.Bundle, seed int64) error {
 		fig.ColdMisses, fig.DedupedMisses, fig.Hits, fig.Evictions,
 		fig.Tiles, float64(fig.Bytes)/(1<<20))
 	return w.Flush()
+}
+
+// printFaults runs the chaos measurement: the hot-spot workload off a
+// checksummed store under injected read failures and bit flips, swept
+// over fault rates with a retry-once policy. Panics or oracle mismatches
+// are a hard failure — the whole point is that there are none.
+func printFaults(b *experiments.Bundle, seed int64) error {
+	if b == nil {
+		return nil
+	}
+	rates := []float64{0, 0.002, 0.01, 0.05}
+	fig, err := b.FaultTolerance(seed, rates, 8, 20)
+	if err != nil {
+		return fmt.Errorf("faults: %w", err)
+	}
+	fmt.Printf("\nFault tolerance (%s, %d clients x %d queries, %d hot spots, LOD p%.0f, checksummed store, retry once):\n",
+		fig.Name, fig.Clients, fig.PerClient, fig.Spots, 100*fig.EPct)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "rate\tqueries\tok\tdegraded\tfailed\twrong\tpanics\tinjected\tflipped\tDA/ok\toverhead")
+	base := 0.0
+	if len(fig.Points) > 0 {
+		base = fig.Points[0].MeanDA
+	}
+	var bad bool
+	for _, p := range fig.Points {
+		overhead := "-"
+		if base > 0 && p.MeanDA > 0 {
+			overhead = fmt.Sprintf("%.2fx", p.MeanDA/base)
+		}
+		fmt.Fprintf(w, "%.3f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f\t%s\n",
+			p.Rate, p.Queries, p.OK, p.Degraded, p.Failed, p.Wrong, p.Panics,
+			p.InjectedReads, p.FlippedReads, p.MeanDA, overhead)
+		if p.Wrong != 0 || p.Panics != 0 {
+			bad = true
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if bad {
+		return fmt.Errorf("faults: wrong answers or panics under injected faults (see table)")
+	}
+	return nil
 }
 
 func printConn(b *experiments.Bundle) {

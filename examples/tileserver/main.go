@@ -159,6 +159,19 @@ func queryFloat(r *http.Request, name string, def float64) (float64, error) {
 	return strconv.ParseFloat(v, 64)
 }
 
+// jsonError answers a failed request with a JSON body, so API clients
+// parsing every response get structured errors instead of plain text.
+// I/O faults under a query surface here as a 500 with the error chain
+// (e.g. an injected fault or a checksum mismatch) — the server itself
+// keeps serving.
+func jsonError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if encErr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); encErr != nil {
+		log.Printf("error encode: %v", encErr)
+	}
+}
+
 func (s *server) handleTile(w http.ResponseWriter, r *http.Request) {
 	x0, err1 := queryFloat(r, "x0", 0)
 	y0, err2 := queryFloat(r, "y0", 0)
@@ -167,12 +180,12 @@ func (s *server) handleTile(w http.ResponseWriter, r *http.Request) {
 	pct, err5 := queryFloat(r, "lod", 0.9)
 	for _, err := range []error{err1, err2, err3, err4, err5} {
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, err)
 			return
 		}
 	}
 	if pct < 0 || pct > 1 {
-		http.Error(w, "lod must be a percentile in [0,1]", http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, fmt.Errorf("lod must be a percentile in [0,1]"))
 		return
 	}
 	roi := dmesh.NewRect(x0, y0, x1, y1)
@@ -196,7 +209,7 @@ func (s *server) handleTile(w http.ResponseWriter, r *http.Request) {
 		lod, da = qs.SnappedE, qs.DA
 	}
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		jsonError(w, http.StatusInternalServerError, err)
 		return
 	}
 	s.served.Add(1)
@@ -239,7 +252,7 @@ type frameResponse struct {
 func (s *server) handleFrame(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("session")
 	if name == "" {
-		http.Error(w, "session parameter required", http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, fmt.Errorf("session parameter required"))
 		return
 	}
 	x0, err1 := queryFloat(r, "x0", 0)
@@ -250,12 +263,12 @@ func (s *server) handleFrame(w http.ResponseWriter, r *http.Request) {
 	far, err6 := queryFloat(r, "far", 0.99)
 	for _, err := range []error{err1, err2, err3, err4, err5, err6} {
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, err)
 			return
 		}
 	}
 	if near < 0 || near > 1 || far < 0 || far > 1 {
-		http.Error(w, "near and far must be percentiles in [0,1]", http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, fmt.Errorf("near and far must be percentiles in [0,1]"))
 		return
 	}
 	plane := dmesh.QueryPlane{
@@ -274,7 +287,7 @@ func (s *server) handleFrame(w http.ResponseWriter, r *http.Request) {
 	}
 	cam.mu.Unlock()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		jsonError(w, http.StatusInternalServerError, err)
 		return
 	}
 

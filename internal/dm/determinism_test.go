@@ -1,0 +1,57 @@
+package dm
+
+import (
+	"testing"
+
+	"dmesh/internal/geom"
+)
+
+// TestCoherentFrameStatsDeterministic replays the same seeded camera
+// path on two independently built stores and requires identical
+// per-frame FrameStats — including DA. The disk-access metric is only
+// meaningful if a fixed workload produces a fixed access pattern
+// (fixed seeds, sorted iteration, total-order tie-breaks); any map-order
+// leak into the I/O schedule shows up here as a DA diff.
+func TestCoherentFrameStatsDeterministic(t *testing.T) {
+	ds, _ := buildDataset(t, 9, "highland")
+	emin, emax := eAtPercentile(ds, 0.5), eAtPercentile(ds, 0.95)
+
+	for _, mode := range []string{"single-base", "multi-base"} {
+		run := func() []FrameStats {
+			s := newTestStore(t, ds)
+			model, err := s.CostModel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.DropCaches(); err != nil {
+				t.Fatal(err)
+			}
+			s.ResetStats()
+			cs := s.NewCoherentSession(model)
+			walk := newCameraWalk(77, 0.5, 0.4)
+			var out []FrameStats
+			for i := 0; i < 24; i++ {
+				roi := walk.next(i == 8 || i == 16)
+				qp := geom.QueryPlane{R: roi, EMin: emin, EMax: emax, Axis: 1}
+				var st FrameStats
+				if mode == "single-base" {
+					_, st, err = cs.Frame(qp)
+				} else {
+					_, st, err = cs.FrameMultiBase(qp, 8)
+				}
+				if err != nil {
+					t.Fatalf("%s frame %d: %v", mode, i, err)
+				}
+				out = append(out, st)
+			}
+			return out
+		}
+		a, b := run(), run()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s frame %d stats differ across identical runs:\n  run1 %+v\n  run2 %+v",
+					mode, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -28,9 +28,16 @@ type storeMeta struct {
 	MaxE    float64  `json:"max_e"`
 	Space   geom.Box `json:"space"`
 	Layout  Layout   `json:"layout"`
+	// Checksums records whether the page files carry the interleaved
+	// CRC-32C layout of pager.Checksummed (meta version 2+); reading a
+	// checksummed store without the wrapper would misinterpret the page
+	// numbering, so the choice is part of the on-disk format.
+	Checksums bool `json:"checksums,omitempty"`
 }
 
-const metaVersion = 1
+// metaVersion is the current on-disk format. Version 1 stores (no
+// checksum support) remain readable; they simply have Checksums false.
+const metaVersion = 2
 
 // BuildStoreAt builds the Direct Mesh store in dir as regular files, so it
 // can be reopened later with OpenStore. The directory is created if
@@ -50,7 +57,8 @@ func BuildStoreAt(ds *Dataset, pools StorePools, dir string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	meta := storeMeta{Version: metaVersion, MaxE: s.maxE, Space: s.space, Layout: pools.Layout}
+	meta := storeMeta{Version: metaVersion, MaxE: s.maxE, Space: s.space,
+		Layout: pools.Layout, Checksums: pools.Checksums}
 	raw, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("dm: %w", err)
@@ -75,12 +83,33 @@ func OpenStore(dir string, pools StorePools) (*Store, error) {
 	if err := json.Unmarshal(raw, &meta); err != nil {
 		return nil, fmt.Errorf("dm: open store: %w", err)
 	}
-	if meta.Version != metaVersion {
-		return nil, fmt.Errorf("dm: store version %d, want %d", meta.Version, metaVersion)
+	if meta.Version < 1 || meta.Version > metaVersion {
+		return nil, fmt.Errorf("dm: store version %d, want 1..%d", meta.Version, metaVersion)
 	}
+	// The on-disk layout dictates the checksum setting; the caller's pools
+	// only size the buffers.
+	pools.Checksums = meta.Checksums
 	backends, err := openBackends(dir, true)
 	if err != nil {
 		return nil, err
+	}
+	for i := range backends {
+		b, err := pools.wrap(backends[i])
+		if err != nil {
+			return nil, fmt.Errorf("dm: open store: %w", err)
+		}
+		backends[i] = b
+	}
+	// With checksums on, sweep the whole store before serving so
+	// corruption and torn writes are caught at open, not mid-query. These
+	// reads bypass the pagers and are not counted as disk accesses.
+	if meta.Checksums {
+		names := [4]string{heapFileName, overFileName, rtFileName, idxFileName}
+		for i, b := range backends {
+			if err := b.(*pager.ChecksumBackend).VerifyAll(); err != nil {
+				return nil, fmt.Errorf("dm: open store: %s: %w", names[i], err)
+			}
+		}
 	}
 	s := &Store{
 		heapP: pools.newPager(backends[0], pools.Data),

@@ -107,11 +107,16 @@ func encodeOverflow(ids []int64, next int64, buf []byte) {
 	}
 }
 
-// decodeOverflow reads one overflow record.
+// decodeOverflow reads one overflow record. A corrupted count is clamped
+// to the record's physical capacity — the caller's total-length check
+// then reports the inconsistency instead of an out-of-range panic here.
 func decodeOverflow(buf []byte) (ids []int64, next int64) {
 	le := binary.LittleEndian
 	next = int64(le.Uint64(buf[0:]))
 	cnt := int(le.Uint16(buf[8:]))
+	if cnt > OverflowFanout {
+		cnt = OverflowFanout
+	}
 	ids = make([]int64, cnt)
 	for i := 0; i < cnt; i++ {
 		ids[i] = int64(le.Uint64(buf[10+i*8:]))

@@ -79,10 +79,24 @@ const (
 // identical evictions, identical disk-access counts — which the figure
 // measurements depend on; servers answering many queries concurrently
 // should set it to roughly the core count.
+// Checksums protects every page of the four files with a CRC-32C
+// verified on each backend read and re-stamped on each write
+// (pager.Checksummed). Verification happens inside the one counted
+// backend read, so every disk-access figure is unchanged; corruption
+// and torn writes surface as errors wrapping pager.ErrChecksum instead
+// of silently wrong answers. The choice is recorded in meta.json and
+// re-applied by OpenStore.
+//
+// WrapBackend, when set, wraps each file's backend before the checksum
+// layer (raw → WrapBackend → checksums → pager): the hook fault-
+// injection tests and the chaos experiment use to interpose
+// faultfs-style wrappers underneath the integrity layer.
 type StorePools struct {
 	Data, Overflow, Index, IDIndex int
 	Layout                         Layout
 	Shards                         int
+	Checksums                      bool
+	WrapBackend                    func(pager.Backend) pager.Backend
 }
 
 func (sp *StorePools) defaults() {
@@ -108,6 +122,19 @@ func (sp *StorePools) newPager(backend pager.Backend, capPages int) *pager.Pager
 	return pager.NewSharded(backend, capPages, sp.Shards, pager.LRU)
 }
 
+// wrap layers the configured backend wrappers over one raw backend: the
+// WrapBackend hook innermost (so injected faults model the disk), then
+// the checksum layer on top.
+func (sp *StorePools) wrap(b pager.Backend) (pager.Backend, error) {
+	if sp.WrapBackend != nil {
+		b = sp.WrapBackend(b)
+	}
+	if sp.Checksums {
+		return pager.Checksummed(b)
+	}
+	return b, nil
+}
+
 // BuildStore lays ds out on fresh in-memory pagers. Use BuildStoreAt for
 // a file-backed store that can be reopened.
 func BuildStore(ds *Dataset, pools StorePools) (*Store, error) {
@@ -117,10 +144,26 @@ func BuildStore(ds *Dataset, pools StorePools) (*Store, error) {
 	})
 }
 
+// BuildStoreOnBackends lays ds out on caller-supplied backends (heap,
+// overflow, r*-tree, id index), applying the pool configuration's
+// wrappers (WrapBackend hook, checksums) on top of each. Fault-injection
+// tests and the chaos experiment use it to interpose faultfs wrappers
+// below the store.
+func BuildStoreOnBackends(ds *Dataset, pools StorePools, backends [4]pager.Backend) (*Store, error) {
+	return buildStore(ds, pools, backends)
+}
+
 // buildStore lays ds out on the given backends (heap, overflow, r*-tree,
 // id index).
 func buildStore(ds *Dataset, pools StorePools, backends [4]pager.Backend) (*Store, error) {
 	pools.defaults()
+	for i := range backends {
+		b, err := pools.wrap(backends[i])
+		if err != nil {
+			return nil, fmt.Errorf("dm: wrap backend: %w", err)
+		}
+		backends[i] = b
+	}
 	s := &Store{
 		heapP: pools.newPager(backends[0], pools.Data),
 		overP: pools.newPager(backends[1], pools.Overflow),
@@ -313,7 +356,13 @@ func (s *Store) fetchRecord(rid heapfile.RID, buf, obuf []byte) (Node, error) {
 		return Node{}, err
 	}
 	n, total, overflowRef := decodeRecordHeader(buf)
-	for overflowRef != noOverflow {
+	// A well-formed chain has at most one record per overflow record in
+	// the file; anything longer is a corrupted next-pointer cycle.
+	maxSteps := s.over.NumRecords() + 1
+	for steps := int64(0); overflowRef != noOverflow; steps++ {
+		if steps >= maxSteps {
+			return Node{}, fmt.Errorf("dm: node %d overflow chain longer than %d records (corrupt cycle)", n.ID, maxSteps)
+		}
 		if err := s.over.Read(heapfile.RID(overflowRef), obuf); err != nil {
 			return Node{}, fmt.Errorf("dm: overflow chain: %w", err)
 		}

@@ -27,7 +27,10 @@ func (t *Tree) Delete(box geom.Box, ref int64) (bool, error) {
 		parent := path[i-1]
 		level := t.height - i
 		if len(n.entries) < MinEntries {
-			pi := parentEntryIndex(parent, n.id)
+			pi, err := parentEntryIndex(parent, n.id)
+			if err != nil {
+				return false, err
+			}
 			parent.entries = append(parent.entries[:pi], parent.entries[pi+1:]...)
 			data, err := t.collectData(n.entries, level)
 			if err != nil {
@@ -41,7 +44,9 @@ func (t *Tree) Delete(box geom.Box, ref int64) (bool, error) {
 		if err := t.writeNode(n); err != nil {
 			return false, err
 		}
-		t.adjustParentBox(path, i)
+		if err := t.adjustParentBox(path, i); err != nil {
+			return false, err
+		}
 	}
 	if err := t.writeNode(path[0]); err != nil {
 		return false, err
@@ -108,6 +113,11 @@ func (t *Tree) findLeaf(id pager.PageID, level int, box geom.Box, ref int64) ([]
 			}
 		}
 		return nil, 0, nil
+	}
+	if level <= 1 {
+		// An inner node where a leaf belongs: descending further would
+		// never terminate.
+		return nil, 0, fmt.Errorf("%w: inner node %d at leaf level", ErrCorrupt, n.id)
 	}
 	for _, e := range n.entries {
 		if !e.box.Contains(box) {

@@ -67,11 +67,11 @@ func (t *Tree) readNode(id pager.PageID) (*node, error) {
 	d := fr.Data()
 	typ := d[0]
 	if typ != leafType && typ != innerType {
-		return nil, fmt.Errorf("rtree: page %d is not a node (type %d)", id, typ)
+		return nil, fmt.Errorf("%w: page %d is not a node (type %d)", ErrCorrupt, id, typ)
 	}
 	cnt := int(binary.LittleEndian.Uint16(d[1:]))
 	if cnt > MaxEntries+1 {
-		return nil, fmt.Errorf("rtree: page %d has corrupt count %d", id, cnt)
+		return nil, fmt.Errorf("%w: page %d has impossible entry count %d", ErrCorrupt, id, cnt)
 	}
 	n := &node{id: id, leaf: typ == leafType, entries: make([]entry, cnt)}
 	off := nodeHeader

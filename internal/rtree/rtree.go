@@ -21,6 +21,15 @@ const (
 	metaPage = pager.PageID(0)
 )
 
+// ErrCorrupt is the sentinel wrapped by every structural-inconsistency
+// error: a page that is not a valid node, an impossible entry count, a
+// parent/child mismatch, or a traversal deeper than the tree's height
+// (a child-pointer cycle). A corrupted index page — which checksummed
+// backends turn into a read error but plain backends deliver verbatim —
+// surfaces as an error wrapping ErrCorrupt on query paths, never a
+// panic or an endless descent.
+var ErrCorrupt = errors.New("rtree: corrupt structure")
+
 // Tree is a paged 3D R*-tree. All node accesses go through the pager, so
 // the pager's Stats.Reads is the number of index disk accesses.
 type Tree struct {
@@ -108,11 +117,17 @@ func (t *Tree) Height() int { return t.height }
 // stopping early if fn returns false. The traversal order is the on-disk
 // entry order (deterministic).
 func (t *Tree) Search(query geom.Box, fn func(ref int64, box geom.Box) bool) error {
-	_, err := t.search(t.root, query, fn)
+	_, err := t.search(t.root, query, fn, t.height)
 	return err
 }
 
-func (t *Tree) search(id pager.PageID, query geom.Box, fn func(int64, geom.Box) bool) (bool, error) {
+// search descends below id; depth is the number of levels that may
+// remain (the guard that turns a corrupted child-pointer cycle into an
+// ErrCorrupt instead of unbounded recursion).
+func (t *Tree) search(id pager.PageID, query geom.Box, fn func(int64, geom.Box) bool, depth int) (bool, error) {
+	if depth < 1 {
+		return false, fmt.Errorf("%w: traversal exceeds height %d at node %d", ErrCorrupt, t.height, id)
+	}
 	n, err := t.readNode(id)
 	if err != nil {
 		return false, err
@@ -126,7 +141,7 @@ func (t *Tree) search(id pager.PageID, query geom.Box, fn func(int64, geom.Box) 
 				return false, nil
 			}
 		} else {
-			cont, err := t.search(pager.PageID(e.ref), query, fn)
+			cont, err := t.search(pager.PageID(e.ref), query, fn, depth-1)
 			if err != nil || !cont {
 				return cont, err
 			}
@@ -176,6 +191,11 @@ func (t *Tree) choosePath(box geom.Box, targetLevel int) ([]*node, error) {
 		path = append(path, n)
 		if level == targetLevel || n.leaf {
 			return path, nil
+		}
+		if level <= 1 {
+			// An inner node where a leaf belongs: descending further would
+			// never terminate.
+			return nil, fmt.Errorf("%w: inner node %d at leaf level", ErrCorrupt, n.id)
 		}
 		childLeaf := level-1 == 1
 		id = pager.PageID(n.entries[t.chooseSubtree(n, box, childLeaf)].ref)
@@ -233,7 +253,9 @@ func (t *Tree) handleOverflow(path []*node, reinserted map[int]bool) error {
 			if err := t.writeNode(n); err != nil {
 				return err
 			}
-			t.adjustParentBox(path, i)
+			if err := t.adjustParentBox(path, i); err != nil {
+				return err
+			}
 			continue
 		}
 		isRoot := i == 0
@@ -243,13 +265,17 @@ func (t *Tree) handleOverflow(path []*node, reinserted map[int]bool) error {
 			if err != nil {
 				return err
 			}
-			t.adjustParentBox(path, i)
+			if err := t.adjustParentBox(path, i); err != nil {
+				return err
+			}
 			// Write back ancestors before reinserting through them.
 			for j := i - 1; j >= 0; j-- {
 				if err := t.writeNode(path[j]); err != nil {
 					return err
 				}
-				t.adjustParentBox(path, j)
+				if err := t.adjustParentBox(path, j); err != nil {
+					return err
+				}
 			}
 			for _, e := range removed {
 				if err := t.insert(e, level, reinserted); err != nil {
@@ -281,32 +307,41 @@ func (t *Tree) handleOverflow(path []*node, reinserted map[int]bool) error {
 		parent := path[i-1]
 		// Update the parent entry for the (reused) left node and add the
 		// right node.
-		pi := parentEntryIndex(parent, left.id)
+		pi, err := parentEntryIndex(parent, left.id)
+		if err != nil {
+			return err
+		}
 		parent.entries[pi].box = left.mbr()
 		parent.entries = append(parent.entries, entry{box: right.mbr(), ref: int64(right.id)})
 	}
 	return t.syncMeta()
 }
 
-// parentEntryIndex finds the entry of parent pointing at child id.
-func parentEntryIndex(parent *node, id pager.PageID) int {
+// parentEntryIndex finds the entry of parent pointing at child id. A
+// parent without such an entry is a structural inconsistency a corrupted
+// index page can produce; it is reported, not panicked on.
+func parentEntryIndex(parent *node, id pager.PageID) (int, error) {
 	for i, e := range parent.entries {
 		if pager.PageID(e.ref) == id {
-			return i
+			return i, nil
 		}
 	}
-	panic(fmt.Sprintf("rtree: parent %d has no entry for child %d", parent.id, id))
+	return 0, fmt.Errorf("%w: parent %d has no entry for child %d", ErrCorrupt, parent.id, id)
 }
 
 // adjustParentBox refreshes the MBR of path[i] inside its parent entry
 // (in memory; the parent is written back later in the loop).
-func (t *Tree) adjustParentBox(path []*node, i int) {
+func (t *Tree) adjustParentBox(path []*node, i int) error {
 	if i == 0 {
-		return
+		return nil
 	}
 	parent := path[i-1]
-	pi := parentEntryIndex(parent, path[i].id)
+	pi, err := parentEntryIndex(parent, path[i].id)
+	if err != nil {
+		return err
+	}
 	parent.entries[pi].box = path[i].mbr()
+	return nil
 }
 
 // forceReinsertPrep removes the reinsertCount entries of n farthest from
@@ -434,6 +469,9 @@ func (t *Tree) Nodes(fn func(NodeInfo) bool) error {
 }
 
 func (t *Tree) nodes(id pager.PageID, level int, fn func(NodeInfo) bool) (bool, error) {
+	if level < 1 {
+		return false, fmt.Errorf("%w: traversal exceeds height %d at node %d", ErrCorrupt, t.height, id)
+	}
 	n, err := t.readNode(id)
 	if err != nil {
 		return false, err

@@ -42,6 +42,29 @@ const (
 // ErrNotFound is returned by Get when the key is absent.
 var ErrNotFound = errors.New("btree: key not found")
 
+// ErrCorrupt is the sentinel wrapped by every structural-inconsistency
+// error: a page whose type byte is neither leaf nor inner, an impossible
+// entry count, or a descent/leaf-chain walk longer than any well-formed
+// tree allows (a child- or next-leaf-pointer cycle). Corrupted pages
+// surface as errors, never panics or endless loops.
+var ErrCorrupt = errors.New("btree: corrupt structure")
+
+// maxDepth bounds root-to-leaf descents: with fanout >128, a height
+// beyond this is impossible for any key count that fits in int64, so a
+// longer descent proves a child-pointer cycle.
+const maxDepth = 64
+
+// checkNode validates the invariants any readable node page satisfies.
+func checkNode(d []byte, id pager.PageID) error {
+	if typ := nodeType(d); typ != leafType && typ != innerType {
+		return fmt.Errorf("%w: page %d is not a node (type %d)", ErrCorrupt, id, typ)
+	}
+	if n := nodeCount(d); n > MaxEntries+1 {
+		return fmt.Errorf("%w: page %d has impossible entry count %d", ErrCorrupt, id, n)
+	}
+	return nil
+}
+
 // Tree is a B+-tree over a dedicated pager.
 type Tree struct {
 	p    *pager.Pager
@@ -195,12 +218,19 @@ func childFor(d []byte, k int64) int {
 // Get returns the value stored for key, or ErrNotFound.
 func (t *Tree) Get(key int64) (int64, error) {
 	id := t.root
-	for {
+	for depth := 0; ; depth++ {
+		if depth >= maxDepth {
+			return 0, fmt.Errorf("%w: descent exceeds %d levels at page %d", ErrCorrupt, maxDepth, id)
+		}
 		fr, err := t.p.Get(id)
 		if err != nil {
 			return 0, err
 		}
 		d := fr.Data()
+		if err := checkNode(d, id); err != nil {
+			fr.Unpin()
+			return 0, err
+		}
 		if nodeType(d) == leafType {
 			i := lowerBound(d, key)
 			if i < nodeCount(d) && entryKey(d, i) == key {
@@ -211,6 +241,10 @@ func (t *Tree) Get(key int64) (int64, error) {
 			fr.Unpin()
 			return 0, ErrNotFound
 		}
+		if nodeCount(d) == 0 {
+			fr.Unpin()
+			return 0, fmt.Errorf("%w: inner page %d has no children", ErrCorrupt, id)
+		}
 		id = pager.PageID(entryVal(d, childFor(d, key)))
 		fr.Unpin()
 	}
@@ -218,7 +252,7 @@ func (t *Tree) Get(key int64) (int64, error) {
 
 // Put inserts or overwrites key -> value.
 func (t *Tree) Put(key, value int64) error {
-	promoted, newChild, err := t.put(t.root, key, value)
+	promoted, newChild, err := t.put(t.root, key, value, maxDepth)
 	if err != nil {
 		return err
 	}
@@ -246,12 +280,19 @@ func (t *Tree) Put(key, value int64) error {
 
 // minKey returns the smallest key under node id.
 func (t *Tree) minKey(id pager.PageID) (int64, error) {
-	for {
+	for depth := 0; ; depth++ {
+		if depth >= maxDepth {
+			return 0, fmt.Errorf("%w: descent exceeds %d levels at page %d", ErrCorrupt, maxDepth, id)
+		}
 		fr, err := t.p.Get(id)
 		if err != nil {
 			return 0, err
 		}
 		d := fr.Data()
+		if err := checkNode(d, id); err != nil {
+			fr.Unpin()
+			return 0, err
+		}
 		if nodeCount(d) == 0 {
 			fr.Unpin()
 			return 0, nil // empty tree: any separator works
@@ -266,14 +307,22 @@ func (t *Tree) minKey(id pager.PageID) (int64, error) {
 	}
 }
 
-// put inserts into the subtree at id. When the node splits, it returns the
-// first key of the new right sibling and its page ID.
-func (t *Tree) put(id pager.PageID, key, value int64) (promoted int64, newChild pager.PageID, err error) {
+// put inserts into the subtree at id, recursing at most depth more
+// levels. When the node splits, it returns the first key of the new
+// right sibling and its page ID.
+func (t *Tree) put(id pager.PageID, key, value int64, depth int) (promoted int64, newChild pager.PageID, err error) {
+	if depth < 1 {
+		return 0, 0, fmt.Errorf("%w: descent exceeds %d levels at page %d", ErrCorrupt, maxDepth, id)
+	}
 	fr, err := t.p.Get(id)
 	if err != nil {
 		return 0, 0, err
 	}
 	d := fr.Data()
+	if err := checkNode(d, id); err != nil {
+		fr.Unpin()
+		return 0, 0, err
+	}
 
 	if nodeType(d) == leafType {
 		n := nodeCount(d)
@@ -307,7 +356,7 @@ func (t *Tree) put(id pager.PageID, key, value int64) (promoted int64, newChild 
 		fr.MarkDirty()
 	}
 	fr.Unpin() // release during recursion; page stays buffered
-	pk, pc, err := t.put(child, key, value)
+	pk, pc, err := t.put(child, key, value, depth-1)
 	if err != nil || pc == 0 {
 		return 0, 0, err
 	}
@@ -379,12 +428,19 @@ func (t *Tree) splitInner(fr *pager.Frame) (int64, pager.PageID, error) {
 // are allowed to underflow (no merging).
 func (t *Tree) Delete(key int64) (bool, error) {
 	id := t.root
-	for {
+	for depth := 0; ; depth++ {
+		if depth >= maxDepth {
+			return false, fmt.Errorf("%w: descent exceeds %d levels at page %d", ErrCorrupt, maxDepth, id)
+		}
 		fr, err := t.p.Get(id)
 		if err != nil {
 			return false, err
 		}
 		d := fr.Data()
+		if err := checkNode(d, id); err != nil {
+			fr.Unpin()
+			return false, err
+		}
 		if nodeType(d) == leafType {
 			i := lowerBound(d, key)
 			if i >= nodeCount(d) || entryKey(d, i) != key {
@@ -407,12 +463,19 @@ func (t *Tree) Delete(key int64) (bool, error) {
 func (t *Tree) Range(lo, hi int64, fn func(key, value int64) bool) error {
 	// Descend to the leaf covering lo.
 	id := t.root
-	for {
+	for depth := 0; ; depth++ {
+		if depth >= maxDepth {
+			return fmt.Errorf("%w: descent exceeds %d levels at page %d", ErrCorrupt, maxDepth, id)
+		}
 		fr, err := t.p.Get(id)
 		if err != nil {
 			return err
 		}
 		d := fr.Data()
+		if err := checkNode(d, id); err != nil {
+			fr.Unpin()
+			return err
+		}
 		if nodeType(d) == leafType {
 			fr.Unpin()
 			break
@@ -420,13 +483,22 @@ func (t *Tree) Range(lo, hi int64, fn func(key, value int64) bool) error {
 		id = pager.PageID(entryVal(d, childFor(d, lo)))
 		fr.Unpin()
 	}
-	// Walk the leaf chain.
-	for id != 0 {
+	// Walk the leaf chain. No well-formed chain is longer than the number
+	// of allocated pages, so a longer walk proves a next-leaf cycle.
+	maxSteps := int64(t.p.NumPages()) + 1
+	for steps := int64(0); id != 0; steps++ {
+		if steps >= maxSteps {
+			return fmt.Errorf("%w: leaf chain longer than %d pages (cycle at page %d)", ErrCorrupt, maxSteps, id)
+		}
 		fr, err := t.p.Get(id)
 		if err != nil {
 			return err
 		}
 		d := fr.Data()
+		if err := checkNode(d, id); err != nil {
+			fr.Unpin()
+			return err
+		}
 		n := nodeCount(d)
 		for i := lowerBound(d, lo); i < n; i++ {
 			k := entryKey(d, i)
@@ -450,11 +522,18 @@ func (t *Tree) Height() (int, error) {
 	h := 1
 	id := t.root
 	for {
+		if h > maxDepth {
+			return 0, fmt.Errorf("%w: descent exceeds %d levels at page %d", ErrCorrupt, maxDepth, id)
+		}
 		fr, err := t.p.Get(id)
 		if err != nil {
 			return 0, err
 		}
 		d := fr.Data()
+		if err := checkNode(d, id); err != nil {
+			fr.Unpin()
+			return 0, err
+		}
 		if nodeType(d) == leafType {
 			fr.Unpin()
 			return h, nil

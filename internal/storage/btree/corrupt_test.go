@@ -1,0 +1,126 @@
+package btree
+
+import (
+	"errors"
+	"testing"
+
+	"dmesh/internal/storage/pager"
+)
+
+// buildCorruptibleTree inserts enough keys for a multi-level tree.
+func buildCorruptibleTree(t *testing.T) *Tree {
+	t.Helper()
+	p := pager.New(pager.NewMemBackend(), 4096)
+	tr, err := Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 1000; k++ {
+		if err := tr.Put(k, k*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := tr.Height()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 2 {
+		t.Fatalf("tree too small to corrupt meaningfully (height %d)", h)
+	}
+	return tr
+}
+
+// smash rewrites page id through fn.
+func smash(t *testing.T, tr *Tree, id pager.PageID, fn func(d []byte)) {
+	t.Helper()
+	fr, err := tr.p.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn(fr.Data())
+	fr.MarkDirty()
+	fr.Unpin()
+}
+
+func TestGetCorruptTypeByte(t *testing.T) {
+	tr := buildCorruptibleTree(t)
+	smash(t, tr, tr.root, func(d []byte) { d[0] = 0xEE })
+	if _, err := tr.Get(500); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get over corrupt type = %v, want ErrCorrupt", err)
+	}
+	if err := tr.Range(0, 999, func(int64, int64) bool { return true }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Range over corrupt type = %v, want ErrCorrupt", err)
+	}
+	if _, err := tr.Height(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Height over corrupt type = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestGetCorruptEntryCount(t *testing.T) {
+	tr := buildCorruptibleTree(t)
+	smash(t, tr, tr.root, func(d []byte) { setCount(d, 30000) })
+	if _, err := tr.Get(500); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get over corrupt count = %v, want ErrCorrupt", err)
+	}
+}
+
+// A child pointer redirected back to the root must trip the descent
+// bound instead of looping forever.
+func TestGetCorruptDescentCycle(t *testing.T) {
+	tr := buildCorruptibleTree(t)
+	root := tr.root
+	smash(t, tr, root, func(d []byte) {
+		if nodeType(d) != innerType {
+			t.Fatal("root is not inner")
+		}
+		// Point every child entry back at the root itself.
+		for i := 0; i < nodeCount(d); i++ {
+			setEntry(d, i, entryKey(d, i), int64(root))
+		}
+	})
+	if _, err := tr.Get(500); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get over descent cycle = %v, want ErrCorrupt", err)
+	}
+	if err := tr.Put(5000, 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Put over descent cycle = %v, want ErrCorrupt", err)
+	}
+}
+
+// A next-leaf pointer redirected at the leaf itself must trip the
+// chain-length bound instead of scanning forever.
+func TestRangeCorruptLeafChainCycle(t *testing.T) {
+	tr := buildCorruptibleTree(t)
+	// Find the first leaf.
+	id := tr.root
+	for {
+		fr, err := tr.p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := fr.Data()
+		if nodeType(d) == leafType {
+			fr.Unpin()
+			break
+		}
+		id = pager.PageID(entryVal(d, 0))
+		fr.Unpin()
+	}
+	smash(t, tr, id, func(d []byte) { setNextLeaf(d, id) })
+	err := tr.Range(0, 1<<62, func(int64, int64) bool { return true })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Range over leaf cycle = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestGetCorruptEmptyInner(t *testing.T) {
+	tr := buildCorruptibleTree(t)
+	smash(t, tr, tr.root, func(d []byte) {
+		if nodeType(d) != innerType {
+			t.Fatal("root is not inner")
+		}
+		setCount(d, 0)
+	})
+	if _, err := tr.Get(500); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get over empty inner = %v, want ErrCorrupt", err)
+	}
+}

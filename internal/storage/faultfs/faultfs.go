@@ -1,0 +1,249 @@
+// Package faultfs wraps a pager.Backend with deterministic, seedable
+// fault injection — the failure harness for the whole storage stack.
+// Every disk-resident structure routes its I/O through the pager's
+// Backend interface, so wrapping the backend lets tests and the chaos
+// experiment (`dmbench -fig faults`) inject read/write/alloc failures,
+// bit-flip corruption, and latency below any layer they want to harden,
+// without touching the structure under test.
+//
+// Faults are scheduled, not random at run time: a Schedule decides from
+// the access index (and a seed) alone, so a serial workload observes the
+// exact same faults on every run. The wrapper sits BELOW the checksummed
+// backend (pager.Checksummed) in the intended layering — injected
+// corruption then models disk rot that checksums must catch:
+//
+//	Pager → Checksummed → faultfs.Backend → MemBackend / FileBackend
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dmesh/internal/storage/pager"
+)
+
+// ErrInjected is the sentinel wrapped by every injected failure; use
+// errors.Is to tell injected faults from real backend errors.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Op identifies one class of backend operation.
+type Op int
+
+// The schedulable operation classes.
+const (
+	Read Op = iota
+	Write
+	Alloc
+	numOps
+)
+
+func (op Op) String() string {
+	switch op {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Alloc:
+		return "alloc"
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// Schedule decides which accesses of one operation class fault. The
+// decision is a pure function of the 1-based access index and the seed,
+// so a fixed workload sees a fixed fault pattern. The zero Schedule
+// never fires. Clauses combine as OR.
+type Schedule struct {
+	// Nth lists explicit 1-based access indices that fault.
+	Nth []uint64
+	// Every makes every Every-th access fault (0 disables).
+	Every uint64
+	// Rate faults each access independently with this probability,
+	// decided by a deterministic hash of (Seed, index).
+	Rate float64
+	// Seed drives the Rate decisions.
+	Seed int64
+}
+
+// fires reports whether access n (1-based) faults under s.
+func (s Schedule) fires(n uint64) bool {
+	for _, k := range s.Nth {
+		if k == n {
+			return true
+		}
+	}
+	if s.Every > 0 && n%s.Every == 0 {
+		return true
+	}
+	if s.Rate > 0 {
+		// splitmix64 of (seed, n) → uniform in [0, 1).
+		u := splitmix64(uint64(s.Seed)*0x9E3779B97F4A7C15 + n)
+		if float64(u>>11)/float64(1<<53) < s.Rate {
+			return true
+		}
+	}
+	return false
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Stats counts the wrapper's activity: accesses per class, injected
+// failures per class, and corrupted reads.
+type Stats struct {
+	Ops       [3]uint64 // accesses, indexed by Op
+	Injected  [3]uint64 // injected failures, indexed by Op
+	Corrupted uint64    // reads whose returned page was bit-flipped
+}
+
+// Backend wraps an inner pager.Backend with fault injection. It is safe
+// for concurrent use (schedule decisions and counters are serialized; the
+// inner backend provides its own locking). NumPages, Sync, and Close pass
+// through unmodified.
+type Backend struct {
+	inner pager.Backend
+
+	mu        sync.Mutex
+	ops       [3]uint64
+	inj       [3]uint64
+	corrupt   Schedule
+	corrupted uint64
+	sched     [3]Schedule
+	latency   time.Duration
+}
+
+// Wrap returns a fault-injecting view of inner with no faults scheduled.
+func Wrap(inner pager.Backend) *Backend { return &Backend{inner: inner} }
+
+// SetSchedule installs the failure schedule for one operation class.
+func (b *Backend) SetSchedule(op Op, s Schedule) {
+	b.mu.Lock()
+	b.sched[op] = s
+	b.mu.Unlock()
+}
+
+// SetCorrupt installs the read-corruption schedule: when it fires, one
+// deterministically chosen bit of the page returned by ReadPage is
+// flipped after the inner read succeeds — the torn-write / disk-rot model
+// a checksummed backend must detect.
+func (b *Backend) SetCorrupt(s Schedule) {
+	b.mu.Lock()
+	b.corrupt = s
+	b.mu.Unlock()
+}
+
+// SetLatency makes every ReadPage and WritePage sleep for d before
+// touching the inner backend (0 disables). Useful to hold singleflight
+// fills open while concurrent waiters pile up.
+func (b *Backend) SetLatency(d time.Duration) {
+	b.mu.Lock()
+	b.latency = d
+	b.mu.Unlock()
+}
+
+// Heal clears every schedule and the latency; counters keep counting.
+func (b *Backend) Heal() {
+	b.mu.Lock()
+	b.sched = [3]Schedule{}
+	b.corrupt = Schedule{}
+	b.latency = 0
+	b.mu.Unlock()
+}
+
+// Stats snapshots the counters.
+func (b *Backend) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{Ops: b.ops, Injected: b.inj, Corrupted: b.corrupted}
+}
+
+// ResetStats zeroes the counters (schedule indices restart too: the next
+// access of each class is access 1 again).
+func (b *Backend) ResetStats() {
+	b.mu.Lock()
+	b.ops = [3]uint64{}
+	b.inj = [3]uint64{}
+	b.corrupted = 0
+	b.mu.Unlock()
+}
+
+// decide advances op's access counter and reports (index, fault, delay).
+func (b *Backend) decide(op Op) (uint64, bool, time.Duration) {
+	b.mu.Lock()
+	b.ops[op]++
+	n := b.ops[op]
+	fault := b.sched[op].fires(n)
+	if fault {
+		b.inj[op]++
+	}
+	d := b.latency
+	b.mu.Unlock()
+	return n, fault, d
+}
+
+// injected builds the error for one injected fault.
+func injected(op Op, n uint64) error {
+	return fmt.Errorf("%w: %s access %d", ErrInjected, op, n)
+}
+
+// ReadPage implements pager.Backend.
+func (b *Backend) ReadPage(id pager.PageID, buf []byte) error {
+	n, fault, d := b.decide(Read)
+	if d > 0 {
+		time.Sleep(d)
+	}
+	if fault {
+		return injected(Read, n)
+	}
+	if err := b.inner.ReadPage(id, buf); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	hit := b.corrupt.fires(n)
+	if hit {
+		b.corrupted++
+	}
+	b.mu.Unlock()
+	if hit {
+		// Flip one deterministically chosen bit of the returned page.
+		bit := splitmix64(uint64(b.corrupt.Seed)^(n*0x2545F4914F6CDD1D)) % uint64(len(buf)*8)
+		buf[bit/8] ^= 1 << (bit % 8)
+	}
+	return nil
+}
+
+// WritePage implements pager.Backend.
+func (b *Backend) WritePage(id pager.PageID, buf []byte) error {
+	n, fault, d := b.decide(Write)
+	if d > 0 {
+		time.Sleep(d)
+	}
+	if fault {
+		return injected(Write, n)
+	}
+	return b.inner.WritePage(id, buf)
+}
+
+// Allocate implements pager.Backend.
+func (b *Backend) Allocate() (pager.PageID, error) {
+	n, fault, _ := b.decide(Alloc)
+	if fault {
+		return 0, injected(Alloc, n)
+	}
+	return b.inner.Allocate()
+}
+
+// NumPages implements pager.Backend.
+func (b *Backend) NumPages() pager.PageID { return b.inner.NumPages() }
+
+// Sync implements pager.Backend.
+func (b *Backend) Sync() error { return b.inner.Sync() }
+
+// Close implements pager.Backend.
+func (b *Backend) Close() error { return b.inner.Close() }

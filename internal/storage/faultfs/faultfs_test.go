@@ -1,0 +1,202 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dmesh/internal/storage/pager"
+)
+
+// prep allocates n pages on a fresh mem backend and returns the wrapper.
+func prep(t *testing.T, n int) *Backend {
+	t.Helper()
+	inner := pager.NewMemBackend()
+	for i := 0; i < n; i++ {
+		if _, err := inner.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return Wrap(inner)
+}
+
+func TestPassthroughWithoutSchedules(t *testing.T) {
+	b := prep(t, 2)
+	buf := make([]byte, pager.PageSize)
+	copy(buf, []byte("hello"))
+	if err := b.WritePage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, pager.PageSize)
+	if err := b.ReadPage(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Fatal("round trip mismatch")
+	}
+	st := b.Stats()
+	if st.Ops[Read] != 1 || st.Ops[Write] != 1 {
+		t.Fatalf("ops = %v", st.Ops)
+	}
+	if st.Injected != [3]uint64{} || st.Corrupted != 0 {
+		t.Fatalf("spurious faults: %+v", st)
+	}
+}
+
+func TestNthAndEverySchedules(t *testing.T) {
+	b := prep(t, 1)
+	b.SetSchedule(Read, Schedule{Nth: []uint64{2}, Every: 5})
+	buf := make([]byte, pager.PageSize)
+	var failed []int
+	for i := 1; i <= 10; i++ {
+		if err := b.ReadPage(0, buf); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("access %d: %v", i, err)
+			}
+			failed = append(failed, i)
+		}
+	}
+	want := []int{2, 5, 10}
+	if len(failed) != len(want) {
+		t.Fatalf("failed accesses %v, want %v", failed, want)
+	}
+	for i := range want {
+		if failed[i] != want[i] {
+			t.Fatalf("failed accesses %v, want %v", failed, want)
+		}
+	}
+	if st := b.Stats(); st.Injected[Read] != 3 {
+		t.Fatalf("injected reads = %d, want 3", st.Injected[Read])
+	}
+}
+
+func TestRateIsDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		b := prep(t, 1)
+		b.SetSchedule(Read, Schedule{Rate: 0.3, Seed: seed})
+		buf := make([]byte, pager.PageSize)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = b.ReadPage(0, buf) != nil
+		}
+		return out
+	}
+	a, b2 := pattern(42), pattern(42)
+	faults := 0
+	for i := range a {
+		if a[i] != b2[i] {
+			t.Fatalf("same seed diverged at access %d", i+1)
+		}
+		if a[i] {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(a) {
+		t.Fatalf("rate 0.3 fired %d/%d times", faults, len(a))
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical patterns")
+	}
+}
+
+func TestCorruptionFlipsExactlyOneBit(t *testing.T) {
+	b := prep(t, 1)
+	want := make([]byte, pager.PageSize)
+	for i := range want {
+		want[i] = byte(i)
+	}
+	if err := b.WritePage(0, want); err != nil {
+		t.Fatal(err)
+	}
+	b.SetCorrupt(Schedule{Nth: []uint64{2}, Seed: 9})
+	got := make([]byte, pager.PageSize)
+	if err := b.ReadPage(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("access 1 should be clean")
+	}
+	if err := b.ReadPage(0, got); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		for x := got[i] ^ want[i]; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bits, want 1", diff)
+	}
+	if st := b.Stats(); st.Corrupted != 1 {
+		t.Fatalf("corrupted = %d, want 1", st.Corrupted)
+	}
+	// The backing store itself is untouched: a clean re-read matches.
+	if err := b.ReadPage(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("corruption leaked into the inner backend")
+	}
+}
+
+func TestHealClearsSchedules(t *testing.T) {
+	b := prep(t, 1)
+	b.SetSchedule(Read, Schedule{Every: 1})
+	b.SetSchedule(Write, Schedule{Every: 1})
+	b.SetSchedule(Alloc, Schedule{Every: 1})
+	buf := make([]byte, pager.PageSize)
+	if err := b.ReadPage(0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read = %v, want injected", err)
+	}
+	if err := b.WritePage(0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write = %v, want injected", err)
+	}
+	if _, err := b.Allocate(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("alloc = %v, want injected", err)
+	}
+	b.Heal()
+	if err := b.ReadPage(0, buf); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if err := b.WritePage(0, buf); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	if _, err := b.Allocate(); err != nil {
+		t.Fatalf("alloc after heal: %v", err)
+	}
+}
+
+// The wrapper must behave identically under a Pager: an injected read is
+// one failed disk access, and recovery works once the fault clears.
+func TestUnderPager(t *testing.T) {
+	b := prep(t, 0)
+	p := pager.New(b, 8)
+	fr, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := fr.ID()
+	fr.MarkDirty()
+	fr.Unpin()
+	if err := p.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	b.SetSchedule(Read, Schedule{Nth: []uint64{1}})
+	if _, err := p.Get(id); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Get = %v, want injected", err)
+	}
+	fr, err = p.Get(id)
+	if err != nil {
+		t.Fatalf("Get after fault: %v", err)
+	}
+	fr.Unpin()
+}

@@ -1,0 +1,250 @@
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// ErrChecksum is the sentinel wrapped by every checksum-verification
+// failure: the page read from the inner backend does not match the CRC
+// stamped when it was last written — corruption, a torn write, or a page
+// that was never durably written.
+var ErrChecksum = errors.New("pager: page checksum mismatch")
+
+const (
+	// sumBytes is the per-page checksum trailer: the CRC-32C of the page
+	// followed by its bitwise complement. The complement guards the
+	// trailer itself — no single corrupted trailer word can masquerade as
+	// a valid stamp, and the all-zeroes trailer (never written) is always
+	// invalid.
+	sumBytes = 8
+	// sumsPerPage is how many trailers one checksum page holds.
+	sumsPerPage = PageSize / sumBytes
+	// groupPages is one checksum page plus the data pages it covers; the
+	// physical page space of the inner backend is a sequence of such
+	// groups, so checksums persist inside the same backend (and the same
+	// file) as the data they protect.
+	groupPages = sumsPerPage + 1
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ChecksumBackend wraps an inner Backend so that every logical page
+// carries a CRC-32C verified on ReadPage and stamped on WritePage. The
+// checksums live in dedicated pages interleaved into the inner backend
+// (one checksum page per sumsPerPage data pages), so the protection
+// survives reopen; VerifyAll rechecks the whole store, which OpenStore
+// runs at open to detect corruption and torn writes before serving.
+//
+// The wrapper preserves the disk-access metric exactly: the Pager counts
+// one read per buffer-pool miss regardless of the backend underneath,
+// and the wrapper's own checksum-page accesses are cached internally.
+// Layer fault injection (faultfs) BELOW this wrapper: injected bit flips
+// then model disk rot the checksums must catch.
+type ChecksumBackend struct {
+	inner Backend
+
+	mu     sync.Mutex
+	pages  PageID            // logical pages
+	sums   map[PageID][]byte // loaded checksum pages, keyed by physical ID
+	closed bool
+}
+
+// Checksummed wraps inner with per-page CRC-32C protection. The inner
+// backend must be empty (a store being built) or previously produced by a
+// ChecksumBackend (a store being reopened); any other layout fails
+// ErrChecksum on first read.
+func Checksummed(inner Backend) (*ChecksumBackend, error) {
+	phys := int64(inner.NumPages())
+	groups := (phys + groupPages - 1) / groupPages
+	logical := phys - groups
+	// A valid layout is exactly what Allocate produces: each group of up
+	// to sumsPerPage data pages is led by its checksum page.
+	if logical < 0 || logical+(logical+sumsPerPage-1)/sumsPerPage != phys {
+		return nil, fmt.Errorf("pager: checksummed: inner backend has %d pages, not a whole group layout", phys)
+	}
+	return &ChecksumBackend{
+		inner: inner,
+		pages: PageID(logical),
+		sums:  make(map[PageID][]byte),
+	}, nil
+}
+
+// physical maps a logical page to its inner data page and the (checksum
+// page, trailer offset) that protects it.
+func physical(id PageID) (data, sumPage PageID, sumOff int) {
+	group := uint64(id) / sumsPerPage
+	slot := uint64(id) % sumsPerPage
+	sumPage = PageID(group * groupPages)
+	return sumPage + 1 + PageID(slot), sumPage, int(slot) * sumBytes
+}
+
+// sumPageLocked returns (loading if needed) the checksum page with the
+// given physical ID. Caller holds b.mu.
+func (b *ChecksumBackend) sumPageLocked(id PageID) ([]byte, error) {
+	if s, ok := b.sums[id]; ok {
+		return s, nil
+	}
+	s := make([]byte, PageSize)
+	if err := b.inner.ReadPage(id, s); err != nil {
+		return nil, fmt.Errorf("pager: checksum page %d: %w", id, err)
+	}
+	b.sums[id] = s
+	return s, nil
+}
+
+// stamp writes the trailer for data into s at off.
+func stamp(s []byte, off int, data []byte) {
+	c := crc32.Checksum(data, castagnoli)
+	putU32(s[off:], c)
+	putU32(s[off+4:], ^c)
+}
+
+// verify checks data against the trailer at s[off:].
+func verify(s []byte, off int, data []byte) bool {
+	c := getU32(s[off:])
+	if getU32(s[off+4:]) != ^c {
+		return false // trailer itself damaged or never stamped
+	}
+	return crc32.Checksum(data, castagnoli) == c
+}
+
+func putU32(d []byte, v uint32) {
+	d[0], d[1], d[2], d[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func getU32(d []byte) uint32 {
+	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24
+}
+
+// ReadPage implements Backend: one inner data-page read plus a cached
+// checksum lookup, verified before the content reaches the buffer pool.
+func (b *ChecksumBackend) ReadPage(id PageID, buf []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if id >= b.pages {
+		return fmt.Errorf("pager: checksummed: page %d out of range (%d pages)", id, b.pages)
+	}
+	data, sumPage, off := physical(id)
+	s, err := b.sumPageLocked(sumPage)
+	if err != nil {
+		return err
+	}
+	if err := b.inner.ReadPage(data, buf); err != nil {
+		return err
+	}
+	if !verify(s, off, buf[:PageSize]) {
+		return fmt.Errorf("%w: page %d", ErrChecksum, id)
+	}
+	return nil
+}
+
+// WritePage implements Backend: the data page and its refreshed trailer
+// are both written through to the inner backend.
+func (b *ChecksumBackend) WritePage(id PageID, buf []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if id >= b.pages {
+		return fmt.Errorf("pager: checksummed: page %d out of range (%d pages)", id, b.pages)
+	}
+	data, sumPage, off := physical(id)
+	s, err := b.sumPageLocked(sumPage)
+	if err != nil {
+		return err
+	}
+	if err := b.inner.WritePage(data, buf); err != nil {
+		return err
+	}
+	stamp(s, off, buf[:PageSize])
+	if err := b.inner.WritePage(sumPage, s); err != nil {
+		return fmt.Errorf("pager: checksum page %d: %w", sumPage, err)
+	}
+	return nil
+}
+
+// Allocate implements Backend. The first page of each group allocates the
+// group's checksum page too; the fresh (zeroed) data page is stamped
+// immediately so it verifies even if read back before its first write.
+func (b *ChecksumBackend) Allocate() (PageID, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, ErrClosed
+	}
+	id := b.pages
+	_, sumPage, off := physical(id)
+	if uint64(id)%sumsPerPage == 0 {
+		sp, err := b.inner.Allocate()
+		if err != nil {
+			return 0, err
+		}
+		if sp != sumPage {
+			return 0, fmt.Errorf("pager: checksummed: checksum page allocated at %d, want %d", sp, sumPage)
+		}
+		b.sums[sumPage] = make([]byte, PageSize)
+	}
+	dp, err := b.inner.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	if want, _, _ := physical(id); dp != want {
+		return 0, fmt.Errorf("pager: checksummed: data page allocated at %d, want %d", dp, want)
+	}
+	s, err := b.sumPageLocked(sumPage)
+	if err != nil {
+		return 0, err
+	}
+	var zero [PageSize]byte
+	stamp(s, off, zero[:])
+	if err := b.inner.WritePage(sumPage, s); err != nil {
+		return 0, fmt.Errorf("pager: checksum page %d: %w", sumPage, err)
+	}
+	b.pages++
+	return id, nil
+}
+
+// NumPages implements Backend (logical pages).
+func (b *ChecksumBackend) NumPages() PageID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.pages
+}
+
+// Sync implements Backend.
+func (b *ChecksumBackend) Sync() error { return b.inner.Sync() }
+
+// Close implements Backend.
+func (b *ChecksumBackend) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	b.sums = nil
+	b.mu.Unlock()
+	return b.inner.Close()
+}
+
+// VerifyAll reads and verifies every logical page, returning the first
+// checksum failure (wrapping ErrChecksum) or any inner read error. Run it
+// at open to detect corruption and torn writes before serving; its reads
+// go straight to the inner backend and are not counted by any pager.
+func (b *ChecksumBackend) VerifyAll() error {
+	n := b.NumPages()
+	buf := make([]byte, PageSize)
+	for id := PageID(0); id < n; id++ {
+		if err := b.ReadPage(id, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

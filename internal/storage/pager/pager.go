@@ -58,29 +58,32 @@ type Backend interface {
 // Stats counts pager activity. Reads is the paper's "number of disk
 // accesses" metric: buffer-pool misses served by the backend.
 type Stats struct {
-	Reads     uint64 // pages read from the backend (disk accesses)
-	Writes    uint64 // pages written to the backend
-	Hits      uint64 // buffer-pool hits
-	Misses    uint64 // buffer-pool misses (== Reads)
-	Evictions uint64 // frames evicted to make room
+	Reads       uint64 // pages read from the backend (disk accesses)
+	Writes      uint64 // pages written to the backend
+	Hits        uint64 // buffer-pool hits
+	Misses      uint64 // buffer-pool misses (== Reads)
+	Evictions   uint64 // frames evicted to make room
+	UnpinErrors uint64 // redundant Unpin calls absorbed (see Frame.Unpin)
 }
 
 // counters is the atomic backing store for Stats.
 type counters struct {
-	reads     atomic.Uint64
-	writes    atomic.Uint64
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
+	reads       atomic.Uint64
+	writes      atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	evictions   atomic.Uint64
+	unpinErrors atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		Reads:     c.reads.Load(),
-		Writes:    c.writes.Load(),
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
+		Reads:       c.reads.Load(),
+		Writes:      c.writes.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		UnpinErrors: c.unpinErrors.Load(),
 	}
 }
 
@@ -90,6 +93,7 @@ func (c *counters) reset() {
 	c.hits.Store(0)
 	c.misses.Store(0)
 	c.evictions.Store(0)
+	c.unpinErrors.Store(0)
 }
 
 // Session attributes page accesses to one logical query (or request) while
@@ -241,8 +245,9 @@ func (pl *pool) shardOf(id PageID) *shard {
 // Frame is a pinned page. Callers must Unpin it when done and call
 // MarkDirty before Unpin if they modified Data.
 type Frame struct {
-	sh *shard
-	f  *frame
+	sh       *shard
+	f        *frame
+	released bool // set by Unpin; guarded by sh.mu
 }
 
 // ID returns the page ID.
@@ -251,22 +256,34 @@ func (fr *Frame) ID() PageID { return fr.f.id }
 // Data returns the page content. The slice is valid until Unpin.
 func (fr *Frame) Data() []byte { return fr.f.data }
 
-// MarkDirty records that the page content was modified.
+// MarkDirty records that the page content was modified. It is a no-op on
+// a released handle.
 func (fr *Frame) MarkDirty() {
 	fr.sh.mu.Lock()
-	fr.f.dirty = true
+	if !fr.released {
+		fr.f.dirty = true
+	}
 	fr.sh.mu.Unlock()
 }
 
 // Unpin releases the frame. After Unpin the Frame must not be used.
+//
+// Unpin is idempotent per Frame handle: a second call on the same handle
+// — the pattern a caller unwinding through `defer fr.Unpin()` after an
+// explicit release on a mid-query error path produces — is absorbed and
+// counted in Stats.UnpinErrors rather than corrupting the pin count or
+// panicking. A serving process must survive I/O-error unwinding.
 func (fr *Frame) Unpin() {
 	sh := fr.sh
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	f := fr.f
-	if f.pins <= 0 {
-		panic(fmt.Sprintf("pager: unpin of page %d with pin count %d", f.id, f.pins))
+	if fr.released || f.pins <= 0 {
+		fr.released = true
+		sh.pl.stats.unpinErrors.Add(1)
+		return
 	}
+	fr.released = true
 	f.pins--
 	if f.pins == 0 {
 		switch sh.pl.policy {
@@ -436,6 +453,17 @@ func (sh *shard) makeRoom(sess *Session) error {
 			sess.c.writes.Add(1)
 		}
 		if err := sh.pl.backend.WritePage(victim.id, victim.data); err != nil {
+			// The victim was already taken out of the replacement
+			// structure; put it back or it would sit in the frames map
+			// forever — resident and re-Gettable but never evictable, a
+			// one-frame capacity leak per failed eviction write.
+			switch sh.pl.policy {
+			case LRU:
+				victim.elem = sh.lru.PushBack(victim)
+			case Clock:
+				victim.slot = len(sh.ring)
+				sh.ring = append(sh.ring, victim)
+			}
 			return fmt.Errorf("pager: evict page %d: %w", victim.id, err)
 		}
 	}

@@ -156,17 +156,21 @@ func TestDropCacheRefusesPinned(t *testing.T) {
 	}
 }
 
-func TestUnpinUnderflowPanics(t *testing.T) {
+func TestUnpinUnderflowAbsorbed(t *testing.T) {
+	// A serving process must survive a double release (the error-unwind
+	// pattern): it is absorbed and counted, never a panic or a negative
+	// pin count.
 	p := New(NewMemBackend(), 8)
 	defer p.Close()
 	fr, _ := p.Allocate()
 	fr.Unpin()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double unpin must panic")
-		}
-	}()
 	fr.Unpin()
+	if got := p.Stats().UnpinErrors; got != 1 {
+		t.Fatalf("UnpinErrors = %d, want 1", got)
+	}
+	if fr.f.pins != 0 {
+		t.Fatalf("pin count = %d after double unpin, want 0", fr.f.pins)
+	}
 }
 
 func TestClosedPagerErrors(t *testing.T) {

@@ -1,0 +1,44 @@
+package tilecache_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmesh/internal/tilecache"
+)
+
+// TestTileStatsAndDADeterministic replays the same seeded query
+// sequence on two independently built stores and fresh caches and
+// requires the full accounting — per-tile DA included, unlike the
+// warm-store comparison in TestTileStatsDeterministic — to match
+// exactly. Serial queries on a cold store must produce a fixed I/O
+// schedule; a map-order leak anywhere under materialization shows up
+// here as a per-tile DA diff.
+func TestTileStatsAndDADeterministic(t *testing.T) {
+	tr := terrain(t, "crater")
+	run := func() ([]tilecache.TileStat, tilecache.Stats) {
+		c, _ := newCache(t, tr, 0) // fresh store, caches dropped
+		rng := rand.New(rand.NewSource(31))
+		for i, r := range randRects(rng, 15) {
+			e := tr.LODPercentile(0.6 + 0.4*rng.Float64())
+			if _, _, err := c.Query(r, e); err != nil {
+				t.Fatalf("query %d: %v", i, err)
+			}
+		}
+		return c.TileStats(), c.Stats()
+	}
+	ts1, st1 := run()
+	ts2, st2 := run()
+	if st1 != st2 {
+		t.Errorf("cache stats differ across identical runs:\n  run1 %+v\n  run2 %+v", st1, st2)
+	}
+	if len(ts1) != len(ts2) {
+		t.Fatalf("%d resident tiles vs %d across identical runs", len(ts1), len(ts2))
+	}
+	for i := range ts1 {
+		if ts1[i] != ts2[i] {
+			t.Errorf("tile %d accounting differs across identical runs:\n  run1 %+v\n  run2 %+v",
+				i, ts1[i], ts2[i])
+		}
+	}
+}

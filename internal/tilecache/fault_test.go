@@ -1,0 +1,207 @@
+package tilecache_test
+
+// Fault-injection regression tests: a failed tile materialization must
+// propagate its error to every waiter deduplicated onto the flight, must
+// not leave a poisoned (empty or partial) patch in the cache, and a
+// later retry must succeed once the fault clears.
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dmesh"
+	"dmesh/internal/geom"
+	"dmesh/internal/storage/faultfs"
+	"dmesh/internal/storage/pager"
+	"dmesh/internal/tilecache"
+)
+
+// gate holds every ReadPage at a barrier while armed, making the
+// flight-join race deterministic: the leader's materialization blocks
+// here until the test has observed the waiter dedup onto the flight.
+type gate struct {
+	pager.Backend
+	mu      sync.Mutex
+	blocked chan struct{}
+}
+
+func (g *gate) arm() chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.blocked = make(chan struct{})
+	return g.blocked
+}
+
+func (g *gate) ReadPage(id pager.PageID, buf []byte) error {
+	g.mu.Lock()
+	ch := g.blocked
+	g.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+	return g.Backend.ReadPage(id, buf)
+}
+
+// faultyCache builds a store whose four backends are wrapped
+// gate(faultfs(mem)): faults are scheduled on the faultfs layer and the
+// gate above it serializes the test's view of in-flight reads.
+func faultyCache(t *testing.T, tr *dmesh.Terrain) (*tilecache.Cache, *dmesh.DMStore, []*faultfs.Backend, []*gate) {
+	t.Helper()
+	var fbs []*faultfs.Backend
+	var gates []*gate
+	pools := dmesh.StorePools{WrapBackend: func(b pager.Backend) pager.Backend {
+		fb := faultfs.Wrap(b)
+		fbs = append(fbs, fb)
+		g := &gate{Backend: fb}
+		gates = append(gates, g)
+		return g
+	}}
+	s, err := tr.NewDMStoreWithPools(pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.DropCaches()
+	c, err := tr.NewTileCache(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, s, fbs, gates
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFillFailurePropagatesToWaiters is the singleflight failure
+// contract: when the leader's materialization fails, the waiter that
+// deduplicated onto the flight receives the same error (not a cached
+// empty patch), nothing is retained, and a retry after the fault heals
+// succeeds and is exact.
+func TestFillFailurePropagatesToWaiters(t *testing.T) {
+	tr := terrain(t, "highland")
+	c, s, fbs, gates := faultyCache(t, tr)
+
+	r := geom.Rect{MinX: 0.3, MinY: 0.3, MaxX: 0.45, MaxY: 0.45}
+	e := tr.LODPercentile(0.9)
+
+	// Every read fails; the gate keeps the failing flight open until the
+	// waiter has joined it.
+	for _, fb := range fbs {
+		fb.SetSchedule(faultfs.Read, faultfs.Schedule{Every: 1})
+	}
+	for _, g := range gates {
+		g.arm()
+	}
+
+	errs := make(chan error, 2)
+	go func() { // leader
+		_, _, err := c.Query(r, e)
+		errs <- err
+	}()
+	waitFor(t, "leader to open the flight", func() bool { return c.Stats().Misses >= 1 })
+
+	go func() { // waiter: same ROI, same first tile, joins the flight
+		_, _, err := c.Query(r, e)
+		errs <- err
+	}()
+	waitFor(t, "waiter to dedup onto the flight", func() bool { return c.Stats().DedupedMisses >= 1 })
+
+	// Release the reads; the scheduled fault now fails the flight.
+	for _, g := range gates {
+		g.mu.Lock()
+		close(g.blocked)
+		g.blocked = nil
+		g.mu.Unlock()
+	}
+	for i := 0; i < 2; i++ {
+		err := <-errs
+		if err == nil {
+			t.Fatal("query over injected read faults returned nil error")
+		}
+		if !errors.Is(err, faultfs.ErrInjected) {
+			t.Fatalf("error lost the injected sentinel: %v", err)
+		}
+		if !strings.Contains(err.Error(), "tile") {
+			t.Fatalf("error lacks tile context: %v", err)
+		}
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("failed materialization left residue: %+v", st)
+	}
+
+	// Fault clears; the retry re-runs the materialization and must be
+	// exact against a direct query.
+	for _, fb := range fbs {
+		fb.Heal()
+	}
+	res, qs, err := c.Query(r, e)
+	if err != nil {
+		t.Fatalf("retry after heal: %v", err)
+	}
+	if qs.ColdMisses == 0 {
+		t.Fatal("retry did not re-materialize (stale failed flight served?)")
+	}
+	want, err := s.ViewpointIndependent(r, qs.SnappedE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMesh(t, "retry after heal", res, want)
+	if st := c.Stats(); st.Entries == 0 {
+		t.Fatal("successful retry not retained")
+	}
+}
+
+// TestFillFailureEveryWaiterGetsError fans many waiters onto one failing
+// flight: all must error, none may observe a nil patch with nil error.
+func TestFillFailureEveryWaiterGetsError(t *testing.T) {
+	tr := terrain(t, "highland")
+	c, _, fbs, gates := faultyCache(t, tr)
+
+	r := geom.Rect{MinX: 0.55, MinY: 0.55, MaxX: 0.7, MaxY: 0.7}
+	e := tr.LODPercentile(0.95)
+	for _, fb := range fbs {
+		fb.SetSchedule(faultfs.Read, faultfs.Schedule{Every: 1})
+	}
+	for _, g := range gates {
+		g.arm()
+	}
+
+	const clients = 8
+	errs := make(chan error, clients)
+	go func() {
+		_, _, err := c.Query(r, e)
+		errs <- err
+	}()
+	waitFor(t, "leader to open the flight", func() bool { return c.Stats().Misses >= 1 })
+	for i := 1; i < clients; i++ {
+		go func() {
+			_, _, err := c.Query(r, e)
+			errs <- err
+		}()
+	}
+	waitFor(t, "waiters to dedup", func() bool { return c.Stats().DedupedMisses >= clients-1 })
+	for _, g := range gates {
+		g.mu.Lock()
+		close(g.blocked)
+		g.blocked = nil
+		g.mu.Unlock()
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; !errors.Is(err, faultfs.ErrInjected) {
+			t.Fatalf("client %d: error = %v, want ErrInjected", i, err)
+		}
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("failed flight cached a patch: %+v", st)
+	}
+}
