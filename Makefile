@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: verify fmt build vet test race racecache chaos bench benchsmoke figures
+.PHONY: verify fmt build vet test race racecache chaos obssmoke bench benchsmoke figures
 
 # The CI gate: formatting, build, vet, and the full test suite under the
 # race detector (short mode keeps the large-terrain tests out of the
-# loop), plus a non-short race pass over the concurrent tile cache and
-# the small-scale chaos run.
-verify: fmt build vet race racecache chaos
+# loop), plus a non-short race pass over the concurrent tile cache, the
+# small-scale chaos run, and the observability smoke over the tileserver
+# introspection endpoints.
+verify: fmt build vet race racecache chaos obssmoke
 
 # gofmt cleanliness: fails listing the offending files, fixes nothing.
 fmt:
@@ -36,6 +37,12 @@ racecache:
 # or returns an answer that differs from the clean oracle store.
 chaos:
 	$(GO) run ./cmd/dmbench -fig faults -size 65 -size2 65
+
+# Observability smoke: boots the tileserver stack under httptest and
+# exercises /metrics, /slowlog and /debug/vars, including the per-phase
+# disk-access attribution invariant visible in the slow log.
+obssmoke:
+	$(GO) test -count=1 ./examples/tileserver/
 
 # The paper's metric: custom DA/... counters, not ns/op. Runs the unit
 # suite first (a benchmark of broken code measures nothing); -run '^$$'

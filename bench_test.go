@@ -189,14 +189,15 @@ func BenchmarkAblationClustering(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				da = 0
 				for _, roi := range rois {
-					if err := store.DropCaches(); err != nil {
+					roi := roi
+					qda, err := dmesh.MeasuredRun(store, func() error {
+						_, err := store.ViewpointIndependent(roi, e)
+						return err
+					})
+					if err != nil {
 						b.Fatal(err)
 					}
-					store.ResetStats()
-					if _, err := store.ViewpointIndependent(roi, e); err != nil {
-						b.Fatal(err)
-					}
-					da += store.DiskAccesses()
+					da += qda
 				}
 			}
 			b.ReportMetric(float64(da)/float64(len(rois)), "DA/query")
@@ -227,14 +228,14 @@ func BenchmarkAblationMultiBase(b *testing.B) {
 				da = 0
 				for _, roi := range rois {
 					qp := workload.PlaneFor(roi, emin, bb.EffectiveMaxLOD(), 0.5)
-					if err := bb.DM.DropCaches(); err != nil {
+					qda, err := dmesh.MeasuredRun(bb.DM, func() error {
+						_, err := bb.DM.ExecuteStrips(qp, c.plan(qp))
+						return err
+					})
+					if err != nil {
 						b.Fatal(err)
 					}
-					bb.DM.ResetStats()
-					if _, err := bb.DM.ExecuteStrips(qp, c.plan(qp)); err != nil {
-						b.Fatal(err)
-					}
-					da += bb.DM.DiskAccesses()
+					da += qda
 				}
 			}
 			b.ReportMetric(float64(da)/float64(len(rois)), "DA/query")
@@ -251,14 +252,14 @@ func BenchmarkAblationWarmCache(b *testing.B) {
 	b.Run("Cold", func(b *testing.B) {
 		var da uint64
 		for i := 0; i < b.N; i++ {
-			if err := bb.DM.DropCaches(); err != nil {
+			qda, err := dmesh.MeasuredRun(bb.DM, func() error {
+				_, err := bb.DM.ViewpointIndependent(roi, e)
+				return err
+			})
+			if err != nil {
 				b.Fatal(err)
 			}
-			bb.DM.ResetStats()
-			if _, err := bb.DM.ViewpointIndependent(roi, e); err != nil {
-				b.Fatal(err)
-			}
-			da = bb.DM.DiskAccesses()
+			da = qda
 		}
 		b.ReportMetric(float64(da), "DA/query")
 	})
@@ -296,14 +297,14 @@ func BenchmarkAblationPoolSize(b *testing.B) {
 			}
 			var da uint64
 			for i := 0; i < b.N; i++ {
-				if err := store.DropCaches(); err != nil {
+				qda, err := dmesh.MeasuredRun(store, func() error {
+					_, err := store.ViewpointIndependent(roi, e)
+					return err
+				})
+				if err != nil {
 					b.Fatal(err)
 				}
-				store.ResetStats()
-				if _, err := store.ViewpointIndependent(roi, e); err != nil {
-					b.Fatal(err)
-				}
-				da = store.DiskAccesses()
+				da = qda
 			}
 			b.ReportMetric(float64(da), "DA/query")
 		})
@@ -367,20 +368,19 @@ func BenchmarkAblationVisibility(b *testing.B) {
 				da = 0
 				for _, roi := range rois {
 					qp := workload.PlaneFor(roi, emin, bb.EffectiveMaxLOD(), 0.5)
-					if err := bb.HDoV.DropCaches(); err != nil {
-						b.Fatal(err)
-					}
-					bb.HDoV.ResetStats()
-					var err error
-					if c.useDoV {
-						_, err = bb.HDoV.QueryPlane(qp)
-					} else {
-						_, err = bb.HDoV.QueryPlaneLODRTree(qp)
-					}
+					qda, err := dmesh.MeasuredRun(bb.HDoV, func() error {
+						var qerr error
+						if c.useDoV {
+							_, qerr = bb.HDoV.QueryPlane(qp)
+						} else {
+							_, qerr = bb.HDoV.QueryPlaneLODRTree(qp)
+						}
+						return qerr
+					})
 					if err != nil {
 						b.Fatal(err)
 					}
-					da += bb.HDoV.DiskAccesses()
+					da += qda
 				}
 			}
 			b.ReportMetric(float64(da)/float64(len(rois)), "DA/query")
@@ -415,19 +415,23 @@ func BenchmarkParallelThroughput(b *testing.B) {
 
 	coldRound := func(w int) (uint64, float64) {
 		b.Helper()
-		if err := store.DropCaches(); err != nil {
-			b.Fatal(err)
-		}
-		store.ResetStats()
-		start := time.Now()
-		out := store.QueryBatch(qs, w)
-		secs := time.Since(start).Seconds()
+		// DA comes from the batch's per-session attribution, not the pool
+		// total MeasuredRun returns.
 		var da uint64
-		for i, r := range out {
-			if r.Err != nil {
-				b.Fatalf("query %d: %v", i, r.Err)
+		var secs float64
+		if _, err := dmesh.MeasuredRun(store, func() error {
+			start := time.Now()
+			out := store.QueryBatch(qs, w)
+			secs = time.Since(start).Seconds()
+			for i, r := range out {
+				if r.Err != nil {
+					b.Fatalf("query %d: %v", i, r.Err)
+				}
+				da += r.DA
 			}
-			da += r.DA
+			return nil
+		}); err != nil {
+			b.Fatal(err)
 		}
 		return da, secs
 	}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn|throughput|flyover|tilecache|faults]
+//	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn|throughput|flyover|tilecache|faults|dabreakdown]
 //	        [-size N] [-size2 N] [-seed S] [-locations L]
 //	        [-cpuprofile F] [-memprofile F]
 //
@@ -27,6 +27,12 @@
 // (retry-once), and DA overhead — with zero panics and zero answers that
 // differ from a clean oracle store.
 //
+// -fig dabreakdown is the telemetry figure: the paper's query mix traced
+// phase by phase (index descent, record fetch, overflow walks,
+// triangulation, planning, tile materialization, stitching), with each
+// query's per-phase disk accesses verified to sum exactly to its
+// independently counted session total.
+//
 // -cpuprofile and -memprofile write pprof profiles of whatever figure
 // selection ran (go tool pprof reads them).
 //
@@ -46,6 +52,7 @@ import (
 	"text/tabwriter"
 
 	"dmesh/internal/experiments"
+	"dmesh/internal/obs"
 	"dmesh/internal/workload"
 )
 
@@ -61,7 +68,7 @@ func main() {
 // selected figure fails.
 func mainErr() error {
 	var (
-		fig       = flag.String("fig", "all", "figure to reproduce (6a..6d, 8a..8f, conn, throughput, flyover, tilecache, faults, all)")
+		fig       = flag.String("fig", "all", "figure to reproduce (6a..6d, 8a..8f, conn, throughput, flyover, tilecache, faults, dabreakdown, all)")
 		size      = flag.Int("size", 257, "grid side of the highland dataset (the paper's 2M-point terrain)")
 		size2     = flag.Int("size2", 513, "grid side of the crater dataset (the paper's 17M-point terrain)")
 		seed      = flag.Int64("seed", 1, "generation seed")
@@ -259,6 +266,19 @@ func runners() []figureRunner {
 			}
 			return nil
 		}},
+		{"dabreakdown", func(e *benchEnv) error {
+			fracs := map[string]float64{"highland": 0.10, "crater": 0.05}
+			for _, name := range []string{"highland", "crater"} {
+				b, err := e.bundle(name)
+				if err != nil {
+					return err
+				}
+				if err := printDABreakdown(b, e.cfg, fracs[name]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
 	}
 }
 
@@ -427,6 +447,63 @@ func printFaults(b *experiments.Bundle, seed int64) error {
 		return fmt.Errorf("faults: wrong answers or panics under injected faults (see table)")
 	}
 	return nil
+}
+
+// printDABreakdown runs the telemetry decomposition: the paper's query
+// mix traced phase by phase, each query's per-phase disk accesses checked
+// to sum exactly to its session total (an attribution gap is a hard
+// failure, not a footnote), then aggregated per query kind.
+func printDABreakdown(b *experiments.Bundle, cfg workload.Config, roiFrac float64) error {
+	if b == nil {
+		return nil
+	}
+	rows, err := b.DABreakdown(cfg, roiFrac, 24)
+	if err != nil {
+		return fmt.Errorf("dabreakdown: %w", err)
+	}
+	fmt.Printf("\nPer-phase DA breakdown (%s, ROI %.0f%%, exact attribution, DA [spans]):\n",
+		b.Name, roiFrac*100)
+	// Column per phase that shows up in any row, in phase enum order.
+	var used [obs.NumPhases]bool
+	for _, r := range rows {
+		for _, ps := range r.Phases {
+			used[ps.Phase] = true
+		}
+	}
+	var phases []string
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		if used[p] {
+			phases = append(phases, p.String())
+		}
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "kind\tqueries\ttotal DA")
+	for _, p := range phases {
+		fmt.Fprintf(w, "\t%s", p)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d", r.Kind, r.Queries, r.TotalDA)
+		cells := map[string]string{}
+		var sum uint64
+		for _, ps := range r.Phases {
+			cells[ps.Name] = fmt.Sprintf("%d [%d]", ps.DA, ps.Spans)
+			sum += ps.DA
+		}
+		for _, p := range phases {
+			c, ok := cells[p]
+			if !ok {
+				c = "-"
+			}
+			fmt.Fprintf(w, "\t%s", c)
+		}
+		fmt.Fprintln(w)
+		if sum != r.TotalDA {
+			w.Flush()
+			return fmt.Errorf("dabreakdown: %s phases sum to %d DA, total is %d", r.Kind, sum, r.TotalDA)
+		}
+	}
+	return w.Flush()
 }
 
 func printConn(b *experiments.Bundle) {

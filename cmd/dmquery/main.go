@@ -74,48 +74,54 @@ func run(storeDir, roiStr string, lod, emin, emax float64, multi, explain bool, 
 	}
 	defer store.Close()
 
-	store.ResetStats()
-	var res *dmesh.Result
-	switch {
-	case viewer != "":
-		parts := strings.Split(viewer, ",")
-		if len(parts) != 2 || scale <= 0 {
-			return fmt.Errorf("radial query needs -viewer x,y and a positive -scale")
-		}
-		vx, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
-		vy, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
-		if err1 != nil || err2 != nil {
-			return fmt.Errorf("bad -viewer %q", viewer)
-		}
-		res, err = store.Radial(roi, geom.Point2{X: vx, Y: vy}, scale, 8)
-	case lod >= 0:
-		res, err = store.ViewpointIndependent(roi, lod)
-	case emin >= 0 && emax >= emin:
+	// -explain plans without executing, so it skips the measured run.
+	if explain && emin >= 0 && emax >= emin {
 		qp := dmesh.QueryPlane{R: roi, EMin: emin, EMax: emax, Axis: 1}
-		if explain {
-			model, merr := dmesh.NewCostModel(store)
-			if merr != nil {
-				return merr
-			}
-			plan, perr := store.ExplainPlane(qp, model, 0)
-			if perr != nil {
-				return perr
-			}
-			fmt.Print(plan)
-			return nil
+		model, merr := dmesh.NewCostModel(store)
+		if merr != nil {
+			return merr
 		}
-		if multi {
-			model, merr := dmesh.NewCostModel(store)
-			if merr != nil {
-				return merr
-			}
-			res, err = store.MultiBase(qp, model, 0)
-		} else {
-			res, err = store.SingleBase(qp)
+		plan, perr := store.ExplainPlane(qp, model, 0)
+		if perr != nil {
+			return perr
 		}
-	default:
-		return fmt.Errorf("specify -lod for a uniform query or -emin/-emax for a plane query")
+		fmt.Print(plan)
+		return nil
 	}
+
+	var res *dmesh.Result
+	da, err := dmesh.MeasuredRun(store, func() error {
+		var qerr error
+		switch {
+		case viewer != "":
+			parts := strings.Split(viewer, ",")
+			if len(parts) != 2 || scale <= 0 {
+				return fmt.Errorf("radial query needs -viewer x,y and a positive -scale")
+			}
+			vx, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+			vy, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("bad -viewer %q", viewer)
+			}
+			res, qerr = store.Radial(roi, geom.Point2{X: vx, Y: vy}, scale, 8)
+		case lod >= 0:
+			res, qerr = store.ViewpointIndependent(roi, lod)
+		case emin >= 0 && emax >= emin:
+			qp := dmesh.QueryPlane{R: roi, EMin: emin, EMax: emax, Axis: 1}
+			if multi {
+				model, merr := dmesh.NewCostModel(store)
+				if merr != nil {
+					return merr
+				}
+				res, qerr = store.MultiBase(qp, model, 0)
+			} else {
+				res, qerr = store.SingleBase(qp)
+			}
+		default:
+			return fmt.Errorf("specify -lod for a uniform query or -emin/-emax for a plane query")
+		}
+		return qerr
+	})
 	if err != nil {
 		return err
 	}
@@ -124,7 +130,7 @@ func run(storeDir, roiStr string, lod, emin, emax float64, multi, explain bool, 
 	fmt.Printf("edges:         %d\n", len(res.Edges))
 	fmt.Printf("triangles:     %d\n", len(res.Triangles))
 	fmt.Printf("records read:  %d (in %d range quer%s)\n", res.FetchedRecords, res.Strips, plural(res.Strips, "y", "ies"))
-	fmt.Printf("disk accesses: %d\n", store.DiskAccesses())
+	fmt.Printf("disk accesses: %d\n", da)
 	bd := store.Breakdown()
 	fmt.Printf("  data %d, index %d, id-index %d, overflow %d\n", bd.Data, bd.Index, bd.IDIndex, bd.Overflow)
 

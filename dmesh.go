@@ -33,6 +33,7 @@ import (
 	"dmesh/internal/heightfield"
 	"dmesh/internal/mesh"
 	"dmesh/internal/mtmcodec"
+	"dmesh/internal/obs"
 	"dmesh/internal/pm"
 	"dmesh/internal/simplify"
 	"dmesh/internal/temporal"
@@ -99,6 +100,31 @@ type (
 	// DiffResult summarizes elevation change between two versions.
 	DiffResult = temporal.DiffResult
 )
+
+// ColdMeasurable is the store-side contract of a paper-style measured
+// query: drop every buffer pool, zero the counters, run, read the
+// disk-access total. DMStore, DMSession, PMStore, and HDoVStore all
+// satisfy it.
+type ColdMeasurable = obs.ColdMeasurable
+
+// QueryTrace records one query's hierarchical phase spans with exact
+// per-phase disk-access attribution (see internal/obs). Install on a
+// store with DMStore.SetTrace, or per session with DMSession.NewTrace.
+type QueryTrace = obs.Trace
+
+// NewQueryTrace builds a trace sampling the given monotone disk-access
+// counter (e.g. a DMSession's DiskAccesses method). A nil sampler makes
+// a charge-based trace for callers that attribute DA explicitly, like
+// DMTileCache.QueryTraced.
+func NewQueryTrace(sample func() uint64) *QueryTrace { return obs.NewTrace(sample) }
+
+// MeasuredRun executes fn as a cold measured query — DropCaches +
+// ResetStats, then fn, then the store's disk-access total — the exact
+// prologue the paper's cold-cache methodology requires. The DA count is
+// returned even when fn fails.
+func MeasuredRun(s ColdMeasurable, fn func() error) (uint64, error) {
+	return obs.MeasuredRun(s, fn)
+}
 
 // NewRect returns the rectangle spanning two corners given in any order.
 func NewRect(x0, y0, x1, y1 float64) Rect { return geom.NewRect(x0, y0, x1, y1) }

@@ -47,14 +47,15 @@ func main() {
 	roi := dmesh.NewRect(0.25, 0.25, 0.75, 0.75)
 	fmt.Printf("\n%-8s %9s %9s %12s\n", "LOD pct", "vertices", "triangles", "disk access")
 	for _, pct := range []float64{0.95, 0.8, 0.5, 0.1} {
-		if err := store.DropCaches(); err != nil {
-			log.Fatal(err)
-		}
-		store.ResetStats()
-		res, err := store.ViewpointIndependent(roi, terrain.LODPercentile(pct))
+		var res *dmesh.Result
+		da, err := dmesh.MeasuredRun(store, func() error {
+			var qerr error
+			res, qerr = store.ViewpointIndependent(roi, terrain.LODPercentile(pct))
+			return qerr
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("p%-7.0f %9d %9d %12d\n", pct*100, len(res.Vertices), len(res.Triangles), store.DiskAccesses())
+		fmt.Printf("p%-7.0f %9d %9d %12d\n", pct*100, len(res.Vertices), len(res.Triangles), da)
 	}
 }

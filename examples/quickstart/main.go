@@ -32,16 +32,22 @@ func main() {
 	// 3. A viewpoint-independent query: one region, one level of detail.
 	//    LODs are approximation errors; percentiles of the dataset's LOD
 	//    distribution are the convenient way to pick them.
+	//    dmesh.MeasuredRun is the paper's cold-cache methodology in one
+	//    call: drop the buffer pools, zero the counters, run, count.
 	roi := dmesh.NewRect(0.25, 0.25, 0.75, 0.75)
 	lod := terrain.LODPercentile(0.9)
-	coldStart(store) // measure from a cold buffer pool
-	res, err := store.ViewpointIndependent(roi, lod)
+	var res *dmesh.Result
+	da, err := dmesh.MeasuredRun(store, func() error {
+		var qerr error
+		res, qerr = store.ViewpointIndependent(roi, lod)
+		return qerr
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nuniform mesh over %v at LOD %.4g:\n", roi, lod)
 	fmt.Printf("  %d vertices, %d triangles, %d disk accesses\n",
-		len(res.Vertices), len(res.Triangles), store.DiskAccesses())
+		len(res.Vertices), len(res.Triangles), da)
 
 	// 4. A viewpoint-dependent query: fine detail near the viewer (low y),
 	//    coarse in the distance, in a single pass — no tree traversal.
@@ -51,14 +57,18 @@ func main() {
 		EMax: terrain.LODPercentile(0.99),
 		Axis: 1, // LOD grows along y
 	}
-	coldStart(store)
-	view, err := store.SingleBase(plane)
+	var view *dmesh.Result
+	da, err = dmesh.MeasuredRun(store, func() error {
+		var qerr error
+		view, qerr = store.SingleBase(plane)
+		return qerr
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nviewpoint-dependent mesh (LOD %.4g near -> %.4g far):\n", plane.EMin, plane.EMax)
 	fmt.Printf("  %d vertices, %d triangles, %d disk accesses\n",
-		len(view.Vertices), len(view.Triangles), store.DiskAccesses())
+		len(view.Vertices), len(view.Triangles), da)
 
 	// 5. The multi-base optimizer plans several query cubes hugging the
 	//    plane when the cost model predicts fewer disk accesses.
@@ -66,19 +76,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	coldStart(store)
-	mb, err := store.MultiBase(plane, model, 0)
+	var mb *dmesh.Result
+	da, err = dmesh.MeasuredRun(store, func() error {
+		var qerr error
+		mb, qerr = store.MultiBase(plane, model, 0)
+		return qerr
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nmulti-base plan: %d cube(s), %d disk accesses\n", mb.Strips, store.DiskAccesses())
-}
-
-// coldStart flushes the buffer pool and zeroes the counters so each query
-// is measured the way the paper measures: from cold caches.
-func coldStart(store *dmesh.DMStore) {
-	if err := store.DropCaches(); err != nil {
-		log.Fatal(err)
-	}
-	store.ResetStats()
+	fmt.Printf("\nmulti-base plan: %d cube(s), %d disk accesses\n", mb.Strips, da)
 }

@@ -21,13 +21,23 @@
 // the server between requests, so consecutive overlapping frames are
 // answered incrementally — only the newly exposed volume is fetched.
 //
-//	go run ./examples/tileserver [-addr :8080]
+// Every request is traced (internal/obs): wall time and exact per-phase
+// disk-access attribution. -introspect (default on) mounts the
+// observability endpoints: /metrics (Prometheus text), /slowlog (the N
+// slowest requests with their phase breakdowns; threshold set by
+// -slowms), /debug/vars (expvar JSON including the metrics registry),
+// and the /debug/pprof/ suite.
+//
+//	go run ./examples/tileserver [-addr :8080] [-slowms 50] [-introspect=true]
 //
 //	curl 'http://localhost:8080/tile?x0=0.2&y0=0.2&x1=0.5&y1=0.5&lod=0.9'
 //	curl 'http://localhost:8080/frame?session=cam1&x0=0.2&y0=0.0&x1=0.7&y1=0.4&near=0.75&far=0.99'
 //	curl 'http://localhost:8080/frame?session=cam1&x0=0.2&y0=0.1&x1=0.7&y1=0.5&near=0.75&far=0.99'
 //	curl 'http://localhost:8080/stats'
 //	curl 'http://localhost:8080/cachestats'
+//	curl 'http://localhost:8080/metrics'
+//	curl 'http://localhost:8080/slowlog?n=5'
+//	curl 'http://localhost:8080/debug/vars'
 package main
 
 import (
@@ -44,6 +54,7 @@ import (
 	"time"
 
 	"dmesh"
+	"dmesh/internal/obs"
 )
 
 type server struct {
@@ -53,6 +64,19 @@ type server struct {
 	cache   *dmesh.DMTileCache
 	served  atomic.Uint64
 	tileDA  atomic.Uint64
+
+	// Telemetry: the metrics registry behind /metrics and /debug/vars,
+	// and the ring-buffered slow-request log behind /slowlog.
+	reg  *obs.Registry
+	slow *obs.SlowLog
+
+	mTileReqs  *obs.Counter
+	mFrameReqs *obs.Counter
+	mErrors    *obs.Counter
+	hTileDA    *obs.Histogram
+	hTileNanos *obs.Histogram
+	hFrameDA   *obs.Histogram
+	hFrameNs   *obs.Histogram
 
 	// Named coherent sessions, one per animating client. A coherent
 	// session is stateful and not safe for concurrent use, so each entry
@@ -73,9 +97,74 @@ const maxCameras = 64
 type camera struct {
 	mu       sync.Mutex
 	cs       *dmesh.DMCoherentSession
+	tr       *obs.Trace // the session's trace; reset every frame
 	lastUsed time.Time
 	frames   uint64
 	da       uint64
+}
+
+// newServer builds the terrain, the sharded store, the tile cache, and
+// the telemetry plumbing. Extracted from main so tests can run the whole
+// stack against httptest.
+func newServer(size int, slowThreshold time.Duration) (*server, error) {
+	terrain, err := dmesh.Build(dmesh.Config{Dataset: "highland", Size: size, Seed: 3})
+	if err != nil {
+		return nil, err
+	}
+	store, err := terrain.NewDMStoreWithPools(dmesh.StorePools{Shards: runtime.NumCPU()})
+	if err != nil {
+		return nil, err
+	}
+	model, err := dmesh.NewCostModel(store)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := terrain.NewTileCache(store, 0)
+	if err != nil {
+		return nil, err
+	}
+	s := &server{
+		terrain: terrain, store: store, model: model, cache: cache,
+		cameras: make(map[string]*camera),
+		reg:     obs.NewRegistry(),
+		slow:    obs.NewSlowLog(128, slowThreshold),
+	}
+	s.mTileReqs = s.reg.Counter("tileserver_tile_requests_total", "tile requests served")
+	s.mFrameReqs = s.reg.Counter("tileserver_frame_requests_total", "coherent frames served")
+	s.mErrors = s.reg.Counter("tileserver_request_errors_total", "requests answered with an error status")
+	s.hTileDA = s.reg.Histogram("tileserver_tile_disk_accesses", "disk accesses per tile request")
+	s.hTileNanos = s.reg.Histogram("tileserver_tile_latency_nanos", "tile request latency in nanoseconds")
+	s.hFrameDA = s.reg.Histogram("tileserver_frame_disk_accesses", "disk accesses per coherent frame")
+	s.hFrameNs = s.reg.Histogram("tileserver_frame_latency_nanos", "frame request latency in nanoseconds")
+	s.reg.GaugeFunc("tileserver_cache_entries", "resident tile-cache patches", func() int64 {
+		return int64(cache.Stats().Entries)
+	})
+	s.reg.GaugeFunc("tileserver_cache_bytes", "estimated resident tile-cache bytes", func() int64 {
+		return int64(cache.Stats().Bytes)
+	})
+	s.reg.GaugeFunc("tileserver_cameras_active", "retained coherent sessions", func() int64 {
+		s.camMu.Lock()
+		defer s.camMu.Unlock()
+		return int64(len(s.cameras))
+	})
+	s.reg.PublishExpvar("tileserver")
+	return s, nil
+}
+
+// routes mounts the serving endpoints, plus (when introspect is set) the
+// observability surface: /metrics, /slowlog, /debug/vars, /debug/pprof/.
+func (s *server) routes(introspect bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/tile", s.handleTile)
+	mux.HandleFunc("/frame", s.handleFrame)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/cachestats", s.handleCacheStats)
+	if introspect {
+		mux.Handle("/metrics", obs.MetricsHandler(s.reg))
+		mux.Handle("/slowlog", obs.SlowLogHandler(s.slow))
+		obs.RegisterDebug(mux)
+	}
+	return mux
 }
 
 // lookupCamera returns the named client's coherent session, creating it
@@ -106,7 +195,8 @@ func (s *server) lookupCamera(name string) *camera {
 		delete(s.cameras, oldest)
 		log.Printf("evicted coherent session %q (%d frames, %d disk accesses)", oldest, frames, da)
 	}
-	c := &camera{cs: s.store.NewCoherentSession(s.model), lastUsed: time.Now()}
+	cs := s.store.NewCoherentSession(s.model)
+	c := &camera{cs: cs, tr: cs.EnableTrace(), lastUsed: time.Now()}
 	s.cameras[name] = c
 	return c
 }
@@ -121,34 +211,17 @@ type tileResponse struct {
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	size := flag.Int("size", 129, "terrain size")
+	slowMS := flag.Int("slowms", 50, "slow-log admission threshold in milliseconds")
+	introspect := flag.Bool("introspect", true, "mount /metrics, /slowlog, /debug/vars and /debug/pprof/")
 	flag.Parse()
 
-	terrain, err := dmesh.Build(dmesh.Config{Dataset: "highland", Size: *size, Seed: 3})
+	s, err := newServer(*size, time.Duration(*slowMS)*time.Millisecond)
 	if err != nil {
 		log.Fatal(err)
 	}
-	store, err := terrain.NewDMStoreWithPools(dmesh.StorePools{Shards: runtime.NumCPU()})
-	if err != nil {
-		log.Fatal(err)
-	}
-	model, err := dmesh.NewCostModel(store)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cache, err := terrain.NewTileCache(store, 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	s := &server{terrain: terrain, store: store, model: model, cache: cache, cameras: make(map[string]*camera)}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/tile", s.handleTile)
-	mux.HandleFunc("/frame", s.handleFrame)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/cachestats", s.handleCacheStats)
-	log.Printf("serving %d-point terrain on %s (%d pool shards)",
-		terrain.NumPoints(), *addr, runtime.NumCPU())
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	log.Printf("serving %d-point terrain on %s (%d pool shards, introspection %v)",
+		s.terrain.NumPoints(), *addr, runtime.NumCPU(), *introspect)
+	log.Fatal(http.ListenAndServe(*addr, s.routes(*introspect)))
 }
 
 func queryFloat(r *http.Request, name string, def float64) (float64, error) {
@@ -164,7 +237,8 @@ func queryFloat(r *http.Request, name string, def float64) (float64, error) {
 // I/O faults under a query surface here as a 500 with the error chain
 // (e.g. an injected fault or a checksum mismatch) — the server itself
 // keeps serving.
-func jsonError(w http.ResponseWriter, status int, err error) {
+func (s *server) jsonError(w http.ResponseWriter, status int, err error) {
+	s.mErrors.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if encErr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); encErr != nil {
@@ -180,12 +254,12 @@ func (s *server) handleTile(w http.ResponseWriter, r *http.Request) {
 	pct, err5 := queryFloat(r, "lod", 0.9)
 	for _, err := range []error{err1, err2, err3, err4, err5} {
 		if err != nil {
-			jsonError(w, http.StatusBadRequest, err)
+			s.jsonError(w, http.StatusBadRequest, err)
 			return
 		}
 	}
 	if pct < 0 || pct > 1 {
-		jsonError(w, http.StatusBadRequest, fmt.Errorf("lod must be a percentile in [0,1]"))
+		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("lod must be a percentile in [0,1]"))
 		return
 	}
 	roi := dmesh.NewRect(x0, y0, x1, y1)
@@ -193,27 +267,40 @@ func (s *server) handleTile(w http.ResponseWriter, r *http.Request) {
 
 	var res *dmesh.Result
 	var da uint64
+	var tr *obs.Trace
 	var err error
-	if r.URL.Query().Get("nocache") != "" {
+	start := time.Now()
+	nocache := r.URL.Query().Get("nocache") != ""
+	if nocache {
 		// Bypass the tile cache: one session per request, so the
-		// session's counters see only this request's page reads.
+		// session's counters see only this request's page reads — and the
+		// trace samples them directly.
 		sess := s.store.NewSession()
+		tr = sess.NewTrace()
 		res, err = sess.ViewpointIndependent(roi, lod)
 		da = sess.DiskAccesses()
 	} else {
 		// The cache snaps the LOD onto its ladder, materializes any cold
 		// tiles (once, however many requests race) and stitches; da is
-		// only the store I/O this request's cold tiles cost.
+		// only the store I/O this request's cold tiles cost, and the
+		// charge-based trace attributes exactly that.
+		tr = dmesh.NewQueryTrace(nil)
 		var qs dmesh.TileQueryStats
-		res, qs, err = s.cache.Query(roi, lod)
+		res, qs, err = s.cache.QueryTraced(roi, lod, tr)
 		lod, da = qs.SnappedE, qs.DA
 	}
+	dur := time.Since(start)
 	if err != nil {
-		jsonError(w, http.StatusInternalServerError, err)
+		s.jsonError(w, http.StatusInternalServerError, err)
 		return
 	}
 	s.served.Add(1)
 	s.tileDA.Add(da)
+	s.mTileReqs.Inc()
+	s.hTileDA.Observe(da)
+	s.hTileNanos.Observe(uint64(dur))
+	s.slow.Observe(fmt.Sprintf("tile roi=[%g,%g,%g,%g] lod=%g nocache=%t", x0, y0, x1, y1, pct, nocache),
+		dur, da, tr)
 
 	resp := tileResponse{
 		LOD:          lod,
@@ -252,7 +339,7 @@ type frameResponse struct {
 func (s *server) handleFrame(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("session")
 	if name == "" {
-		jsonError(w, http.StatusBadRequest, fmt.Errorf("session parameter required"))
+		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("session parameter required"))
 		return
 	}
 	x0, err1 := queryFloat(r, "x0", 0)
@@ -263,12 +350,12 @@ func (s *server) handleFrame(w http.ResponseWriter, r *http.Request) {
 	far, err6 := queryFloat(r, "far", 0.99)
 	for _, err := range []error{err1, err2, err3, err4, err5, err6} {
 		if err != nil {
-			jsonError(w, http.StatusBadRequest, err)
+			s.jsonError(w, http.StatusBadRequest, err)
 			return
 		}
 	}
 	if near < 0 || near > 1 || far < 0 || far > 1 {
-		jsonError(w, http.StatusBadRequest, fmt.Errorf("near and far must be percentiles in [0,1]"))
+		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("near and far must be percentiles in [0,1]"))
 		return
 	}
 	plane := dmesh.QueryPlane{
@@ -280,16 +367,25 @@ func (s *server) handleFrame(w http.ResponseWriter, r *http.Request) {
 
 	cam := s.lookupCamera(name)
 	cam.mu.Lock()
+	start := time.Now()
 	res, st, err := cam.cs.Frame(plane)
+	dur := time.Since(start)
 	if err == nil {
 		cam.frames++
 		cam.da += st.DA
+		// Observe under the camera lock: the trace is reset by the next
+		// frame, and Observe copies the phase stats out.
+		s.slow.Observe(fmt.Sprintf("frame session=%s roi=[%g,%g,%g,%g]", name, x0, y0, x1, y1),
+			dur, st.DA, cam.tr)
 	}
 	cam.mu.Unlock()
 	if err != nil {
-		jsonError(w, http.StatusInternalServerError, err)
+		s.jsonError(w, http.StatusInternalServerError, err)
 		return
 	}
+	s.mFrameReqs.Inc()
+	s.hFrameDA.Observe(st.DA)
+	s.hFrameNs.Observe(uint64(dur))
 
 	resp := frameResponse{
 		Session:      name,
@@ -345,7 +441,11 @@ type statsResponse struct {
 	StoreDiskAccsses uint64        `json:"store_disk_accesses"`
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+// statsSnapshot assembles the /stats response at the given time.
+// Deterministic for a fixed server state and now: the only map in the
+// response is encoded by encoding/json (sorted keys) and the camera list
+// is sorted by session name.
+func (s *server) statsSnapshot(now time.Time) statsResponse {
 	resp := statsResponse{
 		Points:         s.terrain.NumPoints(),
 		Nodes:          s.terrain.Dataset.Tree.Len(),
@@ -374,7 +474,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Session:      name,
 			Frames:       c.frames,
 			DiskAccesses: c.da,
-			IdleSeconds:  int64(time.Since(c.lastUsed).Seconds()),
+			IdleSeconds:  int64(now.Sub(c.lastUsed).Seconds()),
 		})
 		resp.TotalFrames += c.frames
 		resp.TotalFrameDA += c.da
@@ -383,41 +483,59 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.camMu.Unlock()
 	sort.Slice(resp.Cameras, func(i, j int) bool { return resp.Cameras[i].Session < resp.Cameras[j].Session })
 	resp.StoreDiskAccsses = s.store.DiskAccesses()
+	return resp
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
+	if err := json.NewEncoder(w).Encode(s.statsSnapshot(time.Now())); err != nil {
 		log.Printf("stats encode: %v", err)
 	}
 }
 
-// handleCacheStats reports the shared tile cache: global counters plus
-// the per-tile hit/cost accounting, hottest tiles first.
-func (s *server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
-	type tileStat struct {
-		Level int    `json:"level"`
-		IX    int    `json:"ix"`
-		IY    int    `json:"iy"`
-		Band  int    `json:"band"`
-		Hits  uint64 `json:"hits"`
-		DA    uint64 `json:"disk_accesses"`
-		Bytes int    `json:"bytes"`
-		Nodes int    `json:"nodes"`
+// cacheStatsResponse is the /cachestats body: global cache counters plus
+// the per-tile hit/cost accounting, hottest tiles first (ties keep the
+// underlying Key order, so the encoding is deterministic).
+type cacheStatsResponse struct {
+	Stats  dmesh.TileCacheStats `json:"stats"`
+	Ladder []float64            `json:"lod_ladder"`
+	Tiles  []cacheTileStat      `json:"tiles"`
+}
+
+type cacheTileStat struct {
+	Level int    `json:"level"`
+	IX    int    `json:"ix"`
+	IY    int    `json:"iy"`
+	Band  int    `json:"band"`
+	Hits  uint64 `json:"hits"`
+	DA    uint64 `json:"disk_accesses"`
+	Bytes int    `json:"bytes"`
+	Nodes int    `json:"nodes"`
+}
+
+// cacheStatsSnapshot assembles the /cachestats response. TileStats
+// returns tiles in Key total order; the stable sort re-orders by hits
+// only, so equal-hit tiles keep a deterministic order.
+func (s *server) cacheStatsSnapshot() cacheStatsResponse {
+	resp := cacheStatsResponse{
+		Stats:  s.cache.Stats(),
+		Ladder: s.cache.Ladder(),
 	}
-	var resp struct {
-		Stats  dmesh.TileCacheStats `json:"stats"`
-		Ladder []float64            `json:"lod_ladder"`
-		Tiles  []tileStat           `json:"tiles"`
-	}
-	resp.Stats = s.cache.Stats()
-	resp.Ladder = s.cache.Ladder()
 	for _, ts := range s.cache.TileStats() {
-		resp.Tiles = append(resp.Tiles, tileStat{
+		resp.Tiles = append(resp.Tiles, cacheTileStat{
 			Level: ts.Key.Level, IX: ts.Key.IX, IY: ts.Key.IY, Band: ts.Key.Band,
 			Hits: ts.Hits, DA: ts.DA, Bytes: ts.Bytes, Nodes: ts.Nodes,
 		})
 	}
 	sort.SliceStable(resp.Tiles, func(i, j int) bool { return resp.Tiles[i].Hits > resp.Tiles[j].Hits })
+	return resp
+}
+
+// handleCacheStats reports the shared tile cache: global counters plus
+// the per-tile hit/cost accounting, hottest tiles first.
+func (s *server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
+	if err := json.NewEncoder(w).Encode(s.cacheStatsSnapshot()); err != nil {
 		log.Printf("cachestats encode: %v", err)
 	}
 }

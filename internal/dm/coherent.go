@@ -5,6 +5,7 @@ import (
 
 	"dmesh/internal/costmodel"
 	"dmesh/internal/geom"
+	"dmesh/internal/obs"
 	"dmesh/internal/pm"
 	"dmesh/internal/rtree"
 )
@@ -89,6 +90,19 @@ func (c *CoherentSession) Invalidate() {
 // DiskAccesses returns the total pages read by this session's frames.
 func (c *CoherentSession) DiskAccesses() uint64 { return c.sess.DiskAccesses() }
 
+// EnableTrace attaches (and returns) a phase tracer to the session. The
+// trace is reset at the start of every frame — frames zero the session
+// counters, so a span left open across Frame would watch its sampler go
+// backwards — and after a frame returns it holds that frame's spans;
+// read it before the next frame. Sessions are single-goroutine and so
+// is the trace.
+func (c *CoherentSession) EnableTrace() *obs.Trace {
+	return c.sess.NewTrace()
+}
+
+// Trace returns the attached phase tracer (nil when tracing is off).
+func (c *CoherentSession) Trace() *obs.Trace { return c.sess.tr }
+
 // FrameUniform answers a viewpoint-independent frame Q(M, r, e),
 // incrementally when the previous frame's volume overlaps. It matches
 // Store.ViewpointIndependent exactly, including the fetch clamp to the
@@ -133,11 +147,17 @@ func (c *CoherentSession) FrameStrips(qp geom.QueryPlane, strips []costmodel.Str
 // nodes.
 func (c *CoherentSession) frame(qp geom.QueryPlane, target []geom.Box) (*Result, FrameStats, error) {
 	c.sess.ResetStats()
+	// The counters just went to zero, so the trace restarts here: a span
+	// held open across the reset would see its sampler go backwards.
+	tr := c.sess.tr
+	tr.Reset()
+	tr.Begin(obs.PhaseQuery)
 	st := FrameStats{Strips: len(target)}
 
 	full := c.fetched == nil
 	var frags []geom.Box
 	if !full {
+		tr.Begin(obs.PhasePlan)
 		frags = rtree.DeltaBoxes(target, c.cover)
 		st.Fragments = len(frags)
 		if c.model != nil {
@@ -145,6 +165,7 @@ func (c *CoherentSession) frame(qp geom.QueryPlane, target []geom.Box) (*Result,
 			st.PredFullDA, st.PredDeltaDA = fullDA, deltaDA
 			full = !useDelta
 		}
+		tr.End()
 	}
 
 	f := c.sess.newFetcher()
@@ -180,12 +201,14 @@ func (c *CoherentSession) frame(qp geom.QueryPlane, target []geom.Box) (*Result,
 		if err != nil {
 			// The retained state may be mid-reconciliation; start clean.
 			c.Invalidate()
+			tr.End()
 			return nil, st, err
 		}
 		st.Fetched += nf
 	}
 	c.fetched = f.fetched()
 
+	tr.Begin(obs.PhaseTriangulate)
 	newLive, newRep := liveAndReps(qp, c.fetched)
 
 	// Dirty set: every node whose presence or live representative
@@ -238,9 +261,11 @@ func (c *CoherentSession) frame(qp geom.QueryPlane, target []geom.Box) (*Result,
 	c.live = newLive
 
 	res := c.mesh.result(newLive)
+	tr.End() // triangulate
 	res.FetchedRecords = st.Fetched
 	res.Strips = len(fetchBoxes)
 	st.DA = c.sess.DiskAccesses()
+	tr.End() // root; after this the trace accounts for exactly st.DA
 	return res, st, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"dmesh/internal/costmodel"
 	"dmesh/internal/geom"
+	"dmesh/internal/obs"
 	"dmesh/internal/storage/heapfile"
 )
 
@@ -26,6 +27,9 @@ type fetcher struct {
 	// know which fetched nodes it had not seen before.
 	track bool
 	added []int64
+	// tr carries the owning view's tracer (nil when tracing is off, and
+	// forced nil in parallel strip workers — a trace is single-goroutine).
+	tr *obs.Trace
 }
 
 func (s *Store) newFetcher() *fetcher {
@@ -33,6 +37,7 @@ func (s *Store) newFetcher() *fetcher {
 		s:    s,
 		buf:  make([]byte, RecordSize),
 		obuf: make([]byte, OverflowRecordSize),
+		tr:   s.tr,
 	}
 }
 
@@ -50,10 +55,12 @@ func (f *fetcher) fetched() map[int64]*Node {
 // strips are real I/O and count).
 func (f *fetcher) fetchBox(box geom.Box) (int, error) {
 	f.rids = f.rids[:0]
+	f.tr.Begin(obs.PhaseRTree)
 	err := f.s.rt.Search(box, func(ref int64, _ geom.Box) bool {
 		f.rids = append(f.rids, heapfile.RID(ref))
 		return true
 	})
+	f.tr.End()
 	if err != nil {
 		return 0, fmt.Errorf("dm: index search: %w", err)
 	}
@@ -61,9 +68,11 @@ func (f *fetcher) fetchBox(box geom.Box) (int, error) {
 		f.nodes = make(map[int64]*Node, len(f.rids))
 	}
 	fetched := 0
+	f.tr.Begin(obs.PhaseFetch)
 	for _, rid := range f.rids {
-		n, err := f.s.fetchRecord(rid, f.buf, f.obuf)
+		n, err := f.s.fetchRecord(rid, f.buf, f.obuf, f.tr)
 		if err != nil {
+			f.tr.End()
 			return fetched, err
 		}
 		fetched++
@@ -75,6 +84,7 @@ func (f *fetcher) fetchBox(box geom.Box) (int, error) {
 			}
 		}
 	}
+	f.tr.End()
 	return fetched, nil
 }
 
@@ -83,6 +93,8 @@ func (f *fetcher) fetchBox(box geom.Box) (int, error) {
 // covers e (Section 5.1), and their connection lists triangulate the
 // result with no further I/O.
 func (s *Store) ViewpointIndependent(r geom.Rect, e float64) (*Result, error) {
+	s.tr.Begin(obs.PhaseQuery)
+	defer s.tr.End()
 	// Stored segments clamp the roots' infinite tops to the dataset
 	// maximum, so fetch at min(e, maxE): a query coarser than the whole
 	// dataset still returns the root approximation. The liveness filter
@@ -97,6 +109,7 @@ func (s *Store) ViewpointIndependent(r geom.Rect, e float64) (*Result, error) {
 		return nil, err
 	}
 	fetched := f.fetched()
+	s.tr.Begin(obs.PhaseTriangulate)
 	// The R*-tree stores closed boxes but LOD intervals are half-open:
 	// a node whose EHigh equals e is fetched yet not part of the LOD-e
 	// approximation. Filter, keeping the I/O already (correctly) paid.
@@ -107,6 +120,7 @@ func (s *Store) ViewpointIndependent(r geom.Rect, e float64) (*Result, error) {
 		}
 	}
 	res := assembleUniform(live)
+	s.tr.End()
 	res.FetchedRecords = nf
 	res.Strips = 1
 	return res, nil
@@ -118,6 +132,8 @@ func (s *Store) ViewpointIndependent(r geom.Rect, e float64) (*Result, error) {
 // data (every node between the plane and the top plane over r) is in the
 // cube, so no further I/O is needed.
 func (s *Store) SingleBase(qp geom.QueryPlane) (*Result, error) {
+	s.tr.Begin(obs.PhaseQuery)
+	defer s.tr.End()
 	f := s.newFetcher()
 	nf, err := f.fetchBox(geom.BoxFromRect(qp.R, qp.EMin, qp.EMax))
 	if err != nil {
@@ -139,7 +155,12 @@ func (s *Store) MultiBase(qp geom.QueryPlane, model *costmodel.Model, maxStrips 
 	if model == nil {
 		return nil, fmt.Errorf("dm: MultiBase requires a cost model")
 	}
-	return s.ExecuteStrips(qp, model.PlanStrips(qp, maxStrips))
+	s.tr.Begin(obs.PhaseQuery)
+	defer s.tr.End()
+	s.tr.Begin(obs.PhasePlan)
+	strips := model.PlanStrips(qp, maxStrips)
+	s.tr.End()
+	return s.executeStrips(qp, strips)
 }
 
 // ExecuteStrips answers a viewpoint-dependent query with an explicit cube
@@ -148,6 +169,14 @@ func (s *Store) MultiBase(qp geom.QueryPlane, model *costmodel.Model, maxStrips 
 // SetStripWorkers > 1 the strips are fetched by a bounded worker pool;
 // the serial path is the measurement default.
 func (s *Store) ExecuteStrips(qp geom.QueryPlane, strips []costmodel.Strip) (*Result, error) {
+	s.tr.Begin(obs.PhaseQuery)
+	defer s.tr.End()
+	return s.executeStrips(qp, strips)
+}
+
+// executeStrips runs an explicit plan under an already-open root span
+// (ExecuteStrips and MultiBase both land here).
+func (s *Store) executeStrips(qp geom.QueryPlane, strips []costmodel.Strip) (*Result, error) {
 	if workers := s.stripWorkers; workers > 1 && len(strips) > 1 {
 		if workers > len(strips) {
 			workers = len(strips)
@@ -184,11 +213,17 @@ func (s *Store) executeStripsParallel(qp geom.QueryPlane, strips []costmodel.Str
 	results := make([]stripResult, len(strips))
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	// A trace is single-goroutine, so the workers run untraced and the
+	// whole fan-out is attributed to one fetch span: the parallel path
+	// trades per-phase resolution (rtree vs fetch vs overflow) for
+	// wall-clock, keeping the total exact.
+	s.tr.Begin(obs.PhaseFetch)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			f := s.newFetcher()
+			f.tr = nil
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(strips) {
@@ -201,6 +236,7 @@ func (s *Store) executeStripsParallel(qp geom.QueryPlane, strips []costmodel.Str
 		}()
 	}
 	wg.Wait()
+	s.tr.End()
 
 	total, size := 0, 0
 	for i := range results {
@@ -236,6 +272,8 @@ func (s *Store) executeStripsParallel(qp geom.QueryPlane, strips []costmodel.Str
 // connectivity lifts connection pairs to their live representatives.
 // A degenerate plane (EMin == EMax) reduces to the uniform assembly.
 func (s *Store) assemblePlane(qp geom.QueryPlane, fetched map[int64]*Node) *Result {
+	s.tr.Begin(obs.PhaseTriangulate)
+	defer s.tr.End()
 	live := make(map[int64]*Node, len(fetched))
 	for id, n := range fetched {
 		if n.Interval().Contains(qp.EAt(n.Pos.X, n.Pos.Y)) {

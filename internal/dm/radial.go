@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"dmesh/internal/geom"
+	"dmesh/internal/obs"
 )
 
 // Radial answers the paper's general viewpoint-dependent query from
@@ -36,6 +37,8 @@ func (s *Store) Radial(roi geom.Rect, viewer geom.Point2, scale float64, tiles i
 		return scale * viewer.Dist(geom.Point2{X: x, Y: y})
 	}
 
+	s.tr.Begin(obs.PhaseQuery)
+	defer s.tr.End()
 	f := s.newFetcher()
 	total := 0
 	strips := 0
@@ -66,6 +69,7 @@ func (s *Store) Radial(roi geom.Rect, viewer geom.Point2, scale float64, tiles i
 	}
 
 	fetched := f.fetched()
+	s.tr.Begin(obs.PhaseTriangulate)
 	live := make(map[int64]*Node, len(fetched))
 	for id, n := range fetched {
 		if n.Interval().Contains(eAt(n.Pos.X, n.Pos.Y)) {
@@ -73,6 +77,7 @@ func (s *Store) Radial(roi geom.Rect, viewer geom.Point2, scale float64, tiles i
 		}
 	}
 	res := assembleLifted(fetched, live)
+	s.tr.End()
 	res.FetchedRecords = total
 	res.Strips = strips
 	return res, nil

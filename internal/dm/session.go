@@ -7,6 +7,7 @@ import (
 
 	"dmesh/internal/costmodel"
 	"dmesh/internal/geom"
+	"dmesh/internal/obs"
 	"dmesh/internal/storage/pager"
 )
 
@@ -47,7 +48,19 @@ func (s *Store) NewSession() *Session {
 	q.over = s.over.WithSession(q.overS)
 	q.rt = s.rt.WithSession(q.rtS)
 	q.idx = s.idx.WithSession(q.idxS)
+	// A trace is single-goroutine; a session spawned from a traced store
+	// starts untraced (attach its own with NewTrace/SetTrace).
+	q.tr = nil
 	return q
+}
+
+// NewTrace attaches (and returns) a fresh phase tracer bound to this
+// session's own disk-access counters, so span DA attribution stays
+// exact while other sessions share the store's buffer pool.
+func (q *Session) NewTrace() *obs.Trace {
+	tr := obs.NewTrace(q.DiskAccesses)
+	q.SetTrace(tr)
+	return tr
 }
 
 // DiskAccesses returns the pages read by this session's queries — the

@@ -7,6 +7,7 @@ import (
 
 	"dmesh/internal/costmodel"
 	"dmesh/internal/geom"
+	"dmesh/internal/obs"
 	"dmesh/internal/pm"
 	"dmesh/internal/rtree"
 	"dmesh/internal/storage/btree"
@@ -37,7 +38,22 @@ type Store struct {
 	// stripWorkers bounds the per-query fan-out of multi-strip plans
 	// (1 = serial, the measurement default). Set before serving.
 	stripWorkers int
+
+	// tr, when non-nil, receives phase-attributed spans from every query
+	// run on this view. Nil (the default) costs one pointer check per
+	// span site and nothing else.
+	tr *obs.Trace
 }
+
+// SetTrace attaches a phase tracer to this store view: subsequent
+// queries emit obs spans whose DA attribution is exact against the
+// view's counters. A trace is single-goroutine, like the view itself —
+// attach to per-request Sessions when serving concurrently (NewSession
+// never inherits the parent store's trace). Pass nil to detach.
+func (s *Store) SetTrace(tr *obs.Trace) { s.tr = tr }
+
+// Trace returns the attached phase tracer (nil when tracing is off).
+func (s *Store) Trace() *obs.Trace { return s.tr }
 
 // SetStripWorkers sets how many goroutines ExecuteStrips may use to fetch
 // the strips of one multi-base plan (values below 2 keep the serial
@@ -350,25 +366,35 @@ func (s *Store) Breakdown() AccessBreakdown {
 }
 
 // fetchRecord reads and fully decodes the record at rid, following the
-// overflow chain when the connection list spills.
-func (s *Store) fetchRecord(rid heapfile.RID, buf, obuf []byte) (Node, error) {
+// overflow chain when the connection list spills. tr may be nil; the
+// parallel strip path passes nil explicitly because its workers share
+// the store view but a trace is single-goroutine.
+func (s *Store) fetchRecord(rid heapfile.RID, buf, obuf []byte, tr *obs.Trace) (Node, error) {
 	if err := s.heap.Read(rid, buf); err != nil {
 		return Node{}, err
 	}
 	n, total, overflowRef := decodeRecordHeader(buf)
+	if overflowRef != noOverflow {
+		tr.Begin(obs.PhaseOverflow)
+	}
 	// A well-formed chain has at most one record per overflow record in
 	// the file; anything longer is a corrupted next-pointer cycle.
 	maxSteps := s.over.NumRecords() + 1
 	for steps := int64(0); overflowRef != noOverflow; steps++ {
 		if steps >= maxSteps {
+			tr.End()
 			return Node{}, fmt.Errorf("dm: node %d overflow chain longer than %d records (corrupt cycle)", n.ID, maxSteps)
 		}
 		if err := s.over.Read(heapfile.RID(overflowRef), obuf); err != nil {
+			tr.End()
 			return Node{}, fmt.Errorf("dm: overflow chain: %w", err)
 		}
 		var ids []int64
 		ids, overflowRef = decodeOverflow(obuf)
 		n.Conn = append(n.Conn, ids...)
+		if overflowRef == noOverflow {
+			tr.End()
+		}
 	}
 	if len(n.Conn) != total {
 		return Node{}, fmt.Errorf("dm: node %d connection list has %d of %d IDs", n.ID, len(n.Conn), total)
@@ -379,11 +405,16 @@ func (s *Store) fetchRecord(rid heapfile.RID, buf, obuf []byte) (Node, error) {
 // FetchByID reads one node through the B+-tree (an index probe plus data
 // pages), for callers that need point lookups outside range queries.
 func (s *Store) FetchByID(id int64) (Node, error) {
+	s.tr.Begin(obs.PhaseIDIndex)
 	rid, err := s.idx.Get(id)
+	s.tr.End()
 	if err != nil {
 		return Node{}, fmt.Errorf("dm: node %d: %w", id, err)
 	}
 	buf := make([]byte, RecordSize)
 	obuf := make([]byte, OverflowRecordSize)
-	return s.fetchRecord(heapfile.RID(rid), buf, obuf)
+	s.tr.Begin(obs.PhaseFetch)
+	n, err := s.fetchRecord(heapfile.RID(rid), buf, obuf, s.tr)
+	s.tr.End()
+	return n, err
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dmesh/internal/geom"
+	"dmesh/internal/obs"
 )
 
 // TilePatch is a self-contained materialization of one cache tile: the
@@ -69,6 +70,8 @@ func (tp *TilePatch) NumOutPairs() int { return len(tp.outPairs) }
 // out-going connection pairs needed to stitch the patch against its
 // neighbors. One range query, same I/O as the direct uniform query over r.
 func (s *Store) MaterializeTile(r geom.Rect, e float64) (*TilePatch, error) {
+	s.tr.Begin(obs.PhaseMaterialize)
+	defer s.tr.End()
 	fetchE := e
 	if fetchE > s.maxE {
 		fetchE = s.maxE
@@ -79,6 +82,8 @@ func (s *Store) MaterializeTile(r geom.Rect, e float64) (*TilePatch, error) {
 		return nil, err
 	}
 	fetched := f.fetched()
+	s.tr.Begin(obs.PhaseTriangulate)
+	defer s.tr.End()
 	live := make(map[int64]*Node, len(fetched))
 	for id, n := range fetched {
 		if n.Interval().Contains(e) {
@@ -142,6 +147,15 @@ func sortTriSlice(ts []geom.Triangle) {
 // several tiles closes the corner triangles whose every edge was
 // bulk-merged from a different tile.
 func StitchTiles(r geom.Rect, e float64, tiles []*TilePatch) (*Result, error) {
+	return StitchTilesTraced(r, e, tiles, nil)
+}
+
+// StitchTilesTraced is StitchTiles emitting phase spans on tr (which may
+// be nil): the whole stitch under one stitch span, with the seam
+// resolution and corner sweep itemized as a seam-closure child.
+func StitchTilesTraced(r geom.Rect, e float64, tiles []*TilePatch, tr *obs.Trace) (*Result, error) {
+	tr.Begin(obs.PhaseStitch)
+	defer tr.End()
 	live := make(map[int64]*Node)
 	shared := make(map[int64]struct{})
 	for _, tp := range tiles {
@@ -209,6 +223,7 @@ func StitchTiles(r geom.Rect, e float64, tiles []*TilePatch) (*Result, error) {
 	// Seams: out-going pairs of every tile, resolved against the combined
 	// live set (each cross-tile pair is recorded by both sides; the edge
 	// set dedups).
+	tr.Begin(obs.PhaseSeam)
 	for _, tp := range tiles {
 		for _, pr := range tp.outPairs {
 			addIfLive(pr[0], pr[1])
@@ -226,6 +241,7 @@ func StitchTiles(r geom.Rect, e float64, tiles []*TilePatch) (*Result, error) {
 			})
 		}
 	}
+	tr.End()
 
 	res := p.result(live)
 	res.Strips = len(tiles)

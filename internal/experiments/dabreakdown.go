@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dmesh"
+	"dmesh/internal/obs"
+	"dmesh/internal/workload"
+)
+
+// DABreakdownRow is one query kind's aggregate phase decomposition over
+// its workload: the total disk accesses and, per phase, the exclusive DA,
+// wall time, and span count summed across every query. The decomposition
+// is exact, not sampled: each query's trace is checked (CheckTotal)
+// against its independently counted DA before being merged in, so a row's
+// phase DAs always sum to its TotalDA.
+type DABreakdownRow struct {
+	Kind    string
+	Queries int
+	TotalDA uint64
+	Phases  []obs.PhaseStat
+}
+
+// phaseAgg accumulates per-phase exclusive costs across many traces.
+type phaseAgg struct {
+	da    [obs.NumPhases]uint64
+	dur   [obs.NumPhases]time.Duration
+	spans [obs.NumPhases]int
+}
+
+func (a *phaseAgg) add(tr *obs.Trace) {
+	for _, ps := range tr.PhaseStats() {
+		a.da[ps.Phase] += ps.DA
+		a.dur[ps.Phase] += ps.Dur
+		a.spans[ps.Phase] += ps.Spans
+	}
+}
+
+func (a *phaseAgg) row(kind string, queries int, total uint64) DABreakdownRow {
+	r := DABreakdownRow{Kind: kind, Queries: queries, TotalDA: total}
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		if a.spans[p] == 0 {
+			continue
+		}
+		r.Phases = append(r.Phases, obs.PhaseStat{
+			Phase: p, Name: p.String(),
+			DA: a.da[p], Dur: a.dur[p], Spans: a.spans[p],
+		})
+	}
+	return r
+}
+
+// DABreakdown decomposes the paper's query mix into per-phase disk
+// accesses: the figure-6 uniform workload, the figure-8 single-base and
+// multi-base workloads (cold per query, the stateless methodology), a
+// coherent flyover (frames after the first), and the tile-cache serving
+// path (charge-based trace over a fresh cache). Every traced query is
+// cross-checked against its session total; any attribution gap fails the
+// figure rather than skewing it.
+func (b *Bundle) DABreakdown(cfg workload.Config, roiFrac float64, frames int) ([]DABreakdownRow, error) {
+	if frames < 2 {
+		frames = 16
+	}
+	rois := workload.ROIs(cfg, roiFrac)
+	e := b.DensityLOD()
+	emin, maxLOD := b.DensityLOD(), b.EffectiveMaxLOD()
+
+	var rows []DABreakdownRow
+
+	// Cold store-level kinds share one trace installed on the DM store.
+	tr := obs.NewTrace(b.DM.DiskAccesses)
+	b.DM.SetTrace(tr)
+	defer b.DM.SetTrace(nil)
+	coldKinds := []struct {
+		kind string
+		run  func(roi dmesh.Rect) error
+	}{
+		{"uniform", func(roi dmesh.Rect) error {
+			_, err := b.DM.ViewpointIndependent(roi, e)
+			return err
+		}},
+		{"single-base", func(roi dmesh.Rect) error {
+			_, err := b.DM.SingleBase(workload.PlaneFor(roi, emin, maxLOD, 0.5))
+			return err
+		}},
+		{"multi-base", func(roi dmesh.Rect) error {
+			_, err := b.DM.MultiBase(workload.PlaneFor(roi, emin, maxLOD, 0.5), b.Model, 0)
+			return err
+		}},
+	}
+	for _, k := range coldKinds {
+		var agg phaseAgg
+		var total uint64
+		for i, roi := range rois {
+			roi := roi
+			tr.Reset()
+			da, err := dmesh.MeasuredRun(b.DM, func() error { return k.run(roi) })
+			if err != nil {
+				return nil, fmt.Errorf("experiments: dabreakdown %s query %d: %w", k.kind, i, err)
+			}
+			if err := tr.CheckTotal(da); err != nil {
+				return nil, fmt.Errorf("experiments: dabreakdown %s query %d: %w", k.kind, i, err)
+			}
+			agg.add(tr)
+			total += da
+		}
+		rows = append(rows, agg.row(k.kind, len(rois), total))
+	}
+	b.DM.SetTrace(nil)
+
+	// Coherent flyover: the incremental engine's frames past the cold
+	// first one, traced through the session's own counters.
+	cp := workload.CameraPath{
+		Frames: frames, Overlap: 0.6, Axis: 1,
+		EMin: b.Terrain.LODPercentile(0.5), EMax: b.Terrain.LODPercentile(0.95),
+		Seed: cfg.Seed,
+	}
+	planes := cp.Planes()
+	if err := b.DM.DropCaches(); err != nil {
+		return nil, err
+	}
+	b.DM.ResetStats()
+	cs := b.DM.NewCoherentSession(b.Model)
+	ctr := cs.EnableTrace()
+	var cagg phaseAgg
+	var ctotal uint64
+	var cqueries int
+	for i, qp := range planes {
+		_, st, err := cs.Frame(qp)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: dabreakdown coherent frame %d: %w", i, err)
+		}
+		if err := ctr.CheckTotal(st.DA); err != nil {
+			return nil, fmt.Errorf("experiments: dabreakdown coherent frame %d: %w", i, err)
+		}
+		if i == 0 {
+			continue // cold frame: every engine pays it, the figure is about steady state
+		}
+		cagg.add(ctr)
+		ctotal += st.DA
+		cqueries++
+	}
+	rows = append(rows, cagg.row("coherent", cqueries, ctotal))
+
+	// Tile-cache serving path: a fresh cache answers the uniform workload;
+	// the charge-based trace attributes exactly the DA the cache charges
+	// each query (cold materializations; hits and deduped waits are free).
+	cache, err := b.Terrain.NewTileCache(b.DM, 0)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: dabreakdown tile cache: %w", err)
+	}
+	if err := b.DM.DropCaches(); err != nil {
+		return nil, err
+	}
+	b.DM.ResetStats()
+	qtr := obs.NewTrace(nil)
+	var tagg phaseAgg
+	var ttotal uint64
+	for i, roi := range rois {
+		qtr.Reset()
+		_, qs, err := cache.QueryTraced(roi, e, qtr)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: dabreakdown tilecache query %d: %w", i, err)
+		}
+		if err := qtr.CheckTotal(qs.DA); err != nil {
+			return nil, fmt.Errorf("experiments: dabreakdown tilecache query %d: %w", i, err)
+		}
+		tagg.add(qtr)
+		ttotal += qs.DA
+	}
+	rows = append(rows, tagg.row("tilecache", len(rois), ttotal))
+
+	return rows, nil
+}

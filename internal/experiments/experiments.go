@@ -76,37 +76,35 @@ type Figure struct {
 	Series []Series
 }
 
+// coldRun resolves a method to its store and runs fn as a cold measured
+// query (dmesh.MeasuredRun: DropCaches + ResetStats + fn + DiskAccesses).
+func coldRun(s dmesh.ColdMeasurable, fn func() error) (float64, error) {
+	da, err := dmesh.MeasuredRun(s, fn)
+	if err != nil {
+		return 0, err
+	}
+	return float64(da), nil
+}
+
 // measureUniform runs one cold viewpoint-independent query and returns
 // its disk accesses.
 func (b *Bundle) measureUniform(m Method, roi geom.Rect, e float64) (float64, error) {
 	switch m {
 	case DMSB:
-		if err := b.DM.DropCaches(); err != nil {
-			return 0, err
-		}
-		b.DM.ResetStats()
-		if _, err := b.DM.ViewpointIndependent(roi, e); err != nil {
-			return 0, err
-		}
-		return float64(b.DM.DiskAccesses()), nil
+		return coldRun(b.DM, func() error {
+			_, err := b.DM.ViewpointIndependent(roi, e)
+			return err
+		})
 	case PM:
-		if err := b.PM.DropCaches(); err != nil {
-			return 0, err
-		}
-		b.PM.ResetStats()
-		if _, err := b.PM.QueryUniform(roi, e); err != nil {
-			return 0, err
-		}
-		return float64(b.PM.DiskAccesses()), nil
+		return coldRun(b.PM, func() error {
+			_, err := b.PM.QueryUniform(roi, e)
+			return err
+		})
 	case HDoV:
-		if err := b.HDoV.DropCaches(); err != nil {
-			return 0, err
-		}
-		b.HDoV.ResetStats()
-		if _, err := b.HDoV.QueryUniform(roi, e); err != nil {
-			return 0, err
-		}
-		return float64(b.HDoV.DiskAccesses()), nil
+		return coldRun(b.HDoV, func() error {
+			_, err := b.HDoV.QueryUniform(roi, e)
+			return err
+		})
 	default:
 		return 0, fmt.Errorf("experiments: method %q not applicable to viewpoint-independent queries", m)
 	}
@@ -116,41 +114,25 @@ func (b *Bundle) measureUniform(m Method, roi geom.Rect, e float64) (float64, er
 func (b *Bundle) measurePlane(m Method, qp geom.QueryPlane) (float64, error) {
 	switch m {
 	case DMSB:
-		if err := b.DM.DropCaches(); err != nil {
-			return 0, err
-		}
-		b.DM.ResetStats()
-		if _, err := b.DM.SingleBase(qp); err != nil {
-			return 0, err
-		}
-		return float64(b.DM.DiskAccesses()), nil
+		return coldRun(b.DM, func() error {
+			_, err := b.DM.SingleBase(qp)
+			return err
+		})
 	case DMMB:
-		if err := b.DM.DropCaches(); err != nil {
-			return 0, err
-		}
-		b.DM.ResetStats()
-		if _, err := b.DM.MultiBase(qp, b.Model, 0); err != nil {
-			return 0, err
-		}
-		return float64(b.DM.DiskAccesses()), nil
+		return coldRun(b.DM, func() error {
+			_, err := b.DM.MultiBase(qp, b.Model, 0)
+			return err
+		})
 	case PM:
-		if err := b.PM.DropCaches(); err != nil {
-			return 0, err
-		}
-		b.PM.ResetStats()
-		if _, err := b.PM.QueryPlane(qp); err != nil {
-			return 0, err
-		}
-		return float64(b.PM.DiskAccesses()), nil
+		return coldRun(b.PM, func() error {
+			_, err := b.PM.QueryPlane(qp)
+			return err
+		})
 	case HDoV:
-		if err := b.HDoV.DropCaches(); err != nil {
-			return 0, err
-		}
-		b.HDoV.ResetStats()
-		if _, err := b.HDoV.QueryPlane(qp); err != nil {
-			return 0, err
-		}
-		return float64(b.HDoV.DiskAccesses()), nil
+		return coldRun(b.HDoV, func() error {
+			_, err := b.HDoV.QueryPlane(qp)
+			return err
+		})
 	default:
 		return 0, fmt.Errorf("experiments: unknown method %q", m)
 	}

@@ -167,3 +167,35 @@ func TestCraterBundleSmoke(t *testing.T) {
 		t.Fatalf("crater angle figure has %d series", len(plane.Series))
 	}
 }
+
+func TestDABreakdownInvariant(t *testing.T) {
+	b := bundle(t, "highland")
+	rows, err := b.DABreakdown(cfg(), 0.16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []string{"uniform", "single-base", "multi-base", "coherent", "tilecache"}
+	if len(rows) != len(kinds) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(kinds))
+	}
+	for i, r := range rows {
+		if r.Kind != kinds[i] {
+			t.Errorf("row %d is %q, want %q", i, r.Kind, kinds[i])
+		}
+		if r.Queries == 0 {
+			t.Errorf("%s: zero queries", r.Kind)
+		}
+		// The per-row invariant DABreakdown itself enforces per query,
+		// re-checked on the aggregate: phase DAs sum to the total.
+		var sum uint64
+		for _, ps := range r.Phases {
+			sum += ps.DA
+		}
+		if sum != r.TotalDA {
+			t.Errorf("%s: phase DA sums to %d, total is %d", r.Kind, sum, r.TotalDA)
+		}
+		if r.Kind != "coherent" && r.TotalDA == 0 {
+			t.Errorf("%s: zero total DA", r.Kind)
+		}
+	}
+}

@@ -93,14 +93,15 @@ func (b *Bundle) Flyover(cfg workload.Config, overlaps []float64, frames int) (*
 			if i == 0 {
 				continue
 			}
-			if err := store.DropCaches(); err != nil {
+			qp := qp
+			da, err := dmesh.MeasuredRun(store, func() error {
+				_, err := store.SingleBase(qp)
+				return err
+			})
+			if err != nil {
 				return nil, err
 			}
-			store.ResetStats()
-			if _, err := store.SingleBase(qp); err != nil {
-				return nil, err
-			}
-			pt.FullColdDA += float64(store.DiskAccesses()) / mean
+			pt.FullColdDA += float64(da) / mean
 		}
 
 		// Full query against a shared warm pool; its per-frame meshes are

@@ -50,19 +50,23 @@ func (b *Bundle) ParallelThroughput(cfg workload.Config, roiFrac float64, worker
 		if w < 1 {
 			w = 1
 		}
-		if err := store.DropCaches(); err != nil {
-			return nil, err
-		}
-		store.ResetStats()
-		start := time.Now()
-		results := store.QueryBatch(qs, w)
-		elapsed := time.Since(start)
+		// Per-query DA comes from the batch's per-session attribution; the
+		// pool-level total MeasuredRun returns is redundant with it.
+		var elapsed time.Duration
 		var da uint64
-		for i, r := range results {
-			if r.Err != nil {
-				return nil, fmt.Errorf("experiments: throughput query %d: %w", i, r.Err)
+		if _, err := dmesh.MeasuredRun(store, func() error {
+			start := time.Now()
+			results := store.QueryBatch(qs, w)
+			elapsed = time.Since(start)
+			for i, r := range results {
+				if r.Err != nil {
+					return fmt.Errorf("experiments: throughput query %d: %w", i, r.Err)
+				}
+				da += r.DA
 			}
-			da += r.DA
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		p := ThroughputPoint{
 			Workers:    w,

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// MetricsHandler serves the registry in Prometheus text exposition
+// format.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// SlowLogHandler serves the slow log as JSON, slowest first. The n
+// query parameter caps the result (default 20).
+func SlowLogHandler(l *SlowLog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 20
+		if s := req.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				http.Error(w, `{"error":"n must be a positive integer"}`, http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			ThresholdNanos int64       `json:"threshold_nanos"`
+			Entries        []SlowEntry `json:"entries"`
+		}{int64(l.Threshold()), l.Worst(n)})
+	})
+}
+
+// RegisterDebug mounts the standard introspection endpoints on mux:
+// /debug/vars (expvar JSON, including every registry published with
+// PublishExpvar) and the /debug/pprof/ suite. The stdlib registers
+// these only on http.DefaultServeMux; servers with their own mux need
+// this explicit mount.
+func RegisterDebug(mux *http.ServeMux) {
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,25 @@
+package obs
+
+// ColdMeasurable is the store-side contract of a paper-style measured
+// query: drop every buffer pool, zero the counters, run, read the
+// disk-access total. dm.Store, dm.Session, and the PM/HDoV comparison
+// stores all satisfy it.
+type ColdMeasurable interface {
+	DropCaches() error
+	ResetStats()
+	DiskAccesses() uint64
+}
+
+// MeasuredRun executes fn as a cold measured query: DropCaches +
+// ResetStats first (the two halves of the prologue the paper's
+// methodology requires and that callers keep forgetting one of), then
+// fn, then the store's DA total. The DA count is returned even when fn
+// fails, so error paths can still report partial cost.
+func MeasuredRun(s ColdMeasurable, fn func() error) (uint64, error) {
+	if err := s.DropCaches(); err != nil {
+		return 0, err
+	}
+	s.ResetStats()
+	err := fn()
+	return s.DiskAccesses(), err
+}

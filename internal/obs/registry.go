@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of finite histogram buckets: bucket i counts
+// observations with value <= 2^i, covering [0, 2^39] before the overflow
+// bucket — plenty for both DA counts and nanosecond latencies up to ~9m.
+const histBuckets = 40
+
+// Histogram is a log2-bucketed histogram of uint64 observations (DA
+// counts, nanosecond latencies). Observation and snapshot are lock-free;
+// a snapshot taken under concurrent observation is internally consistent
+// per bucket but not across buckets, which is fine for monitoring.
+type Histogram struct {
+	buckets [histBuckets + 1]atomic.Uint64 // last bucket is +Inf
+	sum     atomic.Uint64
+	count   atomic.Uint64
+}
+
+// bucketIndex places v in its log2 bucket: 0 holds v<=1, i holds
+// 2^(i-1) < v <= 2^i, and histBuckets holds the overflow.
+func bucketIndex(v uint64) int {
+	if v <= 1 {
+		return 0
+	}
+	idx := bits.Len64(v - 1)
+	if idx > histBuckets {
+		return histBuckets
+	}
+	return idx
+}
+
+// BucketBound returns the inclusive upper bound of finite bucket i.
+func BucketBound(i int) uint64 { return uint64(1) << uint(i) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Buckets [histBuckets + 1]uint64 // per-bucket counts (not cumulative)
+	Sum     uint64
+	Count   uint64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	s.Count = h.count.Load()
+	return s
+}
+
+// metricKind discriminates registry entries.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+type metric struct {
+	name string
+	help string
+	kind metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() int64
+	hist    *Histogram
+}
+
+// Registry is a named collection of metrics. Get-or-create registration
+// is idempotent by name; registering the same name as a different kind
+// panics (a wiring bug, not a runtime condition). Export order is sorted
+// by name, so two snapshots of the same state encode identically.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+func (r *Registry) getOrCreate(name, help string, kind metricKind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.counter = &Counter{}
+	case kindGauge:
+		m.gauge = &Gauge{}
+	case kindHistogram:
+		m.hist = &Histogram{}
+	}
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. Names should follow Prometheus conventions (snake_case,
+// _total suffix for counters).
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.getOrCreate(name, help, kindCounter).counter
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.getOrCreate(name, help, kindGauge).gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at export
+// time (for values another subsystem already maintains, like cache
+// residency). Re-registering the same name replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	m := r.getOrCreate(name, help, kindGaugeFunc)
+	r.mu.Lock()
+	m.fn = fn
+	r.mu.Unlock()
+}
+
+// fnValue evaluates a GaugeFunc metric, reading the function pointer
+// under the registry lock (it may be replaced concurrently) but calling
+// it outside, since it may take other locks.
+func (r *Registry) fnValue(m *metric) int64 {
+	r.mu.Lock()
+	fn := m.fn
+	r.mu.Unlock()
+	if fn == nil {
+		return 0
+	}
+	return fn()
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.getOrCreate(name, help, kindHistogram).hist
+}
+
+// sortedMetrics snapshots the metric set in name order.
+func (r *Registry) sortedMetrics() []*metric {
+	r.mu.Lock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format (version 0.0.4), metrics sorted by name, histogram buckets
+// cumulative with le labels.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.sortedMetrics() {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.counter.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m.name, m.name, m.gauge.Value())
+		case kindGaugeFunc:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m.name, m.name, r.fnValue(m))
+		case kindHistogram:
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", m.name); err != nil {
+				return err
+			}
+			s := m.hist.Snapshot()
+			var cum uint64
+			for i := 0; i < histBuckets; i++ {
+				cum += s.Buckets[i]
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", m.name, BucketBound(i), cum); err != nil {
+					return err
+				}
+			}
+			cum += s.Buckets[histBuckets]
+			_, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+				m.name, cum, m.name, s.Sum, m.name, s.Count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonHistogram is the JSON shape of one histogram.
+type jsonHistogram struct {
+	Sum     uint64            `json:"sum"`
+	Count   uint64            `json:"count"`
+	Buckets map[string]uint64 `json:"buckets"` // le -> cumulative count, nonzero rows only
+}
+
+// snapshotJSON builds the export map. encoding/json sorts map keys, so
+// the output is deterministic for a fixed state.
+func (r *Registry) snapshotJSON() map[string]any {
+	out := make(map[string]any)
+	for _, m := range r.sortedMetrics() {
+		switch m.kind {
+		case kindCounter:
+			out[m.name] = m.counter.Value()
+		case kindGauge:
+			out[m.name] = m.gauge.Value()
+		case kindGaugeFunc:
+			out[m.name] = r.fnValue(m)
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			jh := jsonHistogram{Sum: s.Sum, Count: s.Count, Buckets: make(map[string]uint64)}
+			var cum uint64
+			for i := 0; i <= histBuckets; i++ {
+				cum += s.Buckets[i]
+				if s.Buckets[i] == 0 {
+					continue
+				}
+				if i == histBuckets {
+					jh.Buckets["+Inf"] = cum
+				} else {
+					jh.Buckets[fmt.Sprint(BucketBound(i))] = cum
+				}
+			}
+			out[m.name] = jh
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the registry as one JSON object, keys sorted.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r.snapshotJSON())
+}
+
+// PublishExpvar exposes the registry under the given expvar name (shown
+// by /debug/vars). Publishing is idempotent: if the name is already
+// taken — e.g. a test constructing two servers in one process — the
+// existing binding is left in place, since expvar.Publish panics on
+// duplicates and offers no unpublish.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.snapshotJSON() }))
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeDA simulates a session disk-access counter.
+type fakeDA struct{ n uint64 }
+
+func (f *fakeDA) read() uint64 { return f.n }
+
+func TestTraceSampledAttribution(t *testing.T) {
+	da := &fakeDA{}
+	tr := NewTrace(da.read)
+
+	tr.Begin(PhaseQuery)
+	tr.Begin(PhaseRTree)
+	da.n += 3
+	tr.End()
+	tr.Begin(PhaseFetch)
+	da.n += 10
+	tr.Begin(PhaseOverflow)
+	da.n += 4
+	tr.End()
+	da.n += 2
+	tr.End()
+	tr.Begin(PhaseTriangulate)
+	tr.End()
+	tr.End()
+
+	if err := tr.CheckTotal(19); err != nil {
+		t.Fatal(err)
+	}
+	bd := tr.Breakdown()
+	want := map[Phase]uint64{
+		PhaseQuery: 0, PhaseRTree: 3, PhaseFetch: 12,
+		PhaseOverflow: 4, PhaseTriangulate: 0,
+	}
+	for p, w := range want {
+		if bd[p] != w {
+			t.Errorf("%s: self DA = %d, want %d", p, bd[p], w)
+		}
+	}
+	if got := tr.TotalDA(); got != 19 {
+		t.Errorf("TotalDA = %d, want 19", got)
+	}
+}
+
+func TestTraceChargedAttribution(t *testing.T) {
+	// Nil sampler + AddDA is the tile-cache mode: DA is counted through
+	// per-flight sessions the trace cannot sample.
+	tr := NewTrace(nil)
+	tr.Begin(PhaseQuery)
+	tr.Begin(PhaseCache)
+	tr.Begin(PhaseMaterialize)
+	tr.AddDA(7)
+	tr.End()
+	tr.End()
+	tr.Begin(PhaseCache)
+	tr.End() // hit: zero DA
+	tr.Begin(PhaseStitch)
+	tr.End()
+	tr.End()
+
+	if err := tr.CheckTotal(7); err != nil {
+		t.Fatal(err)
+	}
+	bd := tr.Breakdown()
+	if bd[PhaseMaterialize] != 7 {
+		t.Errorf("materialize self DA = %d, want 7", bd[PhaseMaterialize])
+	}
+	if bd[PhaseCache] != 0 || bd[PhaseQuery] != 0 || bd[PhaseStitch] != 0 {
+		t.Errorf("unexpected self DA outside materialize: %v", bd)
+	}
+}
+
+func TestTraceMixedSampledAndCharged(t *testing.T) {
+	da := &fakeDA{}
+	tr := NewTrace(da.read)
+	tr.Begin(PhaseQuery)
+	da.n += 5
+	tr.Begin(PhaseFetch)
+	da.n += 2
+	tr.AddDA(9) // out-of-band cost on top of sampled reads
+	tr.End()
+	tr.End()
+	if err := tr.CheckTotal(16); err != nil {
+		t.Fatal(err)
+	}
+	if bd := tr.Breakdown(); bd[PhaseFetch] != 11 || bd[PhaseQuery] != 5 {
+		t.Errorf("breakdown = %v, want fetch=11 query=5", bd)
+	}
+}
+
+func TestTraceCheckTotalFailures(t *testing.T) {
+	da := &fakeDA{}
+	tr := NewTrace(da.read)
+	tr.Begin(PhaseQuery)
+	if err := tr.CheckTotal(0); err == nil || !strings.Contains(err.Error(), "open") {
+		t.Errorf("open span not detected: %v", err)
+	}
+	da.n += 2
+	tr.End()
+	if err := tr.CheckTotal(3); err == nil {
+		t.Error("total mismatch not detected")
+	}
+	if err := tr.CheckTotal(2); err != nil {
+		t.Errorf("correct total rejected: %v", err)
+	}
+
+	var nilTr *Trace
+	if err := nilTr.CheckTotal(0); err != nil {
+		t.Errorf("nil trace should pass zero total: %v", err)
+	}
+	if err := nilTr.CheckTotal(1); err == nil {
+		t.Error("nil trace should fail nonzero total")
+	}
+}
+
+func TestTraceResetKeepsArena(t *testing.T) {
+	da := &fakeDA{}
+	tr := NewTrace(da.read)
+	for i := 0; i < 10; i++ {
+		tr.Begin(PhaseQuery)
+		tr.End()
+	}
+	tr.Reset()
+	if len(tr.Spans()) != 0 {
+		t.Fatalf("%d spans after Reset", len(tr.Spans()))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.Reset()
+		tr.Begin(PhaseQuery)
+		tr.Begin(PhaseFetch)
+		tr.End()
+		tr.End()
+	})
+	if allocs != 0 {
+		t.Errorf("reused trace allocates %.1f per query, want 0", allocs)
+	}
+}
+
+func TestNilTraceZeroAlloc(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.Begin(PhaseQuery)
+		tr.AddDA(1)
+		tr.End()
+		tr.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("nil trace allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestPhaseStatsDeterministicOrder(t *testing.T) {
+	da := &fakeDA{}
+	tr := NewTrace(da.read)
+	tr.Begin(PhaseQuery)
+	tr.Begin(PhaseTriangulate)
+	tr.End()
+	tr.Begin(PhaseRTree)
+	da.n++
+	tr.End()
+	tr.End()
+	ps := tr.PhaseStats()
+	if len(ps) != 3 {
+		t.Fatalf("got %d phases, want 3", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Phase >= ps[i].Phase {
+			t.Errorf("phase stats out of order: %s before %s", ps[i-1].Name, ps[i].Name)
+		}
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for p := Phase(0); p < NumPhases; p++ {
+		s := p.String()
+		if s == "" || strings.HasPrefix(s, "phase(") {
+			t.Errorf("phase %d has no name", p)
+		}
+		if seen[s] {
+			t.Errorf("duplicate phase name %q", s)
+		}
+		seen[s] = true
+	}
+}

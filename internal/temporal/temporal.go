@@ -14,6 +14,7 @@ import (
 
 	"dmesh/internal/dm"
 	"dmesh/internal/geom"
+	"dmesh/internal/obs"
 	"dmesh/internal/render"
 )
 
@@ -106,15 +107,15 @@ func (s *Series) Diff(a, b int, roi geom.Rect, e float64, cells int, threshold f
 // rasterize queries one version and rasterizes the result over roi.
 func (s *Series) rasterize(v int, roi geom.Rect, e float64, cells int) (*render.Raster, uint64, error) {
 	store := s.stores[v]
-	if err := store.DropCaches(); err != nil {
-		return nil, 0, err
-	}
-	store.ResetStats()
-	res, err := store.ViewpointIndependent(roi, e)
+	var res *dm.Result
+	da, err := obs.MeasuredRun(store, func() error {
+		var qerr error
+		res, qerr = store.ViewpointIndependent(roi, e)
+		return qerr
+	})
 	if err != nil {
 		return nil, 0, fmt.Errorf("temporal: version %q: %w", s.labels[v], err)
 	}
-	da := store.DiskAccesses()
 	// Rasterize in ROI-local coordinates.
 	local := make(map[int64]geom.Point3, len(res.Vertices))
 	w, h := roi.Width(), roi.Height()

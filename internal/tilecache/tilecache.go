@@ -7,6 +7,7 @@ import (
 
 	"dmesh/internal/dm"
 	"dmesh/internal/geom"
+	"dmesh/internal/obs"
 )
 
 // Config parameterizes a Cache.
@@ -156,6 +157,18 @@ func (c *Cache) SnapE(e float64) float64 {
 // patches are stitched and clipped to r. The result is exactly equal to
 // a direct dm query at QueryStats.SnappedE.
 func (c *Cache) Query(r geom.Rect, e float64) (*dm.Result, QueryStats, error) {
+	return c.QueryTraced(r, e, nil)
+}
+
+// QueryTraced is Query emitting phase spans on tr (which may be nil).
+// The cache's DA is counted through per-flight sessions the trace
+// cannot sample, so the trace is charge-based: pass one built with a
+// nil sampler (obs.NewTrace(nil)); each cold materialization charges
+// its session total into its span, and the trace's accounted total
+// equals QueryStats.DA exactly.
+func (c *Cache) QueryTraced(r geom.Rect, e float64, tr *obs.Trace) (*dm.Result, QueryStats, error) {
+	tr.Begin(obs.PhaseQuery)
+	defer tr.End()
 	band, snapped := c.grid.snapE(e)
 	level := c.grid.levelFor(r)
 	keys := c.grid.cover(r, level, band)
@@ -167,7 +180,7 @@ func (c *Cache) Query(r geom.Rect, e float64) (*dm.Result, QueryStats, error) {
 
 	patches := make([]*dm.TilePatch, len(keys))
 	for i, k := range keys { // sorted cover order: deterministic I/O order
-		p, da, cold, deduped, err := c.tile(k)
+		p, da, cold, deduped, err := c.tile(k, tr)
 		if err != nil {
 			return nil, qs, fmt.Errorf("tilecache: tile %+v: %w", k, err)
 		}
@@ -180,7 +193,7 @@ func (c *Cache) Query(r geom.Rect, e float64) (*dm.Result, QueryStats, error) {
 			qs.Deduped++
 		}
 	}
-	res, err := dm.StitchTiles(r, snapped, patches)
+	res, err := dm.StitchTilesTraced(r, snapped, patches, tr)
 	if err != nil {
 		return nil, qs, err
 	}
@@ -189,8 +202,12 @@ func (c *Cache) Query(r geom.Rect, e float64) (*dm.Result, QueryStats, error) {
 
 // tile returns the patch for k, materializing it if absent. The returned
 // da is nonzero only for the lookup that ran the materialization (cold),
-// so concurrent sessions' charges sum to the store's real I/O.
-func (c *Cache) tile(k Key) (p *dm.TilePatch, da uint64, cold, deduped bool, err error) {
+// so concurrent sessions' charges sum to the store's real I/O — and only
+// that lookup's materialize span is charged, keeping trace totals
+// consistent with the same accounting.
+func (c *Cache) tile(k Key, tr *obs.Trace) (p *dm.TilePatch, da uint64, cold, deduped bool, err error) {
+	tr.Begin(obs.PhaseCache)
+	defer tr.End()
 	c.mu.Lock()
 	c.stats.TileLookups++
 	if ent, ok := c.entries[k]; ok {
@@ -211,9 +228,12 @@ func (c *Cache) tile(k Key) (p *dm.TilePatch, da uint64, cold, deduped bool, err
 	c.stats.Misses++
 	c.mu.Unlock()
 
+	tr.Begin(obs.PhaseMaterialize)
 	sess := c.store.NewSession()
 	f.patch, f.err = sess.MaterializeTile(c.grid.rectFor(k), c.grid.ladder[k.Band])
 	f.da = sess.DiskAccesses()
+	tr.AddDA(f.da)
+	tr.End()
 
 	c.mu.Lock()
 	if c.flights[k] == f {

@@ -1,0 +1,78 @@
+package tilecache_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmesh/internal/obs"
+	"dmesh/internal/tilecache"
+)
+
+// TestQueryTracedInvariantAndEquivalence replays a seeded query sequence
+// through QueryTraced and checks, per query, that the charge-based trace
+// accounts for exactly QueryStats.DA (cold materializations charged,
+// hits and deduped waits zero), and that the traced sequence's stats
+// match an untraced replay on a fresh store — tracing is free.
+func TestQueryTracedInvariantAndEquivalence(t *testing.T) {
+	tr := terrain(t, "crater")
+	type record struct {
+		qs tilecache.QueryStats
+	}
+	run := func(traced bool) ([]record, tilecache.Stats) {
+		c, _ := newCache(t, tr, 0)
+		rng := rand.New(rand.NewSource(31))
+		var out []record
+		var qtr *obs.Trace
+		if traced {
+			// The cache counts DA through per-flight sessions; the trace
+			// is charge-based (nil sampler).
+			qtr = obs.NewTrace(nil)
+		}
+		for i, r := range randRects(rng, 15) {
+			e := tr.LODPercentile(0.6 + 0.4*rng.Float64())
+			var qs tilecache.QueryStats
+			var err error
+			if traced {
+				qtr.Reset()
+				_, qs, err = c.QueryTraced(r, e, qtr)
+			} else {
+				_, qs, err = c.Query(r, e)
+			}
+			if err != nil {
+				t.Fatalf("query %d: %v", i, err)
+			}
+			if traced {
+				if err := qtr.CheckTotal(qs.DA); err != nil {
+					t.Errorf("query %d: %v", i, err)
+				}
+				bd := qtr.Breakdown()
+				if bd[obs.PhaseMaterialize] != qs.DA {
+					t.Errorf("query %d: materialize phase has %d DA, query charged %d",
+						i, bd[obs.PhaseMaterialize], qs.DA)
+				}
+				var cacheSpans int
+				for _, sp := range qtr.Spans() {
+					if sp.Phase == obs.PhaseCache {
+						cacheSpans++
+					}
+				}
+				if cacheSpans != qs.Tiles {
+					t.Errorf("query %d: %d cache spans for %d tiles", i, cacheSpans, qs.Tiles)
+				}
+			}
+			out = append(out, record{qs: qs})
+		}
+		return out, c.Stats()
+	}
+	plain, pst := run(false)
+	traced, tst := run(true)
+	if pst != tst {
+		t.Errorf("cache stats differ traced vs untraced:\n  plain  %+v\n  traced %+v", pst, tst)
+	}
+	for i := range plain {
+		if plain[i] != traced[i] {
+			t.Errorf("query %d stats differ traced vs untraced:\n  plain  %+v\n  traced %+v",
+				i, plain[i].qs, traced[i].qs)
+		}
+	}
+}
