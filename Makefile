@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: verify fmt build vet test race racecache chaos obssmoke bench benchsmoke figures
+.PHONY: verify fmt build vet test race racecache chaos obssmoke layoutcheck bench benchsmoke figures
 
 # The CI gate: formatting, build, vet, and the full test suite under the
 # race detector (short mode keeps the large-terrain tests out of the
 # loop), plus a non-short race pass over the concurrent tile cache, the
-# small-scale chaos run, and the observability smoke over the tileserver
-# introspection endpoints.
-verify: fmt build vet race racecache chaos obssmoke
+# small-scale chaos run, the observability smoke over the tileserver
+# introspection endpoints, and the physical-layout equivalence gate.
+verify: fmt build vet race racecache chaos obssmoke layoutcheck
 
 # gofmt cleanliness: fails listing the offending files, fixes nothing.
 fmt:
@@ -43,6 +43,13 @@ chaos:
 # disk-access attribution invariant visible in the slow log.
 obssmoke:
 	$(GO) test -count=1 ./examples/tileserver/
+
+# Layout equivalence gate: every physical layout — including stores
+# rewritten by the offline repack pass — must answer every query kind
+# byte-identically, and the reconstruction anchor must hold on all of
+# them. Physical placement changes cost, never answers.
+layoutcheck:
+	$(GO) test -count=1 -run 'ExactAgainstReplay|Layout|Repack|Connect|OverflowChains' ./internal/dm/
 
 # The paper's metric: custom DA/... counters, not ns/op. Runs the unit
 # suite first (a benchmark of broken code measures nothing); -run '^$$'

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn|throughput|flyover|tilecache|faults|dabreakdown]
-//	        [-size N] [-size2 N] [-seed S] [-locations L]
+//	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn|throughput|flyover|tilecache|faults|dabreakdown|layoutcmp]
+//	        [-size N] [-size2 N] [-seed S] [-locations L] [-layout str|hilbert|rowmajor|connect]
 //	        [-cpuprofile F] [-memprofile F]
 //
 // -fig throughput is not a paper figure: it measures concurrent query
@@ -33,6 +33,16 @@
 // query's per-phase disk accesses verified to sum exactly to its
 // independently counted session total.
 //
+// -fig layoutcmp is the physical-layout figure: the dabreakdown query
+// mix measured before (the -layout flag's layout) and after (the
+// connectivity-clustered layout) on the same terrain, reported side by
+// side per phase and written to results/BENCH_layout.json. The headline
+// number is the overflow_walk column: the connect layout co-allocates
+// overflow chains with their owners, so those reads become cache hits.
+//
+// -layout selects the DM store's physical record layout for every
+// figure; layoutcmp uses it as the "before" side.
+//
 // -cpuprofile and -memprofile write pprof profiles of whatever figure
 // selection ran (go tool pprof reads them).
 //
@@ -43,14 +53,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
 
+	"dmesh"
 	"dmesh/internal/experiments"
 	"dmesh/internal/obs"
 	"dmesh/internal/workload"
@@ -68,7 +81,8 @@ func main() {
 // selected figure fails.
 func mainErr() error {
 	var (
-		fig       = flag.String("fig", "all", "figure to reproduce (6a..6d, 8a..8f, conn, throughput, flyover, tilecache, faults, dabreakdown, all)")
+		fig       = flag.String("fig", "all", "figure to reproduce (6a..6d, 8a..8f, conn, throughput, flyover, tilecache, faults, dabreakdown, layoutcmp, all)")
+		layoutF   = flag.String("layout", "str", "physical DM-store layout: str, hilbert, rowmajor, or connect")
 		size      = flag.Int("size", 257, "grid side of the highland dataset (the paper's 2M-point terrain)")
 		size2     = flag.Int("size2", 513, "grid side of the crater dataset (the paper's 17M-point terrain)")
 		seed      = flag.Int64("seed", 1, "generation seed")
@@ -78,6 +92,10 @@ func mainErr() error {
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	layout, err := dmesh.ParseLayout(*layoutF)
+	if err != nil {
+		return err
+	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -105,11 +123,12 @@ func mainErr() error {
 		}()
 	}
 	env := &benchEnv{
-		cfg:   workload.Config{Locations: *locations, Seed: *seed},
-		size:  *size,
-		size2: *size2,
-		seed:  *seed,
-		csv:   *csvOut,
+		cfg:    workload.Config{Locations: *locations, Seed: *seed},
+		size:   *size,
+		size2:  *size2,
+		seed:   *seed,
+		csv:    *csvOut,
+		layout: layout,
 	}
 	return run(env, strings.ToLower(*fig))
 }
@@ -122,6 +141,7 @@ type benchEnv struct {
 	size, size2 int
 	seed        int64
 	csv         bool
+	layout      dmesh.Layout
 
 	bundles map[string]*experiments.Bundle
 }
@@ -135,8 +155,8 @@ func (e *benchEnv) bundle(name string) (*experiments.Bundle, error) {
 	if name == "crater" {
 		size = e.size2
 	}
-	fmt.Fprintf(os.Stderr, "building %s dataset (%dx%d points)...\n", name, size, size)
-	b, err := experiments.BuildBundle(name, size, e.seed)
+	fmt.Fprintf(os.Stderr, "building %s dataset (%dx%d points, %s layout)...\n", name, size, size, e.layout)
+	b, err := experiments.BuildBundleLayout(name, size, e.seed, e.layout)
 	if err != nil {
 		return nil, err
 	}
@@ -278,6 +298,25 @@ func runners() []figureRunner {
 				}
 			}
 			return nil
+		}},
+		{"layoutcmp", func(e *benchEnv) error {
+			fracs := map[string]float64{"highland": 0.10, "crater": 0.05}
+			var cmps []*experiments.LayoutCompare
+			for _, name := range []string{"highland", "crater"} {
+				b, err := e.bundle(name)
+				if err != nil {
+					return err
+				}
+				cmp, err := b.CompareLayouts(e.cfg, fracs[name], 24, dmesh.LayoutConnect)
+				if err != nil {
+					return fmt.Errorf("layoutcmp: %w", err)
+				}
+				if err := printLayoutCompare(cmp, fracs[name]); err != nil {
+					return err
+				}
+				cmps = append(cmps, cmp)
+			}
+			return writeLayoutJSON("results/BENCH_layout.json", e, cmps)
 		}},
 	}
 }
@@ -504,6 +543,84 @@ func printDABreakdown(b *experiments.Bundle, cfg workload.Config, roiFrac float6
 		}
 	}
 	return w.Flush()
+}
+
+// printLayoutCompare prints the before/after physical-layout comparison:
+// per query kind, total DA and the overflow_walk share under each
+// layout, then the store footprints and the headline reductions.
+func printLayoutCompare(c *experiments.LayoutCompare, roiFrac float64) error {
+	fmt.Printf("\nLayout comparison (%s, ROI %.0f%%, %s vs %s, DA per workload):\n",
+		c.Dataset, roiFrac*100, c.Before.Layout, c.After.Layout)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "kind\tqueries\t%s total\toverflow\t%s total\toverflow\ttotal Δ\n",
+		c.Before.Layout, c.After.Layout)
+	after := map[string]experiments.DABreakdownRow{}
+	for _, r := range c.After.Rows {
+		after[r.Kind] = r
+	}
+	ovDA := func(r experiments.DABreakdownRow) uint64 {
+		for _, ps := range r.Phases {
+			if ps.Name == "overflow_walk" {
+				return ps.DA
+			}
+		}
+		return 0
+	}
+	for _, br := range c.Before.Rows {
+		ar, ok := after[br.Kind]
+		if !ok {
+			return fmt.Errorf("layoutcmp: kind %q missing from the %s side", br.Kind, c.After.Layout)
+		}
+		delta := "-"
+		if br.TotalDA > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(float64(ar.TotalDA)-float64(br.TotalDA))/float64(br.TotalDA))
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			br.Kind, br.Queries, br.TotalDA, ovDA(br), ar.TotalDA, ovDA(ar), delta)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	bTotal, bOv := c.Before.Totals()
+	aTotal, aOv := c.After.Totals()
+	fmt.Printf("  pages: %d+%d data/overflow (%s) vs %d+%d (%s)\n",
+		c.Before.DataPages, c.Before.OverflowPages, c.Before.Layout,
+		c.After.DataPages, c.After.OverflowPages, c.After.Layout)
+	if bOv > 0 {
+		fmt.Printf("  overflow_walk DA: %d -> %d (%.1f%% reduction)\n",
+			bOv, aOv, 100*(1-float64(aOv)/float64(bOv)))
+	}
+	if bTotal > 0 {
+		fmt.Printf("  total DA: %d -> %d (%+.1f%%)\n",
+			bTotal, aTotal, 100*(float64(aTotal)-float64(bTotal))/float64(bTotal))
+	}
+	return nil
+}
+
+// writeLayoutJSON persists the layout comparison for the repo's
+// layoutcheck tooling and EXPERIMENTS.md tables.
+func writeLayoutJSON(path string, e *benchEnv, cmps []*experiments.LayoutCompare) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	doc := struct {
+		Sizes     [2]int                       `json:"sizes"`
+		Seed      int64                        `json:"seed"`
+		Locations int                          `json:"locations"`
+		Datasets  []*experiments.LayoutCompare `json:"datasets"`
+	}{
+		Sizes: [2]int{e.size, e.size2}, Seed: e.seed,
+		Locations: e.cfg.Locations, Datasets: cmps,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
 }
 
 func printConn(b *experiments.Bundle) {

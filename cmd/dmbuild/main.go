@@ -6,6 +6,7 @@
 // Usage:
 //
 //	dmbuild -out ./stores/highland [-dataset highland|crater] [-size N] [-seed S]
+//	        [-layout str|hilbert|rowmajor|connect]
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 		demPath = flag.String("dem", "", "build from an ESRI ASCII grid DEM file instead of generating")
 		xyzPath = flag.String("xyz", "", "build from an XYZ survey-point file (Delaunay-triangulated)")
 		mtmPath = flag.String("mtm", "", "also save the collapse sequence in compact MTM format to this path")
+		layoutF = flag.String("layout", "str", "physical record layout: str, hilbert, rowmajor, or connect")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -33,13 +35,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*out, *dataset, *size, *seed, *demPath, *xyzPath, *mtmPath); err != nil {
+	layout, err := dmesh.ParseLayout(*layoutF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmbuild:", err)
+		os.Exit(2)
+	}
+	if err := run(*out, *dataset, *size, *seed, *demPath, *xyzPath, *mtmPath, layout); err != nil {
 		fmt.Fprintln(os.Stderr, "dmbuild:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, dataset string, size int, seed int64, demPath, xyzPath, mtmPath string) error {
+func run(out, dataset string, size int, seed int64, demPath, xyzPath, mtmPath string, layout dmesh.Layout) error {
 	start := time.Now()
 	var t *dmesh.Terrain
 	var err error
@@ -84,9 +91,9 @@ func run(out, dataset string, size int, seed int64, demPath, xyzPath, mtmPath st
 	fmt.Printf("  connection lists: avg %.1f similar-LOD (max %d), avg %.1f total\n",
 		st.AvgSimilarLOD, st.MaxSimilarLOD, st.AvgTotal)
 
-	fmt.Printf("writing store to %s...\n", out)
+	fmt.Printf("writing store to %s (%s layout)...\n", out, layout)
 	start = time.Now()
-	store, err := t.BuildDMStoreAt(out)
+	store, err := t.BuildDMStoreAtWithPools(dmesh.StorePools{Layout: layout}, out)
 	if err != nil {
 		return err
 	}

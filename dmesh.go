@@ -293,6 +293,30 @@ func (t *Terrain) MeanLOD() float64 {
 // StorePools re-exports the Direct Mesh store pool configuration.
 type StorePools = dm.StorePools
 
+// Layout selects the physical order of Direct Mesh records on disk.
+type Layout = dm.Layout
+
+// Physical record layouts (see dm.Layout). LayoutConnect is the
+// connectivity-clustered layout that co-locates connection-list
+// neighbors and their overflow chains.
+const (
+	LayoutSTR      = dm.LayoutSTR
+	LayoutHilbert  = dm.LayoutHilbert
+	LayoutRowMajor = dm.LayoutRowMajor
+	LayoutConnect  = dm.LayoutConnect
+)
+
+// ParseLayout parses a layout flag value ("str", "hilbert", "rowmajor",
+// "connect").
+func ParseLayout(name string) (Layout, error) { return dm.ParseLayout(name) }
+
+// RepackDMStore rewrites an open store into dir under the layout (and
+// pools) given — the offline re-layout pass behind cmd/dmrepack. The
+// source store is only read.
+func RepackDMStore(src *DMStore, pools StorePools, dir string) (*DMStore, error) {
+	return dm.Repack(src, pools, dir)
+}
+
 // NewDMStore lays the Direct Mesh out on paged storage: records in Hilbert
 // order, a 3D R*-tree over vertical segments, a B+-tree by ID.
 func (t *Terrain) NewDMStore() (*DMStore, error) {
@@ -308,6 +332,12 @@ func (t *Terrain) NewDMStoreWithPools(pools StorePools) (*DMStore, error) {
 // with OpenDMStore.
 func (t *Terrain) BuildDMStoreAt(dir string) (*DMStore, error) {
 	return dm.BuildStoreAt(t.Dataset, dm.StorePools{}, dir)
+}
+
+// BuildDMStoreAtWithPools is BuildDMStoreAt with explicit pool
+// configuration (layout, buffer sizes, checksums).
+func (t *Terrain) BuildDMStoreAtWithPools(pools StorePools, dir string) (*DMStore, error) {
+	return dm.BuildStoreAt(t.Dataset, pools, dir)
 }
 
 // OpenDMStore opens a store directory written by BuildDMStoreAt.

@@ -127,7 +127,38 @@ func TestStoreFetchByID(t *testing.T) {
 func TestViewpointIndependentExactAgainstReplay(t *testing.T) {
 	for _, name := range []string{"highland", "crater"} {
 		ds, seq := buildDataset(t, 9, name)
-		s := newTestStore(t, ds)
+		// The anchor must hold for every physical layout, plus a store
+		// produced by the offline repack pass — page placement can never
+		// change a reconstruction.
+		var stores []*Store
+		var labels []string
+		for _, l := range allLayouts {
+			s, err := BuildStore(ds, StorePools{Layout: l})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stores = append(stores, s)
+			labels = append(labels, l.String())
+		}
+		rp, err := RepackOnBackends(stores[0], StorePools{Layout: LayoutConnect}, memBackends())
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, rp)
+		labels = append(labels, "repacked-connect")
+		for si, s := range stores {
+			name := name + "/" + labels[si]
+			checkExactAgainstReplay(t, name, ds, seq, s)
+		}
+	}
+}
+
+// checkExactAgainstReplay asserts the store's reconstruction at several
+// LODs equals the collapse-sequence replay exactly — the correctness
+// anchor for the whole multiresolution structure.
+func checkExactAgainstReplay(t *testing.T, name string, ds *Dataset, seq *simplify.Sequence, s *Store) {
+	t.Helper()
+	{
 		for _, pct := range []float64{0, 0.25, 0.5, 0.75, 0.95} {
 			var e float64
 			if pct > 0 {

@@ -6,12 +6,46 @@ import (
 	"dmesh/internal/geom"
 )
 
+// allLayouts is every physical layout, fixed encodings first.
+var allLayouts = []Layout{LayoutSTR, LayoutHilbert, LayoutRowMajor, LayoutConnect}
+
+// inflateConn returns a copy of ds whose connection lists include
+// synthetic high-valence fixtures of the given lengths, spread across
+// distinct nodes. Padding IDs start at len(nodes), beyond every real
+// node: they are never indexed, never fetched, and never live, so query
+// answers are unchanged — but record encoding, overflow chains, and the
+// connect layout's spill path all get exercised at real chain lengths.
+// Lists stay sorted ascending and unique (real IDs < N <= padding IDs).
+func inflateConn(ds *Dataset, lengths ...int) *Dataset {
+	conn := make([][]int64, len(ds.Conn))
+	copy(conn, ds.Conn)
+	n := int64(len(ds.Conn))
+	stride := n / int64(len(lengths)+1)
+	for i, length := range lengths {
+		id := int64(i+1) * stride
+		padded := append([]int64(nil), ds.Conn[id]...)
+		for k := int64(0); len(padded) < length; k++ {
+			padded = append(padded, n+id*100000+k)
+		}
+		conn[id] = padded
+	}
+	return &Dataset{Tree: ds.Tree, Conn: conn}
+}
+
+// overflowLengths covers every encoding regime: just past the fixed
+// inline capacity (12), a multi-record fixed chain, past the connect
+// layout's inline page capacity (498), and a multi-record connect chain.
+var overflowLengths = []int{ConnInline + 1, 5 * OverflowFanout, ConnectInlineMax + 10, 2*connectOverflowFanout + 200}
+
 // TestLayoutsProduceIdenticalResults verifies that the physical record
-// order (STR, Hilbert, row-major) changes cost but never answers: every
-// layout returns the same mesh for the same query.
+// order (STR, Hilbert, row-major, connect) changes cost but never
+// answers: every layout returns the same mesh for the same query. The
+// dataset carries inflated connection lists so the overflow encodings of
+// both record formats are in play.
 func TestLayoutsProduceIdenticalResults(t *testing.T) {
-	ds, _ := buildDataset(t, 8, "highland")
-	layouts := []Layout{LayoutSTR, LayoutHilbert, LayoutRowMajor}
+	base, _ := buildDataset(t, 8, "highland")
+	ds := inflateConn(base, overflowLengths...)
+	layouts := allLayouts
 	stores := make([]*Store, len(layouts))
 	for i, l := range layouts {
 		s, err := BuildStore(ds, StorePools{Layout: l})
@@ -93,40 +127,134 @@ func TestSTRLayoutCheaperThanRowMajor(t *testing.T) {
 }
 
 // TestOverflowChains exercises connection lists longer than the inline
-// capacity end to end: nodes with large lifetime neighborhoods (near the
-// root) must come back complete from the store.
+// capacities end to end, for every layout: the synthetic high-valence
+// fixture guarantees chains exist at any dataset scale (real datasets at
+// test sizes rarely overflow), so the chain walk is always exercised —
+// single fixed records, multi-record fixed chains, and the connect
+// layout's co-located variable spill.
 func TestOverflowChains(t *testing.T) {
-	ds, _ := buildDataset(t, 10, "crater")
+	ds := inflateConn(buildDatasetOnly(t, 10, "crater"), overflowLengths...)
 	long := 0
 	for _, c := range ds.Conn {
 		if len(c) > ConnInline {
 			long++
 		}
 	}
-	if long == 0 {
-		t.Skip("no overflowing connection lists at this scale")
+	if long < len(overflowLengths) {
+		t.Fatalf("fixture produced %d overflowing lists, want >= %d", long, len(overflowLengths))
 	}
-	s := newTestStore(t, ds)
-	checked := 0
-	for id, c := range ds.Conn {
-		if len(c) <= ConnInline {
-			continue
+	for _, layout := range allLayouts {
+		s, err := BuildStore(ds, StorePools{Layout: layout})
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
 		}
-		n, err := s.FetchByID(int64(id))
+		checked := 0
+		for id, c := range ds.Conn {
+			if len(c) <= ConnInline {
+				continue
+			}
+			n, err := s.FetchByID(int64(id))
+			if err != nil {
+				t.Fatalf("%v: %v", layout, err)
+			}
+			if len(n.Conn) != len(c) {
+				t.Fatalf("%v: node %d: %d conn IDs from store, want %d", layout, id, len(n.Conn), len(c))
+			}
+			for i := range c {
+				if n.Conn[i] != c[i] {
+					t.Fatalf("%v: node %d conn[%d] = %d, want %d", layout, id, i, n.Conn[i], c[i])
+				}
+			}
+			checked++
+			if checked >= 25 {
+				break
+			}
+		}
+		if checked == 0 {
+			t.Fatalf("%v: fixture produced no overflowing lists", layout)
+		}
+	}
+}
+
+// TestConnectOverflowCoLocated verifies the tentpole mechanism: a
+// connect store keeps every overflow record inside the node heap
+// (conn.overflow stays empty), and fetching a long list through a cold
+// cache never reads an overflow-file page — the chain lives on the
+// owner's own pages.
+func TestConnectOverflowCoLocated(t *testing.T) {
+	ds := inflateConn(buildDatasetOnly(t, 9, "highland"), overflowLengths...)
+	s, err := BuildStore(ds, StorePools{Layout: LayoutConnect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.OverflowPages(); got != 0 {
+		t.Fatalf("connect store has %d overflow pages, want 0", got)
+	}
+	if err := s.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+	if _, err := s.ViewpointIndependent(fullRect(), eAtPercentile(ds, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	bd := s.Breakdown()
+	if bd.Overflow != 0 {
+		t.Fatalf("connect store read %d overflow-file pages, want 0", bd.Overflow)
+	}
+	if bd.Data == 0 {
+		t.Fatal("cold query read no data pages")
+	}
+}
+
+// TestConnectLayoutPersistRoundTrip writes a connect store (plain and
+// checksummed) to disk and reopens it: the variable-record heap, the
+// meta v3 layout plumbing, and the checksum sweep must all round-trip,
+// and the reopened store must answer exactly like the in-memory one.
+func TestConnectLayoutPersistRoundTrip(t *testing.T) {
+	ds := inflateConn(buildDatasetOnly(t, 8, "crater"), overflowLengths...)
+	mem, err := BuildStore(ds, StorePools{Layout: LayoutConnect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := eAtPercentile(ds, 0.4)
+	want, err := mem.ViewpointIndependent(fullRect(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, checksums := range []bool{false, true} {
+		dir := t.TempDir()
+		s, err := BuildStoreAt(ds, StorePools{Layout: LayoutConnect, Checksums: checksums}, dir)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(n.Conn) != len(c) {
-			t.Fatalf("node %d: %d conn IDs from store, want %d", id, len(n.Conn), len(c))
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
 		}
-		for i := range c {
-			if n.Conn[i] != c[i] {
-				t.Fatalf("node %d conn[%d] = %d, want %d", id, i, n.Conn[i], c[i])
+		re, err := OpenStore(dir, StorePools{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re.Layout() != LayoutConnect {
+			t.Fatalf("reopened layout %v, want connect", re.Layout())
+		}
+		got, err := re.ViewpointIndependent(fullRect(), e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, "reopened connect store", want, got)
+		// Long lists survive the round trip too.
+		for i := range overflowLengths {
+			id := int64(i+1) * (int64(len(ds.Conn)) / int64(len(overflowLengths)+1))
+			n, err := re.FetchByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(n.Conn) != len(ds.Conn[id]) {
+				t.Fatalf("node %d: %d conn IDs after reopen, want %d", id, len(n.Conn), len(ds.Conn[id]))
 			}
 		}
-		checked++
-		if checked >= 25 {
-			break
+		if err := re.Close(); err != nil {
+			t.Fatal(err)
 		}
 	}
 }

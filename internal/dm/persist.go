@@ -35,14 +35,25 @@ type storeMeta struct {
 	Checksums bool `json:"checksums,omitempty"`
 }
 
-// metaVersion is the current on-disk format. Version 1 stores (no
-// checksum support) remain readable; they simply have Checksums false.
-const metaVersion = 2
+// metaVersion is the current on-disk format. Version 3 adds the
+// variable-record heap encoding of LayoutConnect; versions 1 (no
+// checksum support) and 2 (fixed layouts only) remain readable.
+const metaVersion = 3
 
 // BuildStoreAt builds the Direct Mesh store in dir as regular files, so it
 // can be reopened later with OpenStore. The directory is created if
 // needed; it must not already contain a store.
 func BuildStoreAt(ds *Dataset, pools StorePools, dir string) (*Store, error) {
+	nodes := make([]Node, len(ds.Tree.Nodes))
+	for i := range nodes {
+		nodes[i] = ds.Node(int64(i))
+	}
+	return buildNodesAt(nodes, ds.Tree.MaxE, pools, dir)
+}
+
+// buildNodesAt lays materialized nodes out in dir as regular files (see
+// BuildStoreAt); Repack enters here with nodes read from another store.
+func buildNodesAt(nodes []Node, maxE float64, pools StorePools, dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("dm: %w", err)
 	}
@@ -53,7 +64,7 @@ func BuildStoreAt(ds *Dataset, pools StorePools, dir string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := buildStore(ds, pools, backends)
+	s, err := buildNodes(nodes, maxE, pools, backends)
 	if err != nil {
 		return nil, err
 	}
@@ -86,6 +97,9 @@ func OpenStore(dir string, pools StorePools) (*Store, error) {
 	if meta.Version < 1 || meta.Version > metaVersion {
 		return nil, fmt.Errorf("dm: store version %d, want 1..%d", meta.Version, metaVersion)
 	}
+	if meta.Layout == LayoutConnect && meta.Version < 3 {
+		return nil, fmt.Errorf("dm: connect layout requires store version 3, got %d", meta.Version)
+	}
 	// The on-disk layout dictates the checksum setting; the caller's pools
 	// only size the buffers.
 	pools.Checksums = meta.Checksums
@@ -112,14 +126,19 @@ func OpenStore(dir string, pools StorePools) (*Store, error) {
 		}
 	}
 	s := &Store{
-		heapP: pools.newPager(backends[0], pools.Data),
-		overP: pools.newPager(backends[1], pools.Overflow),
-		rtP:   pools.newPager(backends[2], pools.Index),
-		idxP:  pools.newPager(backends[3], pools.IDIndex),
-		maxE:  meta.MaxE,
-		space: meta.Space,
+		heapP:  pools.newPager(backends[0], pools.Data),
+		overP:  pools.newPager(backends[1], pools.Overflow),
+		rtP:    pools.newPager(backends[2], pools.Index),
+		idxP:   pools.newPager(backends[3], pools.IDIndex),
+		layout: meta.Layout,
+		maxE:   meta.MaxE,
+		space:  meta.Space,
 	}
-	if s.heap, err = heapfile.Open(s.heapP); err != nil {
+	if meta.Layout == LayoutConnect {
+		if s.vheap, err = heapfile.OpenVar(s.heapP); err != nil {
+			return nil, fmt.Errorf("dm: open heap: %w", err)
+		}
+	} else if s.heap, err = heapfile.Open(s.heapP); err != nil {
 		return nil, fmt.Errorf("dm: open heap: %w", err)
 	}
 	if s.over, err = heapfile.Open(s.overP); err != nil {

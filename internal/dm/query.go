@@ -19,8 +19,7 @@ import (
 type fetcher struct {
 	s     *Store
 	rids  []heapfile.RID
-	buf   []byte
-	obuf  []byte
+	bufs  recBufs
 	nodes map[int64]*Node
 	// track records the IDs of nodes newly added to the map in added —
 	// the coherent engine points nodes at its retained map and needs to
@@ -35,8 +34,7 @@ type fetcher struct {
 func (s *Store) newFetcher() *fetcher {
 	return &fetcher{
 		s:    s,
-		buf:  make([]byte, RecordSize),
-		obuf: make([]byte, OverflowRecordSize),
+		bufs: newRecBufs(),
 		tr:   s.tr,
 	}
 }
@@ -70,7 +68,7 @@ func (f *fetcher) fetchBox(box geom.Box) (int, error) {
 	fetched := 0
 	f.tr.Begin(obs.PhaseFetch)
 	for _, rid := range f.rids {
-		n, err := f.s.fetchRecord(rid, f.buf, f.obuf, f.tr)
+		n, err := f.s.fetchRecord(rid, &f.bufs, f.tr)
 		if err != nil {
 			f.tr.End()
 			return fetched, err

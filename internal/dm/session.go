@@ -44,7 +44,12 @@ func (s *Store) NewSession() *Session {
 	q.overP = s.overP.WithSession(q.overS)
 	q.rtP = s.rtP.WithSession(q.rtS)
 	q.idxP = s.idxP.WithSession(q.idxS)
-	q.heap = s.heap.WithSession(q.heapS)
+	if s.heap != nil {
+		q.heap = s.heap.WithSession(q.heapS)
+	}
+	if s.vheap != nil {
+		q.vheap = s.vheap.WithSession(q.heapS)
+	}
 	q.over = s.over.WithSession(q.overS)
 	q.rt = s.rt.WithSession(q.rtS)
 	q.idx = s.idx.WithSession(q.idxS)

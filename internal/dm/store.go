@@ -22,8 +22,14 @@ import (
 // see Layout for alternatives), a 3D R*-tree over the nodes' vertical
 // segments in (x, y, e) space, a B+-tree from node ID to record, and an
 // overflow file for long connection lists.
+//
+// Exactly one of heap (fixed records; LayoutSTR/Hilbert/RowMajor) and
+// vheap (variable records; LayoutConnect) is non-nil, per layout. Both
+// live on heapP; LayoutConnect keeps its overflow records in vheap too,
+// co-located with their owners, so its conn.overflow file stays empty.
 type Store struct {
 	heap  *heapfile.File
+	vheap *heapfile.VarFile
 	over  *heapfile.File
 	rt    *rtree.Tree
 	idx   *btree.Tree
@@ -32,8 +38,9 @@ type Store struct {
 	rtP   *pager.Pager
 	idxP  *pager.Pager
 
-	maxE  float64
-	space geom.Box
+	layout Layout
+	maxE   float64
+	space  geom.Box
 
 	// stripWorkers bounds the per-query fan-out of multi-strip plans
 	// (1 = serial, the measurement default). Set before serving.
@@ -84,7 +91,41 @@ const (
 	// LayoutRowMajor orders records by node ID (creation order); the
 	// un-clustered baseline for the ablation.
 	LayoutRowMajor
+	// LayoutConnect is the connectivity-clustered layout: variable-length
+	// records (whole connection lists inline in the common case, overflow
+	// records co-located with their owners otherwise), packed by Hilbert
+	// order within LOD bands and refined so connection-list neighbors
+	// share pages. It exists to eliminate the overflow_walk disk accesses
+	// the fixed layouts pay, and the extra data pages connection-heavy
+	// queries touch.
+	LayoutConnect
 )
+
+// String returns the layout's flag spelling (see ParseLayout).
+func (l Layout) String() string {
+	switch l {
+	case LayoutSTR:
+		return "str"
+	case LayoutHilbert:
+		return "hilbert"
+	case LayoutRowMajor:
+		return "rowmajor"
+	case LayoutConnect:
+		return "connect"
+	}
+	return fmt.Sprintf("layout(%d)", int(l))
+}
+
+// ParseLayout parses a layout name as spelled by String — the form the
+// command-line tools accept.
+func ParseLayout(name string) (Layout, error) {
+	for _, l := range []Layout{LayoutSTR, LayoutHilbert, LayoutRowMajor, LayoutConnect} {
+		if name == l.String() {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("dm: unknown layout %q (want str, hilbert, rowmajor, or connect)", name)
+}
 
 // StorePools sizes the buffer pools (in pages) of the store's four files
 // and selects the record layout. The zero value selects defaults suitable
@@ -172,6 +213,17 @@ func BuildStoreOnBackends(ds *Dataset, pools StorePools, backends [4]pager.Backe
 // buildStore lays ds out on the given backends (heap, overflow, r*-tree,
 // id index).
 func buildStore(ds *Dataset, pools StorePools, backends [4]pager.Backend) (*Store, error) {
+	nodes := make([]Node, len(ds.Tree.Nodes))
+	for i := range nodes {
+		nodes[i] = ds.Node(int64(i))
+	}
+	return buildNodes(nodes, ds.Tree.MaxE, pools, backends)
+}
+
+// buildNodes lays the materialized nodes (indexed by ID, dense 0..N-1)
+// out on the given backends. buildStore enters here from a Dataset;
+// Repack enters from an existing store's records.
+func buildNodes(nodes []Node, maxE float64, pools StorePools, backends [4]pager.Backend) (*Store, error) {
 	pools.defaults()
 	for i := range backends {
 		b, err := pools.wrap(backends[i])
@@ -181,16 +233,25 @@ func buildStore(ds *Dataset, pools StorePools, backends [4]pager.Backend) (*Stor
 		backends[i] = b
 	}
 	s := &Store{
-		heapP: pools.newPager(backends[0], pools.Data),
-		overP: pools.newPager(backends[1], pools.Overflow),
-		rtP:   pools.newPager(backends[2], pools.Index),
-		idxP:  pools.newPager(backends[3], pools.IDIndex),
-		maxE:  ds.Tree.MaxE,
+		heapP:  pools.newPager(backends[0], pools.Data),
+		overP:  pools.newPager(backends[1], pools.Overflow),
+		rtP:    pools.newPager(backends[2], pools.Index),
+		idxP:   pools.newPager(backends[3], pools.IDIndex),
+		layout: pools.Layout,
+		maxE:   maxE,
 	}
 	var err error
-	if s.heap, err = heapfile.Create(s.heapP, RecordSize); err != nil {
-		return nil, fmt.Errorf("dm: create heap: %w", err)
+	if pools.Layout == LayoutConnect {
+		if s.vheap, err = heapfile.CreateVar(s.heapP); err != nil {
+			return nil, fmt.Errorf("dm: create heap: %w", err)
+		}
+	} else {
+		if s.heap, err = heapfile.Create(s.heapP, RecordSize); err != nil {
+			return nil, fmt.Errorf("dm: create heap: %w", err)
+		}
 	}
+	// The overflow file exists for every layout so the store directory has
+	// one shape; LayoutConnect simply never writes to it.
 	if s.over, err = heapfile.Create(s.overP, OverflowRecordSize); err != nil {
 		return nil, fmt.Errorf("dm: create overflow: %w", err)
 	}
@@ -202,7 +263,7 @@ func buildStore(ds *Dataset, pools StorePools, backends [4]pager.Backend) (*Stor
 	// disk in such a way that their (x, y) clustering is preserved as much
 	// as possible", Section 6 — with the index available, clustering the
 	// table on the index preserves it best).
-	order := make([]int64, len(ds.Tree.Nodes))
+	order := make([]int64, len(nodes))
 	for i := range order {
 		order[i] = int64(i)
 	}
@@ -210,15 +271,15 @@ func buildStore(ds *Dataset, pools StorePools, backends [4]pager.Backend) (*Stor
 	case LayoutSTR:
 		segs := make([]rtree.Item, len(order))
 		for i, id := range order {
-			segs[i] = rtree.Item{Box: segmentOf(&ds.Tree.Nodes[id], ds.Tree.MaxE), Ref: id}
+			segs[i] = rtree.Item{Box: segmentOf(&nodes[id].Node, maxE), Ref: id}
 		}
 		for i, it := range rtree.STRLeafOrder(segs) {
 			order[i] = it.Ref
 		}
 	case LayoutHilbert:
 		sort.SliceStable(order, func(a, b int) bool {
-			ka := geom.HilbertKey(ds.Tree.Nodes[order[a]].Pos.XY())
-			kb := geom.HilbertKey(ds.Tree.Nodes[order[b]].Pos.XY())
+			ka := geom.HilbertKey(nodes[order[a]].Pos.XY())
+			kb := geom.HilbertKey(nodes[order[b]].Pos.XY())
 			if ka != kb {
 				return ka < kb
 			}
@@ -226,39 +287,30 @@ func buildStore(ds *Dataset, pools StorePools, backends [4]pager.Backend) (*Stor
 		})
 	case LayoutRowMajor:
 		// IDs are already in creation order.
+	case LayoutConnect:
+		order = connectOrder(nodes)
 	default:
 		return nil, fmt.Errorf("dm: unknown layout %d", pools.Layout)
 	}
 
-	buf := make([]byte, RecordSize)
-	obuf := make([]byte, OverflowRecordSize)
+	// Capacity covers the largest variable record, so the connect path
+	// never reallocates either buffer while building.
+	buf := make([]byte, RecordSize, heapfile.MaxVarRecord)
+	obuf := make([]byte, OverflowRecordSize, heapfile.MaxVarRecord)
 	items := make([]rtree.Item, 0, len(order))
 	space := geom.Box{MinX: math.Inf(1), MinY: math.Inf(1), MinE: 0,
 		MaxX: math.Inf(-1), MaxY: math.Inf(-1), MaxE: s.maxE}
 	for _, id := range order {
-		n := ds.Node(id)
-		// Spill conn IDs beyond the inline capacity into an overflow
-		// chain, written tail-first so each record knows its successor.
-		overflowRef := noOverflow
-		if len(n.Conn) > ConnInline {
-			rest := n.Conn[ConnInline:]
-			for start := ((len(rest) - 1) / OverflowFanout) * OverflowFanout; start >= 0; start -= OverflowFanout {
-				end := start + OverflowFanout
-				if end > len(rest) {
-					end = len(rest)
-				}
-				encodeOverflow(rest[start:end], overflowRef, obuf)
-				rid, err := s.over.Append(obuf)
-				if err != nil {
-					return nil, fmt.Errorf("dm: overflow append: %w", err)
-				}
-				overflowRef = int64(rid)
-			}
+		n := &nodes[id]
+		var rid heapfile.RID
+		var err error
+		if pools.Layout == LayoutConnect {
+			rid, err = s.appendConnect(n, buf, obuf)
+		} else {
+			rid, err = s.appendFixed(n, buf, obuf)
 		}
-		encodeRecord(&n, overflowRef, buf)
-		rid, err := s.heap.Append(buf)
 		if err != nil {
-			return nil, fmt.Errorf("dm: heap append: %w", err)
+			return nil, err
 		}
 		if err := s.idx.Put(id, int64(rid)); err != nil {
 			return nil, fmt.Errorf("dm: id index: %w", err)
@@ -279,6 +331,65 @@ func buildStore(ds *Dataset, pools StorePools, backends [4]pager.Backend) (*Stor
 	return s, nil
 }
 
+// appendFixed writes one fixed-size record, spilling conn IDs beyond the
+// inline capacity into an overflow chain in the separate overflow file,
+// written tail-first so each record knows its successor.
+func (s *Store) appendFixed(n *Node, buf, obuf []byte) (heapfile.RID, error) {
+	overflowRef := noOverflow
+	if len(n.Conn) > ConnInline {
+		rest := n.Conn[ConnInline:]
+		for start := ((len(rest) - 1) / OverflowFanout) * OverflowFanout; start >= 0; start -= OverflowFanout {
+			end := start + OverflowFanout
+			if end > len(rest) {
+				end = len(rest)
+			}
+			encodeOverflow(rest[start:end], overflowRef, obuf)
+			rid, err := s.over.Append(obuf)
+			if err != nil {
+				return 0, fmt.Errorf("dm: overflow append: %w", err)
+			}
+			overflowRef = int64(rid)
+		}
+	}
+	encodeRecord(n, overflowRef, buf[:RecordSize])
+	rid, err := s.heap.Append(buf[:RecordSize])
+	if err != nil {
+		return 0, fmt.Errorf("dm: heap append: %w", err)
+	}
+	return rid, nil
+}
+
+// appendConnect writes one variable-length record: the whole connection
+// list inline when it fits a page (the common case), otherwise the rest
+// spills to variable overflow records appended — tail-first — into the
+// SAME file immediately before the owner, so the chain shares the
+// owner's page (or the one just before it) and walking it costs no extra
+// disk accesses.
+func (s *Store) appendConnect(n *Node, buf, obuf []byte) (heapfile.RID, error) {
+	overflowRef := noOverflow
+	inline := connectInline(len(n.Conn))
+	if rest := n.Conn[inline:]; len(rest) > 0 {
+		for start := ((len(rest) - 1) / connectOverflowFanout) * connectOverflowFanout; start >= 0; start -= connectOverflowFanout {
+			end := start + connectOverflowFanout
+			if end > len(rest) {
+				end = len(rest)
+			}
+			obuf = encodeConnectOverflow(rest[start:end], overflowRef, obuf)
+			rid, err := s.vheap.Append(obuf)
+			if err != nil {
+				return 0, fmt.Errorf("dm: overflow append: %w", err)
+			}
+			overflowRef = int64(rid)
+		}
+	}
+	buf = encodeConnectRecord(n, overflowRef, buf)
+	rid, err := s.vheap.Append(buf)
+	if err != nil {
+		return 0, fmt.Errorf("dm: heap append: %w", err)
+	}
+	return rid, nil
+}
+
 // segmentOf returns the node's vertical segment in (x, y, e) space; the
 // root's infinite top is clamped to the dataset maximum.
 func segmentOf(n *pm.Node, maxE float64) geom.Box {
@@ -291,6 +402,29 @@ func segmentOf(n *pm.Node, maxE float64) geom.Box {
 
 // MaxE returns the dataset's maximum LOD value.
 func (s *Store) MaxE() float64 { return s.maxE }
+
+// Layout returns the store's physical record layout.
+func (s *Store) Layout() Layout { return s.layout }
+
+// NumNodes returns how many node records the store holds.
+func (s *Store) NumNodes() int64 { return s.idx.Len() }
+
+// DataPages returns how many data pages the node heap occupies —
+// the footprint the layouts trade against disk accesses.
+func (s *Store) DataPages() int64 {
+	if s.layout == LayoutConnect {
+		return s.vheap.DataPages()
+	}
+	perPage := int64(s.heap.PerPage())
+	return (s.heap.NumRecords() + perPage - 1) / perPage
+}
+
+// OverflowPages returns how many pages the separate overflow file uses
+// (always 0 for LayoutConnect, whose chains live among the node records).
+func (s *Store) OverflowPages() int64 {
+	perPage := int64((pager.PageSize - 2) / OverflowRecordSize)
+	return (s.over.NumRecords() + perPage - 1) / perPage
+}
 
 // DataSpace returns the (x, y, e) bounding box of the stored segments,
 // the normalization space for the cost model.
@@ -309,6 +443,13 @@ func (s *Store) CostModel() (*costmodel.Model, error) {
 		return nil, err
 	}
 	recsPerPage := float64((pager.PageSize - 2) / RecordSize)
+	if s.layout == LayoutConnect {
+		// Variable records have no static per-page count; use the realized
+		// density (node records over slotted data pages, overflow included).
+		if dp := s.vheap.DataPages(); dp > 0 {
+			recsPerPage = float64(s.idx.Len()) / float64(dp)
+		}
+	}
 	m.SetDataFactor(m.AvgLeafEntries() / recsPerPage)
 	m.SetSharedPool(true) // strips of one query share this store's pool
 	return m, nil
@@ -347,7 +488,10 @@ func (s *Store) pagers() []*pager.Pager {
 }
 
 // AccessBreakdown itemizes the disk accesses since the last ResetStats by
-// file: where a query's I/O actually went.
+// file: where a query's I/O actually went. LayoutConnect stores keep
+// their (rare) overflow chains inside the node heap, so their Overflow
+// count is always 0 and chain reads — virtually all buffer-pool hits —
+// fold into Data.
 type AccessBreakdown struct {
 	Data     uint64 // heap-file record pages
 	Overflow uint64 // connection-list overflow pages
@@ -365,11 +509,29 @@ func (s *Store) Breakdown() AccessBreakdown {
 	}
 }
 
+// recBufs carries the record and overflow read buffers one caller reuses
+// across fetches. Fixed layouts use them at their fixed sizes; the
+// connect layout's variable reads may grow them in place.
+type recBufs struct {
+	rec, over []byte
+}
+
+func newRecBufs() recBufs {
+	return recBufs{
+		rec:  make([]byte, RecordSize),
+		over: make([]byte, OverflowRecordSize),
+	}
+}
+
 // fetchRecord reads and fully decodes the record at rid, following the
 // overflow chain when the connection list spills. tr may be nil; the
 // parallel strip path passes nil explicitly because its workers share
 // the store view but a trace is single-goroutine.
-func (s *Store) fetchRecord(rid heapfile.RID, buf, obuf []byte, tr *obs.Trace) (Node, error) {
+func (s *Store) fetchRecord(rid heapfile.RID, bufs *recBufs, tr *obs.Trace) (Node, error) {
+	if s.layout == LayoutConnect {
+		return s.fetchConnectRecord(rid, bufs, tr)
+	}
+	buf := bufs.rec[:RecordSize]
 	if err := s.heap.Read(rid, buf); err != nil {
 		return Node{}, err
 	}
@@ -385,12 +547,59 @@ func (s *Store) fetchRecord(rid heapfile.RID, buf, obuf []byte, tr *obs.Trace) (
 			tr.End()
 			return Node{}, fmt.Errorf("dm: node %d overflow chain longer than %d records (corrupt cycle)", n.ID, maxSteps)
 		}
+		obuf := bufs.over[:OverflowRecordSize]
 		if err := s.over.Read(heapfile.RID(overflowRef), obuf); err != nil {
 			tr.End()
 			return Node{}, fmt.Errorf("dm: overflow chain: %w", err)
 		}
 		var ids []int64
 		ids, overflowRef = decodeOverflow(obuf)
+		n.Conn = append(n.Conn, ids...)
+		if overflowRef == noOverflow {
+			tr.End()
+		}
+	}
+	if len(n.Conn) != total {
+		return Node{}, fmt.Errorf("dm: node %d connection list has %d of %d IDs", n.ID, len(n.Conn), total)
+	}
+	return n, nil
+}
+
+// fetchConnectRecord is fetchRecord for the connect layout: one variable
+// record holds the whole list in the common case; spilled chains live on
+// the owner's own (or immediately preceding) pages, so the overflow span
+// below measures page reads the buffer pool almost always absorbs.
+func (s *Store) fetchConnectRecord(rid heapfile.RID, bufs *recBufs, tr *obs.Trace) (Node, error) {
+	rec, err := s.vheap.Read(rid, bufs.rec)
+	if err != nil {
+		return Node{}, err
+	}
+	bufs.rec = rec
+	if err := checkConnectRecord(rec); err != nil {
+		return Node{}, err
+	}
+	n, total, overflowRef := decodeRecordHeader(rec)
+	if overflowRef != noOverflow {
+		tr.Begin(obs.PhaseOverflow)
+	}
+	maxSteps := s.vheap.NumRecords() + 1
+	for steps := int64(0); overflowRef != noOverflow; steps++ {
+		if steps >= maxSteps {
+			tr.End()
+			return Node{}, fmt.Errorf("dm: node %d overflow chain longer than %d records (corrupt cycle)", n.ID, maxSteps)
+		}
+		ob, err := s.vheap.Read(heapfile.RID(overflowRef), bufs.over)
+		if err != nil {
+			tr.End()
+			return Node{}, fmt.Errorf("dm: overflow chain: %w", err)
+		}
+		bufs.over = ob
+		if len(ob) < 10 {
+			tr.End()
+			return Node{}, fmt.Errorf("dm: node %d: malformed %d-byte overflow record", n.ID, len(ob))
+		}
+		var ids []int64
+		ids, overflowRef = decodeOverflow(ob)
 		n.Conn = append(n.Conn, ids...)
 		if overflowRef == noOverflow {
 			tr.End()
@@ -411,10 +620,9 @@ func (s *Store) FetchByID(id int64) (Node, error) {
 	if err != nil {
 		return Node{}, fmt.Errorf("dm: node %d: %w", id, err)
 	}
-	buf := make([]byte, RecordSize)
-	obuf := make([]byte, OverflowRecordSize)
+	bufs := newRecBufs()
 	s.tr.Begin(obs.PhaseFetch)
-	n, err := s.fetchRecord(heapfile.RID(rid), buf, obuf, s.tr)
+	n, err := s.fetchRecord(heapfile.RID(rid), &bufs, s.tr)
 	s.tr.End()
 	return n, err
 }

@@ -34,14 +34,21 @@ type Bundle struct {
 	Model   *dmesh.CostModel
 }
 
-// BuildBundle generates a dataset and builds every store on it.
+// BuildBundle generates a dataset and builds every store on it, with the
+// DM store on its default layout.
 func BuildBundle(name string, size int, seed int64) (*Bundle, error) {
+	return BuildBundleLayout(name, size, seed, dmesh.LayoutSTR)
+}
+
+// BuildBundleLayout is BuildBundle with an explicit physical layout for
+// the DM store (the -layout flag of cmd/dmbench).
+func BuildBundleLayout(name string, size int, seed int64, layout dmesh.Layout) (*Bundle, error) {
 	t, err := dmesh.Build(dmesh.Config{Dataset: name, Size: size, Seed: seed})
 	if err != nil {
 		return nil, err
 	}
 	b := &Bundle{Name: name, Terrain: t}
-	if b.DM, err = t.NewDMStore(); err != nil {
+	if b.DM, err = t.NewDMStoreWithPools(dmesh.StorePools{Layout: layout}); err != nil {
 		return nil, fmt.Errorf("experiments: dm store: %w", err)
 	}
 	if b.Model, err = dmesh.NewCostModel(b.DM); err != nil {

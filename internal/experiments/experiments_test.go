@@ -3,6 +3,7 @@ package experiments
 import (
 	"testing"
 
+	"dmesh"
 	"dmesh/internal/workload"
 )
 
@@ -165,6 +166,34 @@ func TestCraterBundleSmoke(t *testing.T) {
 	}
 	if len(plane.Series) != 4 {
 		t.Fatalf("crater angle figure has %d series", len(plane.Series))
+	}
+}
+
+func TestCompareLayoutsRuns(t *testing.T) {
+	b := bundle(t, "highland")
+	cmp, err := b.CompareLayouts(cfg(), 0.16, 6, dmesh.LayoutConnect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Before.Layout != "str" || cmp.After.Layout != "connect" {
+		t.Fatalf("sides are %s/%s, want str/connect", cmp.Before.Layout, cmp.After.Layout)
+	}
+	if len(cmp.Before.Rows) != len(cmp.After.Rows) {
+		t.Fatalf("%d before rows vs %d after rows", len(cmp.Before.Rows), len(cmp.After.Rows))
+	}
+	if cmp.After.OverflowPages != 0 {
+		t.Errorf("connect side has %d overflow pages, want 0", cmp.After.OverflowPages)
+	}
+	// The tentpole property, at any scale: the connect layout's
+	// overflow_walk DA is (near) zero — co-allocated chains are read off
+	// already-fetched pages.
+	bTotal, bOv := cmp.Before.Totals()
+	aTotal, aOv := cmp.After.Totals()
+	if bTotal == 0 || aTotal == 0 {
+		t.Fatalf("empty comparison: %d vs %d total DA", bTotal, aTotal)
+	}
+	if bOv > 0 && aOv*10 > bOv {
+		t.Errorf("overflow_walk DA %d -> %d: expected at least a 10x reduction", bOv, aOv)
 	}
 }
 

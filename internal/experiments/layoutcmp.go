@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dmesh"
+	"dmesh/internal/workload"
+)
+
+// LayoutSide is one physical layout's half of a before/after comparison:
+// the store's page footprint plus the full per-phase DA decomposition of
+// the paper's query mix against it.
+type LayoutSide struct {
+	Layout        string
+	DataPages     int64
+	OverflowPages int64
+	Rows          []DABreakdownRow
+}
+
+// LayoutCompare is one dataset's before/after layout comparison — the
+// same workload, the same terrain, the same logical answers; only the
+// physical page placement differs.
+type LayoutCompare struct {
+	Dataset string
+	Before  LayoutSide
+	After   LayoutSide
+}
+
+// Totals sums a side's per-kind DA into (total, overflow-walk) —
+// the two numbers the connect layout is judged on.
+func (s *LayoutSide) Totals() (total, overflow uint64) {
+	for _, r := range s.Rows {
+		total += r.TotalDA
+		for _, ps := range r.Phases {
+			if ps.Name == "overflow_walk" {
+				overflow += ps.DA
+			}
+		}
+	}
+	return total, overflow
+}
+
+// CompareLayouts runs the DABreakdown query mix against the bundle's own
+// DM store and against a shadow store on the target layout, built from
+// the same dataset. The shadow bundle shares the terrain and baselines
+// but carries its own DM store and cost model — plans legitimately
+// differ between layouts (each R*-tree calibrates its own model); the
+// figure compares what each layout pays for the same workload, which is
+// exactly what an operator choosing a layout sees.
+func (b *Bundle) CompareLayouts(cfg workload.Config, roiFrac float64, frames int, target dmesh.Layout) (*LayoutCompare, error) {
+	before, err := b.layoutSide(cfg, roiFrac, frames)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: layout compare (%s): %w", b.DM.Layout(), err)
+	}
+	shadow := &Bundle{Name: b.Name, Terrain: b.Terrain, PM: b.PM, HDoV: b.HDoV}
+	if shadow.DM, err = b.Terrain.NewDMStoreWithPools(dmesh.StorePools{Layout: target}); err != nil {
+		return nil, fmt.Errorf("experiments: layout compare: shadow store: %w", err)
+	}
+	if shadow.Model, err = dmesh.NewCostModel(shadow.DM); err != nil {
+		return nil, fmt.Errorf("experiments: layout compare: shadow model: %w", err)
+	}
+	after, err := shadow.layoutSide(cfg, roiFrac, frames)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: layout compare (%s): %w", target, err)
+	}
+	return &LayoutCompare{Dataset: b.Name, Before: before, After: after}, nil
+}
+
+func (b *Bundle) layoutSide(cfg workload.Config, roiFrac float64, frames int) (LayoutSide, error) {
+	rows, err := b.DABreakdown(cfg, roiFrac, frames)
+	if err != nil {
+		return LayoutSide{}, err
+	}
+	return LayoutSide{
+		Layout:        b.DM.Layout().String(),
+		DataPages:     b.DM.DataPages(),
+		OverflowPages: b.DM.OverflowPages(),
+		Rows:          rows,
+	}, nil
+}
