@@ -5,7 +5,7 @@
 // Usage:
 //
 //	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn|throughput|flyover|tilecache|faults|dabreakdown|layoutcmp]
-//	        [-size N] [-size2 N] [-seed S] [-locations L] [-layout str|hilbert|rowmajor|connect]
+//	        [-size N] [-size2 N] [-seed S] [-locations L] [-layout str|hilbert|rowmajor|connect|packed]
 //	        [-cpuprofile F] [-memprofile F]
 //
 // -fig throughput is not a paper figure: it measures concurrent query
@@ -39,6 +39,10 @@
 // side per phase and written to results/BENCH_layout.json. The headline
 // number is the overflow_walk column: the connect layout co-allocates
 // overflow chains with their owners, so those reads become cache hits.
+// The same run then sweeps every layout — the fixed encodings, connect,
+// and the compressed packed encoding — and writes the footprint/density/
+// DA table to results/BENCH_compression.json; its headline is the packed
+// layout's data-heap DA and records-per-page against connect.
 //
 // -layout selects the DM store's physical record layout for every
 // figure; layoutcmp uses it as the "before" side.
@@ -82,7 +86,7 @@ func main() {
 func mainErr() error {
 	var (
 		fig       = flag.String("fig", "all", "figure to reproduce (6a..6d, 8a..8f, conn, throughput, flyover, tilecache, faults, dabreakdown, layoutcmp, all)")
-		layoutF   = flag.String("layout", "str", "physical DM-store layout: str, hilbert, rowmajor, or connect")
+		layoutF   = flag.String("layout", "str", "physical DM-store layout: str, hilbert, rowmajor, connect, or packed")
 		size      = flag.Int("size", 257, "grid side of the highland dataset (the paper's 2M-point terrain)")
 		size2     = flag.Int("size2", 513, "grid side of the crater dataset (the paper's 17M-point terrain)")
 		seed      = flag.Int64("seed", 1, "generation seed")
@@ -301,7 +305,10 @@ func runners() []figureRunner {
 		}},
 		{"layoutcmp", func(e *benchEnv) error {
 			fracs := map[string]float64{"highland": 0.10, "crater": 0.05}
+			all := []dmesh.Layout{dmesh.LayoutSTR, dmesh.LayoutHilbert,
+				dmesh.LayoutRowMajor, dmesh.LayoutConnect, dmesh.LayoutPacked}
 			var cmps []*experiments.LayoutCompare
+			var sweeps []*experiments.LayoutSweep
 			for _, name := range []string{"highland", "crater"} {
 				b, err := e.bundle(name)
 				if err != nil {
@@ -315,8 +322,19 @@ func runners() []figureRunner {
 					return err
 				}
 				cmps = append(cmps, cmp)
+				sweep, err := b.SweepLayouts(e.cfg, fracs[name], 24, all)
+				if err != nil {
+					return fmt.Errorf("layoutcmp: %w", err)
+				}
+				if err := printLayoutSweep(sweep, fracs[name]); err != nil {
+					return err
+				}
+				sweeps = append(sweeps, sweep)
 			}
-			return writeLayoutJSON("results/BENCH_layout.json", e, cmps)
+			if err := writeLayoutJSON("results/BENCH_layout.json", e, cmps); err != nil {
+				return err
+			}
+			return writeCompressionJSON("results/BENCH_compression.json", e, sweeps)
 		}},
 	}
 }
@@ -611,6 +629,59 @@ func writeLayoutJSON(path string, e *benchEnv, cmps []*experiments.LayoutCompare
 	}{
 		Sizes: [2]int{e.size, e.size2}, Seed: e.seed,
 		Locations: e.cfg.Locations, Datasets: cmps,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}
+
+// printLayoutSweep prints the all-layouts compression table: footprint,
+// realized density, and the workload's data-heap and total DA per
+// layout, with the packed-vs-connect headline underneath.
+func printLayoutSweep(s *experiments.LayoutSweep, roiFrac float64) error {
+	fmt.Printf("\nLayout sweep (%s, ROI %.0f%%, DA per workload):\n", s.Dataset, roiFrac*100)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "layout\trecords\tdata pages\toverflow pages\trec/page\tdata DA\ttotal DA\n")
+	for i := range s.Sides {
+		side := &s.Sides[i]
+		total, _ := side.Totals()
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\t%d\t%d\n",
+			side.Layout, side.NumRecords, side.DataPages, side.OverflowPages,
+			side.RecordsPerPage(), side.DataDA(), total)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	connect, packed := s.Side("connect"), s.Side("packed")
+	if connect != nil && packed != nil && connect.DataDA() > 0 && connect.RecordsPerPage() > 0 {
+		fmt.Printf("  packed vs connect: %.2fx records/page, data-heap DA %d -> %d (%.1f%% reduction)\n",
+			packed.RecordsPerPage()/connect.RecordsPerPage(),
+			connect.DataDA(), packed.DataDA(),
+			100*(1-float64(packed.DataDA())/float64(connect.DataDA())))
+	}
+	return nil
+}
+
+// writeCompressionJSON persists the all-layouts sweep for the repo's
+// packcheck tooling and the EXPERIMENTS.md compression table.
+func writeCompressionJSON(path string, e *benchEnv, sweeps []*experiments.LayoutSweep) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	doc := struct {
+		Sizes     [2]int                     `json:"sizes"`
+		Seed      int64                      `json:"seed"`
+		Locations int                        `json:"locations"`
+		Datasets  []*experiments.LayoutSweep `json:"datasets"`
+	}{
+		Sizes: [2]int{e.size, e.size2}, Seed: e.seed,
+		Locations: e.cfg.Locations, Datasets: sweeps,
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

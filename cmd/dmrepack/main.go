@@ -24,7 +24,7 @@ func main() {
 	var (
 		src     = flag.String("src", "", "source store directory (required)")
 		out     = flag.String("out", "", "output directory for the repacked store (required)")
-		layoutF = flag.String("layout", "connect", "target layout: str, hilbert, rowmajor, or connect")
+		layoutF = flag.String("layout", "connect", "target layout: str, hilbert, rowmajor, connect, or packed")
 	)
 	flag.Parse()
 	if *src == "" || *out == "" {

@@ -298,16 +298,18 @@ type Layout = dm.Layout
 
 // Physical record layouts (see dm.Layout). LayoutConnect is the
 // connectivity-clustered layout that co-locates connection-list
-// neighbors and their overflow chains.
+// neighbors and their overflow chains; LayoutPacked adds the compressed
+// delta-varint record encoding on the same placement.
 const (
 	LayoutSTR      = dm.LayoutSTR
 	LayoutHilbert  = dm.LayoutHilbert
 	LayoutRowMajor = dm.LayoutRowMajor
 	LayoutConnect  = dm.LayoutConnect
+	LayoutPacked   = dm.LayoutPacked
 )
 
 // ParseLayout parses a layout flag value ("str", "hilbert", "rowmajor",
-// "connect").
+// "connect", "packed").
 func ParseLayout(name string) (Layout, error) { return dm.ParseLayout(name) }
 
 // RepackDMStore rewrites an open store into dir under the layout (and

@@ -70,7 +70,7 @@ func TestRecordRoundTrip(t *testing.T) {
 			continue // overflow covered by the store tests
 		}
 		encodeRecord(&n, noOverflow, buf)
-		got, total, ref := decodeRecordHeader(buf)
+		got, total, ref := decodeRecordHeader(buf, nil)
 		if total != len(n.Conn) || ref != noOverflow {
 			t.Fatalf("round trip header mismatch for node %d", i)
 		}
@@ -140,12 +140,14 @@ func TestViewpointIndependentExactAgainstReplay(t *testing.T) {
 			stores = append(stores, s)
 			labels = append(labels, l.String())
 		}
-		rp, err := RepackOnBackends(stores[0], StorePools{Layout: LayoutConnect}, memBackends())
-		if err != nil {
-			t.Fatal(err)
+		for _, target := range []Layout{LayoutConnect, LayoutPacked} {
+			rp, err := RepackOnBackends(stores[0], StorePools{Layout: target}, memBackends())
+			if err != nil {
+				t.Fatal(err)
+			}
+			stores = append(stores, rp)
+			labels = append(labels, "repacked-"+target.String())
 		}
-		stores = append(stores, rp)
-		labels = append(labels, "repacked-connect")
 		for si, s := range stores {
 			name := name + "/" + labels[si]
 			checkExactAgainstReplay(t, name, ds, seq, s)

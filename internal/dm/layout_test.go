@@ -7,7 +7,7 @@ import (
 )
 
 // allLayouts is every physical layout, fixed encodings first.
-var allLayouts = []Layout{LayoutSTR, LayoutHilbert, LayoutRowMajor, LayoutConnect}
+var allLayouts = []Layout{LayoutSTR, LayoutHilbert, LayoutRowMajor, LayoutConnect, LayoutPacked}
 
 // inflateConn returns a copy of ds whose connection lists include
 // synthetic high-valence fixtures of the given lengths, spread across
@@ -34,8 +34,11 @@ func inflateConn(ds *Dataset, lengths ...int) *Dataset {
 
 // overflowLengths covers every encoding regime: just past the fixed
 // inline capacity (12), a multi-record fixed chain, past the connect
-// layout's inline page capacity (498), and a multi-record connect chain.
-var overflowLengths = []int{ConnInline + 1, 5 * OverflowFanout, ConnectInlineMax + 10, 2*connectOverflowFanout + 200}
+// layout's inline page capacity (498), a multi-record connect chain, and
+// a list long enough that even the packed encoding's 1-2 byte deltas
+// overrun a slotted page and spill (the fixture's padding IDs are
+// consecutive, so ~4088 packed bytes need >4000 entries).
+var overflowLengths = []int{ConnInline + 1, 5 * OverflowFanout, ConnectInlineMax + 10, 2*connectOverflowFanout + 200, 4500}
 
 // TestLayoutsProduceIdenticalResults verifies that the physical record
 // order (STR, Hilbert, row-major, connect) changes cost but never

@@ -1,0 +1,397 @@
+package dm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"dmesh/internal/geom"
+	"dmesh/internal/pm"
+	"dmesh/internal/storage/heapfile"
+)
+
+// Packed record encoding (LayoutPacked, store format v4): the same node
+// tuple as the fixed and variable encodings, entropy-coded so that pages
+// hold 2-4x more records — fewer data-page reads for every query, the
+// paper's own cost metric. The encoding is exact: a decoded Node is
+// byte-for-byte equal (IEEE bit patterns included) to what the other
+// encodings produce, which the reconstruction anchor
+// (TestViewpointIndependentExactAgainstReplay) depends on.
+//
+// Wire format, in order:
+//
+//	uvarint   node ID
+//	uint16    field-presence bitmap (little-endian; see pk* bits)
+//	[int64    overflow chain head, only when pkOverflow is set]
+//	floats    X, Y, Z, ELow, EHigh — each either omitted (pkELowZero /
+//	          pkEHighInf), a zigzag-varint dyadic grid index (pk*Dyadic),
+//	          or 8 raw little-endian IEEE-754 bits
+//	refs      Parent, Child1, Child2, Wing1, Wing2 — zigzag varint of
+//	          (ref - ID) when the matching presence bit is set, omitted
+//	          (meaning pm.None) otherwise
+//	uvarint   total connection count
+//	deltas    inline connection IDs: zigzag varint of conn[0]-ID, then
+//	          conn[i]-conn[i-1] (lists are sorted, so deltas are small);
+//	          the inline run ends at the record's physical end, IDs
+//	          beyond it live in the (raw) overflow chain
+//
+// Escape rules: pm.None (-1) topology references are never delta-coded —
+// their presence bit is simply clear. ELow +0.0 (the majority: every
+// leaf) and EHigh +Inf (every root) cost 0 bytes. A float is dyadic when
+// value*2^12 is an integer whose round-trip through float64 restores the
+// exact bit pattern — true for the grid coordinates i/2^k and their
+// collapse midpoints, never true for NaN (any payload), infinities, or
+// -0.0, which all take the raw 8-byte path.
+const (
+	pkParent = 1 << iota
+	pkChild1
+	pkChild2
+	pkWing1
+	pkWing2
+	pkXDyadic
+	pkYDyadic
+	pkZDyadic
+	pkELowZero
+	pkELowDyadic
+	pkEHighInf
+	pkEHighDyadic
+	pkOverflow
+	// pkReserved bits must be zero; a set bit marks a corrupt record.
+	pkReserved = 0xE000
+)
+
+// dyadicShift scales the dyadic fast path: v is storable as an integer
+// grid index when v*2^12 round-trips exactly. 2^12 captures the terrain
+// grids (i/2^k for sizes 2^k+1) and several collapse-midpoint levels
+// while keeping indices of unit-square coordinates at 2-byte varints.
+const (
+	dyadicShift = 12
+	dyadicScale = float64(int64(1) << dyadicShift)
+	// dyadicMaxM bounds the stored index so its varint never exceeds 6
+	// bytes (beyond that raw 8-byte floats are as small and simpler).
+	dyadicMaxM = int64(1) << 41
+)
+
+// maxPackedConn is the sanity bound on a packed record's connection
+// count: far above any real valence (the paper's average total list is
+// 840 at 17M points), far below anything that could wedge a decoder fed
+// a corrupt count.
+const maxPackedConn = 1 << 32
+
+// ErrCorrupt marks a packed record (or its overflow chain) whose bytes
+// cannot be a valid encoding. Decoders return it — wrapped with
+// position detail — instead of panicking, matching the bounded-descent
+// discipline of the rtree/btree corruption handling.
+var ErrCorrupt = errors.New("dm: corrupt record")
+
+// zigzag maps signed values to unsigned so small magnitudes of either
+// sign take short varints.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// uvarintLen returns how many bytes binary.AppendUvarint emits for v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// dyadicIndex reports whether v is exactly representable as a dyadic
+// grid index m = v*2^dyadicShift: m must be integral, in range, and
+// float64(m)/2^dyadicShift must restore v's exact bit pattern (which
+// excludes NaNs, infinities, and -0.0 by construction).
+func dyadicIndex(v float64) (int64, bool) {
+	m := v * dyadicScale
+	if m != math.Trunc(m) || m > float64(dyadicMaxM) || m < -float64(dyadicMaxM) {
+		return 0, false
+	}
+	k := int64(m)
+	if math.Float64bits(float64(k)/dyadicScale) != math.Float64bits(v) {
+		return 0, false
+	}
+	return k, true
+}
+
+// packedFlags computes the record's presence bitmap and, alongside it,
+// the dyadic indices of the float fields that have one. Encoding and
+// length computation share it so they can never disagree.
+func packedFlags(n *Node, overflow bool) (flags uint16, dy [5]int64) {
+	refs := [5]int64{n.Parent, n.Child1, n.Child2, n.Wing1, n.Wing2}
+	for i, r := range refs {
+		if r != pm.None {
+			flags |= 1 << i
+		}
+	}
+	vals := [5]float64{n.Pos.X, n.Pos.Y, n.Pos.Z, n.ELow, n.EHigh}
+	dyBits := [5]uint16{pkXDyadic, pkYDyadic, pkZDyadic, pkELowDyadic, pkEHighDyadic}
+	for i, v := range vals {
+		if i == 3 && math.Float64bits(v) == 0 {
+			flags |= pkELowZero
+			continue
+		}
+		if i == 4 && math.Float64bits(v) == math.Float64bits(math.Inf(1)) {
+			flags |= pkEHighInf
+			continue
+		}
+		if m, ok := dyadicIndex(v); ok {
+			flags |= dyBits[i]
+			dy[i] = m
+		}
+	}
+	if overflow {
+		flags |= pkOverflow
+	}
+	return flags, dy
+}
+
+// packedRecordLen returns the encoded byte length of n's record with the
+// given inline connection prefix, without materializing it. It mirrors
+// encodePackedRecord exactly; the page-fill simulation of the packing
+// pass and the spill split both rely on that.
+func packedRecordLen(n *Node, inline int, overflow bool) int {
+	flags, dy := packedFlags(n, overflow)
+	size := uvarintLen(uint64(n.ID)) + 2
+	if overflow {
+		size += 8
+	}
+	dyBits := [5]uint16{pkXDyadic, pkYDyadic, pkZDyadic, pkELowDyadic, pkEHighDyadic}
+	for i, bit := range dyBits {
+		switch {
+		case i == 3 && flags&pkELowZero != 0, i == 4 && flags&pkEHighInf != 0:
+		case flags&bit != 0:
+			size += uvarintLen(zigzag(dy[i]))
+		default:
+			size += 8
+		}
+	}
+	refs := [5]int64{n.Parent, n.Child1, n.Child2, n.Wing1, n.Wing2}
+	for i, r := range refs {
+		if flags&(1<<i) != 0 {
+			size += uvarintLen(zigzag(r - n.ID))
+		}
+	}
+	size += uvarintLen(uint64(len(n.Conn)))
+	prev := n.ID
+	for _, c := range n.Conn[:inline] {
+		size += uvarintLen(zigzag(c - prev))
+		prev = c
+	}
+	return size
+}
+
+// packedSplit returns how many connection IDs the packed record stores
+// inline: the whole list when the record fits a slotted page (the
+// overwhelmingly common case — packed lists cost 1-2 bytes per ID), else
+// the longest prefix that fits once the 8-byte overflow head is added.
+func packedSplit(n *Node) int {
+	if packedRecordLen(n, len(n.Conn), false) <= heapfile.MaxVarRecord {
+		return len(n.Conn)
+	}
+	size := packedRecordLen(n, 0, true)
+	inline := 0
+	prev := n.ID
+	for _, c := range n.Conn {
+		l := uvarintLen(zigzag(c - prev))
+		if size+l > heapfile.MaxVarRecord {
+			break
+		}
+		size += l
+		prev = c
+		inline++
+	}
+	return inline
+}
+
+// encodePackedRecord appends n's compressed record to buf[:0] with the
+// first inline connection IDs stored in place and overflowRef chaining
+// the rest (noOverflow when the list is wholly inline).
+func encodePackedRecord(n *Node, overflowRef int64, inline int, buf []byte) []byte {
+	buf = buf[:0]
+	buf = binary.AppendUvarint(buf, uint64(n.ID))
+	flags, dy := packedFlags(n, overflowRef != noOverflow)
+	bitmapOff := len(buf)
+	buf = append(buf, 0, 0)
+	binary.LittleEndian.PutUint16(buf[bitmapOff:], flags)
+	if overflowRef != noOverflow {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(overflowRef))
+	}
+	vals := [5]float64{n.Pos.X, n.Pos.Y, n.Pos.Z, n.ELow, n.EHigh}
+	dyBits := [5]uint16{pkXDyadic, pkYDyadic, pkZDyadic, pkELowDyadic, pkEHighDyadic}
+	for i, v := range vals {
+		switch {
+		case i == 3 && flags&pkELowZero != 0, i == 4 && flags&pkEHighInf != 0:
+		case flags&dyBits[i] != 0:
+			buf = binary.AppendUvarint(buf, zigzag(dy[i]))
+		default:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	refs := [5]int64{n.Parent, n.Child1, n.Child2, n.Wing1, n.Wing2}
+	for i, r := range refs {
+		if flags&(1<<i) != 0 {
+			buf = binary.AppendUvarint(buf, zigzag(r-n.ID))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(n.Conn)))
+	prev := n.ID
+	for _, c := range n.Conn[:inline] {
+		buf = binary.AppendUvarint(buf, zigzag(c-prev))
+		prev = c
+	}
+	return buf
+}
+
+// decodePackedRecord decodes one packed record: the node with the inline
+// portion of its connection list, the total connection count, and the
+// overflow chain head (noOverflow when wholly inline). Malformed bytes
+// surface as errors wrapping ErrCorrupt, never panics, and never
+// unbounded allocations — the Conn capacity is bounded by the record's
+// own physical length. arena may be nil.
+func decodePackedRecord(buf []byte, arena *connArena) (n Node, connTotal int, overflowRef int64, err error) {
+	off := 0
+	fail := func(what string) error {
+		return fmt.Errorf("dm: packed record: %s at offset %d: %w", what, off, ErrCorrupt)
+	}
+	readUvarint := func() (uint64, bool) {
+		v, k := binary.Uvarint(buf[off:])
+		if k <= 0 {
+			return 0, false
+		}
+		off += k
+		return v, true
+	}
+	readRaw := func() (uint64, bool) {
+		if off+8 > len(buf) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		return v, true
+	}
+
+	id, ok := readUvarint()
+	if !ok || id > math.MaxInt64 {
+		return Node{}, 0, 0, fail("node ID")
+	}
+	n.ID = int64(id)
+	if off+2 > len(buf) {
+		return Node{}, 0, 0, fail("bitmap")
+	}
+	flags := binary.LittleEndian.Uint16(buf[off:])
+	off += 2
+	if flags&pkReserved != 0 ||
+		flags&(pkELowZero|pkELowDyadic) == pkELowZero|pkELowDyadic ||
+		flags&(pkEHighInf|pkEHighDyadic) == pkEHighInf|pkEHighDyadic {
+		return Node{}, 0, 0, fail("bitmap bits")
+	}
+	overflowRef = noOverflow
+	if flags&pkOverflow != 0 {
+		u, ok := readRaw()
+		if !ok {
+			return Node{}, 0, 0, fail("overflow head")
+		}
+		overflowRef = int64(u)
+	}
+
+	var vals [5]float64
+	dyBits := [5]uint16{pkXDyadic, pkYDyadic, pkZDyadic, pkELowDyadic, pkEHighDyadic}
+	for i := range vals {
+		switch {
+		case i == 3 && flags&pkELowZero != 0:
+			vals[i] = 0
+		case i == 4 && flags&pkEHighInf != 0:
+			vals[i] = math.Inf(1)
+		case flags&dyBits[i] != 0:
+			u, ok := readUvarint()
+			if !ok {
+				return Node{}, 0, 0, fail("dyadic float")
+			}
+			vals[i] = float64(unzigzag(u)) / dyadicScale
+		default:
+			u, ok := readRaw()
+			if !ok {
+				return Node{}, 0, 0, fail("raw float")
+			}
+			vals[i] = math.Float64frombits(u)
+		}
+	}
+	n.Pos = geom.Point3{X: vals[0], Y: vals[1], Z: vals[2]}
+	n.ELow, n.EHigh = vals[3], vals[4]
+
+	refs := [5]int64{pm.None, pm.None, pm.None, pm.None, pm.None}
+	for i := range refs {
+		if flags&(1<<i) != 0 {
+			u, ok := readUvarint()
+			if !ok {
+				return Node{}, 0, 0, fail("topology ref")
+			}
+			refs[i] = n.ID + unzigzag(u)
+		}
+	}
+	n.Parent, n.Child1, n.Child2 = refs[0], refs[1], refs[2]
+	n.Wing1, n.Wing2 = refs[3], refs[4]
+
+	total, ok := readUvarint()
+	if !ok || total > maxPackedConn {
+		return Node{}, 0, 0, fail("connection count")
+	}
+	connTotal = int(total)
+	// Inline deltas run to the record's physical end. Capacity is exact
+	// for wholly-inline lists (each delta costs at least one byte, so the
+	// remaining bytes bound the entries) and spilled lists grow out of
+	// the arena chunk during the chain walk — the rare case pays one
+	// reallocation instead of every record paying a per-fetch make.
+	capacity := connTotal
+	if rem := len(buf) - off; capacity > rem {
+		capacity = rem
+	}
+	n.Conn = arena.alloc(capacity)
+	prev := n.ID
+	for off < len(buf) {
+		u, ok := readUvarint()
+		if !ok {
+			return Node{}, 0, 0, fail("connection delta")
+		}
+		prev += unzigzag(u)
+		n.Conn = append(n.Conn, prev)
+	}
+	if len(n.Conn) > connTotal {
+		return Node{}, 0, 0, fail("more inline IDs than count")
+	}
+	if overflowRef == noOverflow && len(n.Conn) != connTotal {
+		return Node{}, 0, 0, fail("truncated inline connection list")
+	}
+	return n, connTotal, overflowRef, nil
+}
+
+// connArena batch-allocates the Conn slices decoded nodes retain: the
+// assembly maps hold fetched nodes for the life of one query, so their
+// list allocations are batched into chunks instead of one make per
+// record. The arena never recycles memory — each alloc hands out a
+// fresh, capacity-clamped window, so a slice stays valid as long as its
+// node does (coherent sessions retain nodes across frames) and appends
+// past the window reallocate instead of clobbering a neighbor.
+type connArena struct {
+	free []int64
+}
+
+// connArenaChunk is the chunk size in IDs (32 KiB); lists longer than a
+// quarter of it are allocated directly to keep chunk waste bounded.
+const connArenaChunk = 4096
+
+func (a *connArena) alloc(c int) []int64 {
+	if a == nil || c > connArenaChunk/4 {
+		return make([]int64, 0, c)
+	}
+	if len(a.free) < c {
+		a.free = make([]int64, connArenaChunk)
+	}
+	out := a.free[0:0:c]
+	a.free = a.free[c:]
+	return out
+}

@@ -1,0 +1,357 @@
+package dm
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dmesh/internal/geom"
+	"dmesh/internal/pm"
+)
+
+// packedFixtures covers the encoding's whole value space: every float
+// escape (dyadic, +0 ELow, +Inf EHigh, raw), adversarial IEEE bit
+// patterns (NaN payloads, -0.0, denormals, extremes), every topology-ref
+// shape (all None, mixed, far deltas), and connection lists from empty
+// to max valence with negative first deltas.
+func packedFixtures() []Node {
+	nan1 := math.Float64frombits(0x7ff8dead_beef0001) // NaN, custom payload
+	nan2 := math.Float64frombits(0xfff00000_00000001) // negative signaling-style NaN
+	mk := func(id int64, x, y, z, elo, ehi float64, refs [5]int64, conn []int64) Node {
+		return Node{Node: pm.Node{ID: id, Pos: geom.Point3{X: x, Y: y, Z: z},
+			ELow: elo, EHigh: ehi, Parent: refs[0], Child1: refs[1], Child2: refs[2],
+			Wing1: refs[3], Wing2: refs[4]}, Conn: conn}
+	}
+	none := [5]int64{pm.None, pm.None, pm.None, pm.None, pm.None}
+	longConn := make([]int64, 3000)
+	for i := range longConn {
+		longConn[i] = int64(100 + i)
+	}
+	return []Node{
+		// A typical leaf: dyadic grid coordinates, ELow +0, near refs.
+		mk(7, 0.5, 0.25, 3.0/4096, 0, 0.125, [5]int64{9, pm.None, pm.None, 5, 11}, []int64{3, 5, 9, 11}),
+		// A root: EHigh +Inf, children, no parent.
+		mk(100, 0.5, 0.5, 1, 0.25, math.Inf(1), [5]int64{pm.None, 40, 60, pm.None, pm.None}, []int64{98, 99, 101}),
+		// NaN payloads and -0.0 must take the raw path bit-for-bit.
+		mk(1, nan1, math.Copysign(0, -1), nan2, math.Copysign(0, -1), nan1, none, nil),
+		// Denormals, extremes, and -Inf.
+		mk(2, math.SmallestNonzeroFloat64, -math.MaxFloat64, math.Inf(-1),
+			math.SmallestNonzeroFloat64, math.Inf(-1), none, []int64{2}),
+		// Non-dyadic irrationals alongside dyadic negatives.
+		mk(3, 0.1, -3.75, math.Pi, 1e-9, 2.5, [5]int64{0, 1, 2, pm.None, 4}, []int64{0, 1, 2, 3}),
+		// Huge ID with a connection list entirely below it (negative first
+		// delta) and refs far away in both directions.
+		mk(1<<40, 0.5, 0.5, 0.5, 0, math.Inf(1),
+			[5]int64{0, 1 << 41, pm.None, 3, pm.None}, []int64{-5, 0, 3, 1 << 39}),
+		// ID 0, empty everything.
+		mk(0, 0, 0, 0, 0, math.Inf(1), none, nil),
+		// ELow exactly -0.0: must NOT take the pkELowZero escape (which
+		// restores +0.0) — the raw path preserves the sign bit.
+		mk(12, 1, 1, 1, math.Copysign(0, -1), 1, none, []int64{10, 11, 13}),
+		// Dyadic boundary: the largest index that still round-trips, and
+		// one past it (falls back to raw).
+		mk(13, float64(int64(1)<<41)/4096, float64(int64(1)<<41+4096)/4096, -float64(int64(1)<<41)/4096,
+			0, math.Inf(1), none, nil),
+		// Max valence with dense deltas.
+		mk(50, 0.5, 0.5, 0.5, 0.25, 0.5, [5]int64{49, 51, 52, pm.None, 48}, longConn),
+	}
+}
+
+func requireNodeBitsEqual(t *testing.T, ctx string, want, got *Node) {
+	t.Helper()
+	fb := math.Float64bits
+	if got.ID != want.ID ||
+		fb(got.Pos.X) != fb(want.Pos.X) || fb(got.Pos.Y) != fb(want.Pos.Y) ||
+		fb(got.Pos.Z) != fb(want.Pos.Z) ||
+		fb(got.ELow) != fb(want.ELow) || fb(got.EHigh) != fb(want.EHigh) ||
+		got.Parent != want.Parent || got.Child1 != want.Child1 || got.Child2 != want.Child2 ||
+		got.Wing1 != want.Wing1 || got.Wing2 != want.Wing2 {
+		t.Fatalf("%s: decoded node differs\nwant %+v\ngot  %+v", ctx, want.Node, got.Node)
+	}
+	if len(got.Conn) != len(want.Conn) {
+		t.Fatalf("%s: %d conn IDs, want %d", ctx, len(got.Conn), len(want.Conn))
+	}
+	for i := range want.Conn {
+		if got.Conn[i] != want.Conn[i] {
+			t.Fatalf("%s: conn[%d] = %d, want %d", ctx, i, got.Conn[i], want.Conn[i])
+		}
+	}
+}
+
+// TestPackedRecordRoundTripBitExact is the codec's correctness property:
+// decode(encode(n)) restores every field with the exact IEEE-754 bit
+// pattern — NaN payloads, signed zeros, infinities, and denormals
+// included — for lists from empty to max valence.
+func TestPackedRecordRoundTripBitExact(t *testing.T) {
+	var buf []byte
+	for fi, n := range packedFixtures() {
+		buf = encodePackedRecord(&n, noOverflow, len(n.Conn), buf)
+		if want := packedRecordLen(&n, len(n.Conn), false); len(buf) != want {
+			t.Fatalf("fixture %d: encoded %d bytes, packedRecordLen says %d", fi, len(buf), want)
+		}
+		got, total, ref, err := decodePackedRecord(buf, nil)
+		if err != nil {
+			t.Fatalf("fixture %d: %v", fi, err)
+		}
+		if total != len(n.Conn) || ref != noOverflow {
+			t.Fatalf("fixture %d: total %d ref %d, want %d %d", fi, total, ref, len(n.Conn), noOverflow)
+		}
+		requireNodeBitsEqual(t, "fixture", &n, &got)
+	}
+}
+
+// TestPackedRecordSpillRoundTrip exercises the overflow split: a record
+// encoded with a partial inline prefix decodes to exactly that prefix
+// plus the chain head, and packedSplit never overruns a page.
+func TestPackedRecordSpillRoundTrip(t *testing.T) {
+	var buf []byte
+	for fi, n := range packedFixtures() {
+		for _, inline := range []int{0, len(n.Conn) / 2} {
+			if inline >= len(n.Conn) {
+				continue
+			}
+			buf = encodePackedRecord(&n, 4242, inline, buf)
+			if want := packedRecordLen(&n, inline, true); len(buf) != want {
+				t.Fatalf("fixture %d/%d: encoded %d bytes, want %d", fi, inline, len(buf), want)
+			}
+			got, total, ref, err := decodePackedRecord(buf, nil)
+			if err != nil {
+				t.Fatalf("fixture %d/%d: %v", fi, inline, err)
+			}
+			if total != len(n.Conn) || ref != 4242 {
+				t.Fatalf("fixture %d/%d: total %d ref %d", fi, inline, total, ref)
+			}
+			if len(got.Conn) != inline {
+				t.Fatalf("fixture %d/%d: %d inline IDs decoded", fi, inline, len(got.Conn))
+			}
+			for i := 0; i < inline; i++ {
+				if got.Conn[i] != n.Conn[i] {
+					t.Fatalf("fixture %d/%d: conn[%d] = %d, want %d", fi, inline, i, got.Conn[i], n.Conn[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDyadicIndexExcludesNonExact: the fast path must reject every value
+// whose round trip would not be bit-identical.
+func TestDyadicIndexExcludesNonExact(t *testing.T) {
+	bad := []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1),
+		0.1, math.Pi, math.SmallestNonzeroFloat64, math.MaxFloat64,
+		float64(int64(1)<<41+4096) / 4096, 1.0 / 8192}
+	for _, v := range bad {
+		if m, ok := dyadicIndex(v); ok {
+			t.Fatalf("dyadicIndex(%g) = %d, want rejection", v, m)
+		}
+	}
+	good := map[float64]int64{0: 0, 0.5: 2048, -0.25: -1024, 1: 4096,
+		3.0 / 4096: 3, float64(int64(1)<<41) / 4096: 1 << 41}
+	for v, want := range good {
+		m, ok := dyadicIndex(v)
+		if !ok || m != want {
+			t.Fatalf("dyadicIndex(%g) = %d,%v, want %d,true", v, m, ok, want)
+		}
+	}
+}
+
+// TestPackedDensity is the tentpole's quantitative claim: packed pages
+// hold at least 1.7x more records than the plain variable encoding on a
+// real dataset (the acceptance floor; the measured ratio is >2x).
+func TestPackedDensity(t *testing.T) {
+	ds := buildDatasetOnly(t, 33, "highland")
+	density := func(l Layout) float64 {
+		s, err := BuildStore(ds, StorePools{Layout: l})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(s.NumNodes()) / float64(s.DataPages())
+	}
+	connect, packed := density(LayoutConnect), density(LayoutPacked)
+	t.Logf("records/page: connect %.1f, packed %.1f (%.2fx)", connect, packed, packed/connect)
+	if packed < 1.7*connect {
+		t.Fatalf("packed density %.1f rec/page < 1.7x connect %.1f", packed, connect)
+	}
+}
+
+// TestPackedOverflowCoLocated mirrors the connect-layout property for
+// the packed encoding: spilled chains stay inside the node heap, and a
+// cold full-LOD query never touches the overflow file.
+func TestPackedOverflowCoLocated(t *testing.T) {
+	ds := inflateConn(buildDatasetOnly(t, 9, "highland"), overflowLengths...)
+	s, err := BuildStore(ds, StorePools{Layout: LayoutPacked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.OverflowPages(); got != 0 {
+		t.Fatalf("packed store has %d overflow pages, want 0", got)
+	}
+	if err := s.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+	if _, err := s.ViewpointIndependent(fullRect(), eAtPercentile(ds, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	bd := s.Breakdown()
+	if bd.Overflow != 0 {
+		t.Fatalf("packed store read %d overflow-file pages, want 0", bd.Overflow)
+	}
+	if bd.Data == 0 {
+		t.Fatal("cold query read no data pages")
+	}
+}
+
+// TestPackedLayoutPersistRoundTrip writes a packed store (plain and
+// checksummed) to disk and reopens it: the v4 meta plumbing, the
+// compressed heap, and spilled chains must all survive, answering
+// exactly like the in-memory store.
+func TestPackedLayoutPersistRoundTrip(t *testing.T) {
+	ds := inflateConn(buildDatasetOnly(t, 8, "crater"), overflowLengths...)
+	mem, err := BuildStore(ds, StorePools{Layout: LayoutPacked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := eAtPercentile(ds, 0.4)
+	want, err := mem.ViewpointIndependent(fullRect(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, checksums := range []bool{false, true} {
+		dir := t.TempDir()
+		s, err := BuildStoreAt(ds, StorePools{Layout: LayoutPacked, Checksums: checksums}, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		re, err := OpenStore(dir, StorePools{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re.Layout() != LayoutPacked {
+			t.Fatalf("reopened layout %v, want packed", re.Layout())
+		}
+		got, err := re.ViewpointIndependent(fullRect(), e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, "reopened packed store", want, got)
+		for i := range overflowLengths {
+			id := int64(i+1) * (int64(len(ds.Conn)) / int64(len(overflowLengths)+1))
+			n, err := re.FetchByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(n.Conn) != len(ds.Conn[id]) {
+				t.Fatalf("node %d: %d conn IDs after reopen, want %d", id, len(n.Conn), len(ds.Conn[id]))
+			}
+		}
+		if err := re.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPackedLayoutVersionGate: a packed store whose sidecar claims a
+// pre-v4 format must be refused — older readers have no packed decoder,
+// so the version is load-bearing.
+func TestPackedLayoutVersionGate(t *testing.T) {
+	ds := buildDatasetOnly(t, 6, "highland")
+	dir := t.TempDir()
+	s, err := BuildStoreAt(ds, StorePools{Layout: LayoutPacked}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	metaPath := filepath.Join(dir, metaFileName)
+	raw, err := os.ReadFile(metaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta map[string]interface{}
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		t.Fatal(err)
+	}
+	meta["version"] = 3
+	raw, err = json.Marshal(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(metaPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenStore(dir, StorePools{})
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("pre-v4 packed store must be refused, got %v", err)
+	}
+}
+
+// TestPackedDecodeRejectsCorruption: hand-built corruptions must surface
+// as ErrCorrupt, not panics or silent misreads.
+func TestPackedDecodeRejectsCorruption(t *testing.T) {
+	n := packedFixtures()[0]
+	valid := encodePackedRecord(&n, noOverflow, len(n.Conn), nil)
+	cases := map[string][]byte{
+		"empty":           {},
+		"id only":         valid[:1],
+		"truncated":       valid[:len(valid)-1],
+		"reserved bit":    append([]byte{}, valid...),
+		"conflicting dy":  append([]byte{}, valid...),
+		"truncated float": valid[:4],
+	}
+	// Set a reserved bitmap bit (bitmap starts right after the 1-byte ID
+	// for this fixture).
+	cases["reserved bit"][2] |= 0xE0
+	// ELow zero + dyadic simultaneously.
+	cases["conflicting dy"][2] |= 0x03 // bits 8 (pkELowZero) and 9 (pkELowDyadic)
+	for name, buf := range cases {
+		_, _, _, err := decodePackedRecord(buf, nil)
+		if err == nil {
+			t.Errorf("%s: decode accepted corrupt record", name)
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v does not wrap ErrCorrupt", name, err)
+		}
+	}
+}
+
+// FuzzPackedRecordDecode feeds arbitrary bytes to the packed decoder:
+// it must never panic, never allocate unboundedly, and classify every
+// failure as ErrCorrupt. Valid decodes must satisfy the encoding's
+// invariants (inline list within the declared total, sorted deltas
+// reconstructed consistently).
+func FuzzPackedRecordDecode(f *testing.F) {
+	for _, n := range packedFixtures() {
+		f.Add(encodePackedRecord(&n, noOverflow, len(n.Conn), nil))
+		if len(n.Conn) > 1 {
+			f.Add(encodePackedRecord(&n, 99, 1, nil))
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+	f.Add([]byte{0x00, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var arena connArena
+		n, total, ref, err := decodePackedRecord(data, &arena)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		if len(n.Conn) > total {
+			t.Fatalf("decoded %d inline IDs but total is %d", len(n.Conn), total)
+		}
+		if ref == noOverflow && len(n.Conn) != total {
+			t.Fatalf("no overflow but %d of %d IDs inline", len(n.Conn), total)
+		}
+	})
+}

@@ -35,10 +35,11 @@ type storeMeta struct {
 	Checksums bool `json:"checksums,omitempty"`
 }
 
-// metaVersion is the current on-disk format. Version 3 adds the
+// metaVersion is the current on-disk format. Version 4 adds the
+// compressed packed-record encoding of LayoutPacked; version 3 added the
 // variable-record heap encoding of LayoutConnect; versions 1 (no
 // checksum support) and 2 (fixed layouts only) remain readable.
-const metaVersion = 3
+const metaVersion = 4
 
 // BuildStoreAt builds the Direct Mesh store in dir as regular files, so it
 // can be reopened later with OpenStore. The directory is created if
@@ -100,6 +101,9 @@ func OpenStore(dir string, pools StorePools) (*Store, error) {
 	if meta.Layout == LayoutConnect && meta.Version < 3 {
 		return nil, fmt.Errorf("dm: connect layout requires store version 3, got %d", meta.Version)
 	}
+	if meta.Layout == LayoutPacked && meta.Version < 4 {
+		return nil, fmt.Errorf("dm: packed layout requires store version 4, got %d", meta.Version)
+	}
 	// The on-disk layout dictates the checksum setting; the caller's pools
 	// only size the buffers.
 	pools.Checksums = meta.Checksums
@@ -134,7 +138,7 @@ func OpenStore(dir string, pools StorePools) (*Store, error) {
 		maxE:   meta.MaxE,
 		space:  meta.Space,
 	}
-	if meta.Layout == LayoutConnect {
+	if meta.Layout.variableRecords() {
 		if s.vheap, err = heapfile.OpenVar(s.heapP); err != nil {
 			return nil, fmt.Errorf("dm: open heap: %w", err)
 		}

@@ -125,8 +125,9 @@ func encodeConnectRecord(n *Node, overflowRef int64, buf []byte) []byte {
 // record: its inline capacity is (len(buf)-recHeaderSize)/8, which covers
 // both the fixed encoding (buf[:RecordSize], capacity ConnInline) and the
 // exact-length variable encoding. Fields the DM record does not store
-// (raw error, footprint) stay zero.
-func decodeRecordHeader(buf []byte) (n Node, connTotal int, overflowRef int64) {
+// (raw error, footprint) stay zero. The Conn slice is drawn from arena
+// (which may be nil) so one query's fetches share chunked allocations.
+func decodeRecordHeader(buf []byte, arena *connArena) (n Node, connTotal int, overflowRef int64) {
 	le := binary.LittleEndian
 	off := 0
 	getI := func() int64 { v := int64(le.Uint64(buf[off:])); off += 8; return v }
@@ -147,7 +148,7 @@ func decodeRecordHeader(buf []byte) (n Node, connTotal int, overflowRef int64) {
 	if max := (len(buf) - recHeaderSize) / 8; inline > max {
 		inline = max
 	}
-	n.Conn = make([]int64, 0, connTotal)
+	n.Conn = arena.alloc(connTotal)
 	for i := 0; i < inline; i++ {
 		n.Conn = append(n.Conn, int64(le.Uint64(buf[off+i*8:])))
 	}

@@ -197,6 +197,37 @@ func TestCompareLayoutsRuns(t *testing.T) {
 	}
 }
 
+func TestSweepLayoutsRuns(t *testing.T) {
+	b := bundle(t, "highland")
+	sweep, err := b.SweepLayouts(cfg(), 0.16, 6,
+		[]dmesh.Layout{dmesh.LayoutSTR, dmesh.LayoutConnect, dmesh.LayoutPacked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Sides) != 3 {
+		t.Fatalf("sweep has %d sides, want 3", len(sweep.Sides))
+	}
+	connect, packed := sweep.Side("connect"), sweep.Side("packed")
+	if connect == nil || packed == nil {
+		t.Fatal("sweep is missing the connect or packed side")
+	}
+	// The compression tentpole, at any scale: packed pages hold more
+	// records, so the packed store is strictly smaller.
+	if packed.RecordsPerPage() < 1.7*connect.RecordsPerPage() {
+		t.Errorf("packed density %.1f rec/page < 1.7x connect %.1f",
+			packed.RecordsPerPage(), connect.RecordsPerPage())
+	}
+	if packed.DataPages >= connect.DataPages {
+		t.Errorf("packed store has %d data pages, connect %d: no footprint win",
+			packed.DataPages, connect.DataPages)
+	}
+	for i := range sweep.Sides {
+		if total, _ := sweep.Sides[i].Totals(); total == 0 {
+			t.Errorf("%s side measured no DA", sweep.Sides[i].Layout)
+		}
+	}
+}
+
 func TestDABreakdownInvariant(t *testing.T) {
 	b := bundle(t, "highland")
 	rows, err := b.DABreakdown(cfg(), 0.16, 6)

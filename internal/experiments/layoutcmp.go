@@ -14,7 +14,18 @@ type LayoutSide struct {
 	Layout        string
 	DataPages     int64
 	OverflowPages int64
-	Rows          []DABreakdownRow
+	// NumRecords sizes the density figure: records per data page is the
+	// compression headline (NumRecords / DataPages).
+	NumRecords int64
+	Rows       []DABreakdownRow
+}
+
+// RecordsPerPage is the side's realized data-page density.
+func (s *LayoutSide) RecordsPerPage() float64 {
+	if s.DataPages == 0 {
+		return 0
+	}
+	return float64(s.NumRecords) / float64(s.DataPages)
 }
 
 // LayoutCompare is one dataset's before/after layout comparison — the
@@ -38,6 +49,21 @@ func (s *LayoutSide) Totals() (total, overflow uint64) {
 		}
 	}
 	return total, overflow
+}
+
+// DataDA sums the side's data-heap disk accesses — the record-fetch loop
+// plus its overflow walks, the reads the compressed encoding exists to
+// cut (index descents are layout-invariant).
+func (s *LayoutSide) DataDA() uint64 {
+	var da uint64
+	for _, r := range s.Rows {
+		for _, ps := range r.Phases {
+			if ps.Name == "dm_fetch" || ps.Name == "overflow_walk" {
+				da += ps.DA
+			}
+		}
+	}
+	return da
 }
 
 // CompareLayouts runs the DABreakdown query mix against the bundle's own
@@ -75,6 +101,55 @@ func (b *Bundle) layoutSide(cfg workload.Config, roiFrac float64, frames int) (L
 		Layout:        b.DM.Layout().String(),
 		DataPages:     b.DM.DataPages(),
 		OverflowPages: b.DM.OverflowPages(),
+		NumRecords:    b.DM.NumNodes(),
 		Rows:          rows,
 	}, nil
+}
+
+// LayoutSweep is one dataset's measurement of the same workload under
+// every physical layout: footprint, realized page density, and the full
+// per-phase DA decomposition per layout. The compression figure reads
+// the packed-vs-connect pair out of it; the rest of the sweep puts the
+// encodings in context against the fixed layouts.
+type LayoutSweep struct {
+	Dataset string
+	Sides   []LayoutSide
+}
+
+// Side returns the sweep's side for the named layout, or nil.
+func (s *LayoutSweep) Side(layout string) *LayoutSide {
+	for i := range s.Sides {
+		if s.Sides[i].Layout == layout {
+			return &s.Sides[i]
+		}
+	}
+	return nil
+}
+
+// SweepLayouts measures the DABreakdown query mix under each target
+// layout in order, reusing the bundle's own store when its layout is in
+// the list and building a shadow store (with its own calibrated cost
+// model, as in CompareLayouts) for the rest.
+func (b *Bundle) SweepLayouts(cfg workload.Config, roiFrac float64, frames int, targets []dmesh.Layout) (*LayoutSweep, error) {
+	sweep := &LayoutSweep{Dataset: b.Name}
+	for _, target := range targets {
+		side := b
+		if b.DM.Layout() != target {
+			shadow := &Bundle{Name: b.Name, Terrain: b.Terrain, PM: b.PM, HDoV: b.HDoV}
+			var err error
+			if shadow.DM, err = b.Terrain.NewDMStoreWithPools(dmesh.StorePools{Layout: target}); err != nil {
+				return nil, fmt.Errorf("experiments: layout sweep (%s): %w", target, err)
+			}
+			if shadow.Model, err = dmesh.NewCostModel(shadow.DM); err != nil {
+				return nil, fmt.Errorf("experiments: layout sweep (%s): %w", target, err)
+			}
+			side = shadow
+		}
+		s, err := side.layoutSide(cfg, roiFrac, frames)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: layout sweep (%s): %w", target, err)
+		}
+		sweep.Sides = append(sweep.Sides, s)
+	}
+	return sweep, nil
 }

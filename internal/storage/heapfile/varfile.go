@@ -35,6 +35,15 @@ const (
 	MaxVarRecord = pager.PageSize - varPageHeader - varSlotSize
 )
 
+// VarRecordsPerPage estimates how many variable records of the given
+// average byte length fit one slotted page, accounting for the page
+// header and each record's slot-directory entry. Cost models use it as
+// the density fallback when a file has no realized data pages to
+// measure.
+func VarRecordsPerPage(avgLen float64) float64 {
+	return float64(pager.PageSize-varPageHeader) / (avgLen + varSlotSize)
+}
+
 // VarRID packs (page, slot) into the int64 record ID of a VarFile.
 func VarRID(page pager.PageID, slot int) RID {
 	return RID(int64(page)<<16 | int64(slot))
