@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: verify fmt build vet test race racecache chaos obssmoke layoutcheck packcheck bench benchsmoke figures
+.PHONY: verify fmt build vet test race racecache chaos obssmoke layoutcheck packcheck clustercheck bench benchsmoke figures
 
 # The CI gate: formatting, build, vet, and the full test suite under the
 # race detector (short mode keeps the large-terrain tests out of the
 # loop), plus a non-short race pass over the concurrent tile cache, the
 # small-scale chaos run, the observability smoke over the tileserver
-# introspection endpoints, the physical-layout equivalence gate, and the
-# packed-encoding gate.
-verify: fmt build vet race racecache chaos obssmoke layoutcheck packcheck
+# introspection endpoints, the physical-layout equivalence gate, the
+# packed-encoding gate, and the sharded-cluster gate.
+verify: fmt build vet race racecache chaos obssmoke layoutcheck packcheck clustercheck
 
 # gofmt cleanliness: fails listing the offending files, fixes nothing.
 fmt:
@@ -61,6 +61,14 @@ layoutcheck:
 packcheck:
 	$(GO) test -count=1 -run 'Packed|Dyadic' ./internal/dm/
 	$(GO) test -count=1 -run 'SweepLayouts' ./internal/experiments/
+
+# Cluster gate: the serving core and the sharded tile cluster under the
+# race detector — ring determinism and balance, byte-identical answers
+# against a single-node cache (including with a shard killed), failover
+# accounting (every redirect counted, zero wrong answers), deterministic
+# hot-tile replication, and graceful shutdown draining in-flight fetches.
+clustercheck:
+	$(GO) test -race -count=1 ./internal/serve/ ./internal/cluster/
 
 # The paper's metric: custom DA/... counters, not ns/op. Runs the unit
 # suite first (a benchmark of broken code measures nothing); -run '^$$'

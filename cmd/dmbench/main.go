@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn|throughput|flyover|tilecache|faults|dabreakdown|layoutcmp]
+//	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn|throughput|flyover|tilecache|faults|dabreakdown|layoutcmp|cluster]
 //	        [-size N] [-size2 N] [-seed S] [-locations L] [-layout str|hilbert|rowmajor|connect|packed]
 //	        [-cpuprofile F] [-memprofile F]
 //
@@ -43,6 +43,14 @@
 // and the compressed packed encoding — and writes the footprint/density/
 // DA table to results/BENCH_compression.json; its headline is the packed
 // layout's data-heap DA and records-per-page against connect.
+//
+// -fig cluster is the scale-out figure: the hot-spot workload answered
+// by an in-process sharded tile-serving cluster (consistent-hash
+// routing, hot-tile replication, fan-out stitching over real HTTP),
+// swept over shard counts. It reports QPS, speedup, tail latency, and
+// per-shard disk accesses against the single-node tile-cache steady
+// state, and writes the series to results/BENCH_cluster.json. Every
+// cluster answer is cross-checked against a single-node oracle.
 //
 // -layout selects the DM store's physical record layout for every
 // figure; layoutcmp uses it as the "before" side.
@@ -85,7 +93,7 @@ func main() {
 // selected figure fails.
 func mainErr() error {
 	var (
-		fig       = flag.String("fig", "all", "figure to reproduce (6a..6d, 8a..8f, conn, throughput, flyover, tilecache, faults, dabreakdown, layoutcmp, all)")
+		fig       = flag.String("fig", "all", "figure to reproduce (6a..6d, 8a..8f, conn, throughput, flyover, tilecache, faults, dabreakdown, layoutcmp, cluster, all)")
 		layoutF   = flag.String("layout", "str", "physical DM-store layout: str, hilbert, rowmajor, connect, or packed")
 		size      = flag.Int("size", 257, "grid side of the highland dataset (the paper's 2M-point terrain)")
 		size2     = flag.Int("size2", 513, "grid side of the crater dataset (the paper's 17M-point terrain)")
@@ -336,6 +344,20 @@ func runners() []figureRunner {
 			}
 			return writeCompressionJSON("results/BENCH_compression.json", e, sweeps)
 		}},
+		{"cluster", func(e *benchEnv) error {
+			b, err := e.bundle("highland")
+			if err != nil {
+				return err
+			}
+			fig, err := b.ClusterScaleOut(e.seed, 8, 20, []int{1, 2, 4, 8})
+			if err != nil {
+				return fmt.Errorf("cluster: %w", err)
+			}
+			if err := printCluster(fig); err != nil {
+				return err
+			}
+			return writeClusterJSON("results/BENCH_cluster.json", e, []*experiments.ClusterFigure{fig})
+		}},
 	}
 }
 
@@ -461,6 +483,46 @@ func printTileCache(b *experiments.Bundle, seed int64) error {
 		fig.ColdMisses, fig.DedupedMisses, fig.Hits, fig.Evictions,
 		fig.Tiles, float64(fig.Bytes)/(1<<20))
 	return w.Flush()
+}
+
+// printCluster prints the sharded-cluster scale-out table: QPS, tail
+// latency, and DA per query by shard count, against the single-node
+// tile-cache steady state the per-shard cost must stay within noise of.
+func printCluster(fig *experiments.ClusterFigure) error {
+	fmt.Printf("\nSharded tile cluster (%s, %d clients x %d queries, %d hot spots, LOD p%.0f, single-node steady %.1f DA/query):\n",
+		fig.Name, fig.Clients, fig.PerClient, fig.Spots, 100*fig.EPct, fig.SingleNodeSteadyDA)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "shards\tqueries/sec\tspeedup\tp50 us\tp99 us\tDA/query\tshard DA/query\tredirects\thot keys\treplica warmups")
+	for _, p := range fig.Points {
+		fmt.Fprintf(w, "%d\t%.0f\t%.2fx\t%.0f\t%.0f\t%.1f\t%.1f\t%d\t%d\t%d\n",
+			p.Shards, p.QPS, p.Speedup, p.P50Micros, p.P99Micros,
+			p.DAPerQuery, p.MeanShardDAPerQuery, p.Redirects, p.HotKeys, p.Replicated)
+	}
+	return w.Flush()
+}
+
+// writeClusterJSON persists the scale-out series for the repo's
+// clustercheck tooling and the EXPERIMENTS.md cluster table.
+func writeClusterJSON(path string, e *benchEnv, figs []*experiments.ClusterFigure) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	doc := struct {
+		Sizes    [2]int                       `json:"sizes"`
+		Seed     int64                        `json:"seed"`
+		Datasets []*experiments.ClusterFigure `json:"datasets"`
+	}{
+		Sizes: [2]int{e.size, e.size2}, Seed: e.seed, Datasets: figs,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
 }
 
 // printFaults runs the chaos measurement: the hot-spot workload off a

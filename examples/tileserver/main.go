@@ -4,538 +4,78 @@
 // Clients ask for a region and a LOD percentile and receive the
 // triangulated approximation as JSON.
 //
-// Requests are served fully concurrently: the buffer pool is sharded
-// across roughly one shard per CPU, and each request runs in its own
-// store session (dmesh.DMSession), so the per-tile disk-access count is
-// exact without a global query lock or a ResetStats between requests.
-//
-// Tiles are served through a shared mesh-tile cache (dmesh.DMTileCache):
-// the requested region and LOD quantize onto a canonical quadtree tile
-// grid, hot tiles are materialized once and stitched per request, so
-// overlapping requests from many clients cost one materialization
-// instead of N full queries. /cachestats exposes the cache counters;
-// tile?nocache=1 bypasses the cache for comparison.
-//
-// Clients animating a camera use /frame instead of /tile: naming a
-// session keeps a coherent session (dmesh.DMCoherentSession) alive on
-// the server between requests, so consecutive overlapping frames are
-// answered incrementally — only the newly exposed volume is fetched.
-//
-// Every request is traced (internal/obs): wall time and exact per-phase
-// disk-access attribution. -introspect (default on) mounts the
-// observability endpoints: /metrics (Prometheus text), /slowlog (the N
-// slowest requests with their phase breakdowns; threshold set by
-// -slowms), /debug/vars (expvar JSON including the metrics registry),
-// and the /debug/pprof/ suite.
+// The serving core lives in internal/serve (shared tile cache, coherent
+// camera sessions, per-request DA attribution, /metrics + /slowlog +
+// /debug introspection); this binary is the single-node deployment of
+// it: build a terrain, mount the server, run until SIGINT/SIGTERM, then
+// drain in-flight requests with a graceful shutdown. The same core run
+// N times behind a consistent-hash router is the sharded cluster
+// (internal/cluster).
 //
 //	go run ./examples/tileserver [-addr :8080] [-slowms 50] [-introspect=true]
 //
 //	curl 'http://localhost:8080/tile?x0=0.2&y0=0.2&x1=0.5&y1=0.5&lod=0.9'
 //	curl 'http://localhost:8080/frame?session=cam1&x0=0.2&y0=0.0&x1=0.7&y1=0.4&near=0.75&far=0.99'
 //	curl 'http://localhost:8080/frame?session=cam1&x0=0.2&y0=0.1&x1=0.7&y1=0.5&near=0.75&far=0.99'
+//	curl 'http://localhost:8080/patch?level=1&ix=0&iy=1&band=3'
+//	curl 'http://localhost:8080/hottiles?n=10'
 //	curl 'http://localhost:8080/stats'
 //	curl 'http://localhost:8080/cachestats'
 //	curl 'http://localhost:8080/metrics'
 //	curl 'http://localhost:8080/slowlog?n=5'
-//	curl 'http://localhost:8080/debug/vars'
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
-	"fmt"
 	"log"
-	"net/http"
+	"os"
+	"os/signal"
 	"runtime"
-	"sort"
-	"strconv"
-	"sync"
-	"sync/atomic"
+	"syscall"
 	"time"
 
 	"dmesh"
-	"dmesh/internal/obs"
+	"dmesh/internal/serve"
 )
-
-type server struct {
-	terrain *dmesh.Terrain
-	store   *dmesh.DMStore
-	model   *dmesh.CostModel
-	cache   *dmesh.DMTileCache
-	served  atomic.Uint64
-	tileDA  atomic.Uint64
-
-	// Telemetry: the metrics registry behind /metrics and /debug/vars,
-	// and the ring-buffered slow-request log behind /slowlog.
-	reg  *obs.Registry
-	slow *obs.SlowLog
-
-	mTileReqs  *obs.Counter
-	mFrameReqs *obs.Counter
-	mErrors    *obs.Counter
-	hTileDA    *obs.Histogram
-	hTileNanos *obs.Histogram
-	hFrameDA   *obs.Histogram
-	hFrameNs   *obs.Histogram
-
-	// Named coherent sessions, one per animating client. A coherent
-	// session is stateful and not safe for concurrent use, so each entry
-	// carries its own lock; the map itself has another. Evicted clients'
-	// frame and disk-access totals roll up into the evicted* fields so
-	// /stats never under-reports served work.
-	camMu         sync.Mutex
-	cameras       map[string]*camera
-	camEvictions  uint64
-	evictedFrames uint64
-	evictedDA     uint64
-}
-
-// maxCameras caps the retained coherent sessions; the least recently
-// used one is dropped when a new client would exceed it.
-const maxCameras = 64
-
-type camera struct {
-	mu       sync.Mutex
-	cs       *dmesh.DMCoherentSession
-	tr       *obs.Trace // the session's trace; reset every frame
-	lastUsed time.Time
-	frames   uint64
-	da       uint64
-}
-
-// newServer builds the terrain, the sharded store, the tile cache, and
-// the telemetry plumbing. Extracted from main so tests can run the whole
-// stack against httptest.
-func newServer(size int, slowThreshold time.Duration) (*server, error) {
-	terrain, err := dmesh.Build(dmesh.Config{Dataset: "highland", Size: size, Seed: 3})
-	if err != nil {
-		return nil, err
-	}
-	store, err := terrain.NewDMStoreWithPools(dmesh.StorePools{Shards: runtime.NumCPU()})
-	if err != nil {
-		return nil, err
-	}
-	model, err := dmesh.NewCostModel(store)
-	if err != nil {
-		return nil, err
-	}
-	cache, err := terrain.NewTileCache(store, 0)
-	if err != nil {
-		return nil, err
-	}
-	s := &server{
-		terrain: terrain, store: store, model: model, cache: cache,
-		cameras: make(map[string]*camera),
-		reg:     obs.NewRegistry(),
-		slow:    obs.NewSlowLog(128, slowThreshold),
-	}
-	s.mTileReqs = s.reg.Counter("tileserver_tile_requests_total", "tile requests served")
-	s.mFrameReqs = s.reg.Counter("tileserver_frame_requests_total", "coherent frames served")
-	s.mErrors = s.reg.Counter("tileserver_request_errors_total", "requests answered with an error status")
-	s.hTileDA = s.reg.Histogram("tileserver_tile_disk_accesses", "disk accesses per tile request")
-	s.hTileNanos = s.reg.Histogram("tileserver_tile_latency_nanos", "tile request latency in nanoseconds")
-	s.hFrameDA = s.reg.Histogram("tileserver_frame_disk_accesses", "disk accesses per coherent frame")
-	s.hFrameNs = s.reg.Histogram("tileserver_frame_latency_nanos", "frame request latency in nanoseconds")
-	s.reg.GaugeFunc("tileserver_cache_entries", "resident tile-cache patches", func() int64 {
-		return int64(cache.Stats().Entries)
-	})
-	s.reg.GaugeFunc("tileserver_cache_bytes", "estimated resident tile-cache bytes", func() int64 {
-		return int64(cache.Stats().Bytes)
-	})
-	s.reg.GaugeFunc("tileserver_cameras_active", "retained coherent sessions", func() int64 {
-		s.camMu.Lock()
-		defer s.camMu.Unlock()
-		return int64(len(s.cameras))
-	})
-	s.reg.PublishExpvar("tileserver")
-	return s, nil
-}
-
-// routes mounts the serving endpoints, plus (when introspect is set) the
-// observability surface: /metrics, /slowlog, /debug/vars, /debug/pprof/.
-func (s *server) routes(introspect bool) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/tile", s.handleTile)
-	mux.HandleFunc("/frame", s.handleFrame)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/cachestats", s.handleCacheStats)
-	if introspect {
-		mux.Handle("/metrics", obs.MetricsHandler(s.reg))
-		mux.Handle("/slowlog", obs.SlowLogHandler(s.slow))
-		obs.RegisterDebug(mux)
-	}
-	return mux
-}
-
-// lookupCamera returns the named client's coherent session, creating it
-// (and evicting the least recently used one past the cap) if needed.
-func (s *server) lookupCamera(name string) *camera {
-	s.camMu.Lock()
-	defer s.camMu.Unlock()
-	if c, ok := s.cameras[name]; ok {
-		c.lastUsed = time.Now()
-		return c
-	}
-	if len(s.cameras) >= maxCameras {
-		var oldest string
-		for n, c := range s.cameras {
-			if oldest == "" || c.lastUsed.Before(s.cameras[oldest].lastUsed) {
-				oldest = n
-			}
-		}
-		// Roll the evicted client's stats into the totals instead of
-		// silently dropping them with the session.
-		old := s.cameras[oldest]
-		old.mu.Lock()
-		frames, da := old.frames, old.da
-		old.mu.Unlock()
-		s.camEvictions++
-		s.evictedFrames += frames
-		s.evictedDA += da
-		delete(s.cameras, oldest)
-		log.Printf("evicted coherent session %q (%d frames, %d disk accesses)", oldest, frames, da)
-	}
-	cs := s.store.NewCoherentSession(s.model)
-	c := &camera{cs: cs, tr: cs.EnableTrace(), lastUsed: time.Now()}
-	s.cameras[name] = c
-	return c
-}
-
-type tileResponse struct {
-	LOD          float64               `json:"lod"`
-	Vertices     map[string][3]float64 `json:"vertices"`
-	Triangles    [][3]int64            `json:"triangles"`
-	DiskAccesses uint64                `json:"disk_accesses"`
-}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	size := flag.Int("size", 129, "terrain size")
 	slowMS := flag.Int("slowms", 50, "slow-log admission threshold in milliseconds")
 	introspect := flag.Bool("introspect", true, "mount /metrics, /slowlog, /debug/vars and /debug/pprof/")
+	drainSec := flag.Int("drain", 10, "graceful-shutdown drain timeout in seconds")
 	flag.Parse()
 
-	s, err := newServer(*size, time.Duration(*slowMS)*time.Millisecond)
+	terrain, err := dmesh.Build(dmesh.Config{Dataset: "highland", Size: *size, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{
+		Terrain:       terrain,
+		SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
+		ExpvarName:    "tileserver",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound, err := s.Start(*addr, *introspect)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("serving %d-point terrain on %s (%d pool shards, introspection %v)",
-		s.terrain.NumPoints(), *addr, runtime.NumCPU(), *introspect)
-	log.Fatal(http.ListenAndServe(*addr, s.routes(*introspect)))
-}
+		terrain.NumPoints(), bound, runtime.NumCPU(), *introspect)
 
-func queryFloat(r *http.Request, name string, def float64) (float64, error) {
-	v := r.URL.Query().Get(name)
-	if v == "" {
-		return def, nil
+	// Run until interrupted, then drain: stop accepting, let in-flight
+	// tile fetches finish, give up after the drain timeout.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	sig := <-stop
+	log.Printf("received %v, draining (up to %ds)", sig, *drainSec)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSec)*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
 	}
-	return strconv.ParseFloat(v, 64)
-}
-
-// jsonError answers a failed request with a JSON body, so API clients
-// parsing every response get structured errors instead of plain text.
-// I/O faults under a query surface here as a 500 with the error chain
-// (e.g. an injected fault or a checksum mismatch) — the server itself
-// keeps serving.
-func (s *server) jsonError(w http.ResponseWriter, status int, err error) {
-	s.mErrors.Inc()
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if encErr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); encErr != nil {
-		log.Printf("error encode: %v", encErr)
-	}
-}
-
-func (s *server) handleTile(w http.ResponseWriter, r *http.Request) {
-	x0, err1 := queryFloat(r, "x0", 0)
-	y0, err2 := queryFloat(r, "y0", 0)
-	x1, err3 := queryFloat(r, "x1", 1)
-	y1, err4 := queryFloat(r, "y1", 1)
-	pct, err5 := queryFloat(r, "lod", 0.9)
-	for _, err := range []error{err1, err2, err3, err4, err5} {
-		if err != nil {
-			s.jsonError(w, http.StatusBadRequest, err)
-			return
-		}
-	}
-	if pct < 0 || pct > 1 {
-		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("lod must be a percentile in [0,1]"))
-		return
-	}
-	roi := dmesh.NewRect(x0, y0, x1, y1)
-	lod := s.terrain.LODPercentile(pct)
-
-	var res *dmesh.Result
-	var da uint64
-	var tr *obs.Trace
-	var err error
-	start := time.Now()
-	nocache := r.URL.Query().Get("nocache") != ""
-	if nocache {
-		// Bypass the tile cache: one session per request, so the
-		// session's counters see only this request's page reads — and the
-		// trace samples them directly.
-		sess := s.store.NewSession()
-		tr = sess.NewTrace()
-		res, err = sess.ViewpointIndependent(roi, lod)
-		da = sess.DiskAccesses()
-	} else {
-		// The cache snaps the LOD onto its ladder, materializes any cold
-		// tiles (once, however many requests race) and stitches; da is
-		// only the store I/O this request's cold tiles cost, and the
-		// charge-based trace attributes exactly that.
-		tr = dmesh.NewQueryTrace(nil)
-		var qs dmesh.TileQueryStats
-		res, qs, err = s.cache.QueryTraced(roi, lod, tr)
-		lod, da = qs.SnappedE, qs.DA
-	}
-	dur := time.Since(start)
-	if err != nil {
-		s.jsonError(w, http.StatusInternalServerError, err)
-		return
-	}
-	s.served.Add(1)
-	s.tileDA.Add(da)
-	s.mTileReqs.Inc()
-	s.hTileDA.Observe(da)
-	s.hTileNanos.Observe(uint64(dur))
-	s.slow.Observe(fmt.Sprintf("tile roi=[%g,%g,%g,%g] lod=%g nocache=%t", x0, y0, x1, y1, pct, nocache),
-		dur, da, tr)
-
-	resp := tileResponse{
-		LOD:          lod,
-		Vertices:     make(map[string][3]float64, len(res.Vertices)),
-		Triangles:    make([][3]int64, 0, len(res.Triangles)),
-		DiskAccesses: da,
-	}
-	for id, p := range res.Vertices {
-		resp.Vertices[strconv.FormatInt(id, 10)] = [3]float64{p.X, p.Y, p.Z}
-	}
-	for _, t := range res.Triangles {
-		resp.Triangles = append(resp.Triangles, [3]int64{t.A, t.B, t.C})
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		log.Printf("tile encode: %v", err)
-	}
-}
-
-type frameResponse struct {
-	Session      string                `json:"session"`
-	Full         bool                  `json:"full"`
-	Retained     int                   `json:"retained"`
-	Fetched      int                   `json:"fetched"`
-	Evicted      int                   `json:"evicted"`
-	Vertices     map[string][3]float64 `json:"vertices"`
-	Triangles    [][3]int64            `json:"triangles"`
-	DiskAccesses uint64                `json:"disk_accesses"`
-}
-
-// handleFrame answers one frame of a named client's camera animation
-// through its retained coherent session. near and far are LOD
-// percentiles at the low- and high-y edges of the view (equal values
-// give a uniform frame); overlapping consecutive frames are answered
-// incrementally.
-func (s *server) handleFrame(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("session")
-	if name == "" {
-		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("session parameter required"))
-		return
-	}
-	x0, err1 := queryFloat(r, "x0", 0)
-	y0, err2 := queryFloat(r, "y0", 0)
-	x1, err3 := queryFloat(r, "x1", 1)
-	y1, err4 := queryFloat(r, "y1", 1)
-	near, err5 := queryFloat(r, "near", 0.75)
-	far, err6 := queryFloat(r, "far", 0.99)
-	for _, err := range []error{err1, err2, err3, err4, err5, err6} {
-		if err != nil {
-			s.jsonError(w, http.StatusBadRequest, err)
-			return
-		}
-	}
-	if near < 0 || near > 1 || far < 0 || far > 1 {
-		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("near and far must be percentiles in [0,1]"))
-		return
-	}
-	plane := dmesh.QueryPlane{
-		R:    dmesh.NewRect(x0, y0, x1, y1),
-		EMin: s.terrain.LODPercentile(near),
-		EMax: s.terrain.LODPercentile(far),
-		Axis: 1,
-	}
-
-	cam := s.lookupCamera(name)
-	cam.mu.Lock()
-	start := time.Now()
-	res, st, err := cam.cs.Frame(plane)
-	dur := time.Since(start)
-	if err == nil {
-		cam.frames++
-		cam.da += st.DA
-		// Observe under the camera lock: the trace is reset by the next
-		// frame, and Observe copies the phase stats out.
-		s.slow.Observe(fmt.Sprintf("frame session=%s roi=[%g,%g,%g,%g]", name, x0, y0, x1, y1),
-			dur, st.DA, cam.tr)
-	}
-	cam.mu.Unlock()
-	if err != nil {
-		s.jsonError(w, http.StatusInternalServerError, err)
-		return
-	}
-	s.mFrameReqs.Inc()
-	s.hFrameDA.Observe(st.DA)
-	s.hFrameNs.Observe(uint64(dur))
-
-	resp := frameResponse{
-		Session:      name,
-		Full:         st.Full,
-		Retained:     st.Retained,
-		Fetched:      st.Fetched,
-		Evicted:      st.Evicted,
-		Vertices:     make(map[string][3]float64, len(res.Vertices)),
-		Triangles:    make([][3]int64, 0, len(res.Triangles)),
-		DiskAccesses: st.DA,
-	}
-	for id, p := range res.Vertices {
-		resp.Vertices[strconv.FormatInt(id, 10)] = [3]float64{p.X, p.Y, p.Z}
-	}
-	for _, t := range res.Triangles {
-		resp.Triangles = append(resp.Triangles, [3]int64{t.A, t.B, t.C})
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		log.Printf("frame encode: %v", err)
-	}
-}
-
-// cameraStats is one retained coherent session's accounting in /stats.
-type cameraStats struct {
-	Session      string `json:"session"`
-	Frames       uint64 `json:"frames"`
-	DiskAccesses uint64 `json:"disk_accesses"`
-	IdleSeconds  int64  `json:"idle_seconds"`
-}
-
-type statsResponse struct {
-	Points         int                `json:"points"`
-	Nodes          int                `json:"nodes"`
-	MaxLOD         float64            `json:"max_lod"`
-	LODPercentiles map[string]float64 `json:"lod_percentiles"`
-
-	TilesServed uint64  `json:"tiles_served"`
-	TileDA      uint64  `json:"tile_disk_accesses"`
-	DAPerTile   float64 `json:"da_per_tile"`
-
-	// Coherent-session LRU: per-client occupancy plus eviction counts.
-	// Totals include clients already evicted from the LRU, so nothing is
-	// silently dropped.
-	Cameras          []cameraStats `json:"cameras"`
-	CameraOccupancy  int           `json:"camera_occupancy"`
-	CameraCapacity   int           `json:"camera_capacity"`
-	CameraEvictions  uint64        `json:"camera_evictions"`
-	TotalFrames      uint64        `json:"total_frames"`
-	TotalFrameDA     uint64        `json:"total_frame_disk_accesses"`
-	EvictedFrames    uint64        `json:"evicted_frames"`
-	EvictedFrameDA   uint64        `json:"evicted_frame_disk_accesses"`
-	StoreDiskAccsses uint64        `json:"store_disk_accesses"`
-}
-
-// statsSnapshot assembles the /stats response at the given time.
-// Deterministic for a fixed server state and now: the only map in the
-// response is encoded by encoding/json (sorted keys) and the camera list
-// is sorted by session name.
-func (s *server) statsSnapshot(now time.Time) statsResponse {
-	resp := statsResponse{
-		Points:         s.terrain.NumPoints(),
-		Nodes:          s.terrain.Dataset.Tree.Len(),
-		MaxLOD:         s.terrain.MaxLOD(),
-		LODPercentiles: make(map[string]float64),
-		TilesServed:    s.served.Load(),
-		TileDA:         s.tileDA.Load(),
-		CameraCapacity: maxCameras,
-	}
-	for _, p := range []float64{0.5, 0.9, 0.99} {
-		resp.LODPercentiles[fmt.Sprintf("p%.0f", p*100)] = s.terrain.LODPercentile(p)
-	}
-	if resp.TilesServed > 0 {
-		resp.DAPerTile = float64(resp.TileDA) / float64(resp.TilesServed)
-	}
-	s.camMu.Lock()
-	resp.CameraOccupancy = len(s.cameras)
-	resp.CameraEvictions = s.camEvictions
-	resp.EvictedFrames = s.evictedFrames
-	resp.EvictedFrameDA = s.evictedDA
-	resp.TotalFrames = s.evictedFrames
-	resp.TotalFrameDA = s.evictedDA
-	for name, c := range s.cameras {
-		c.mu.Lock()
-		resp.Cameras = append(resp.Cameras, cameraStats{
-			Session:      name,
-			Frames:       c.frames,
-			DiskAccesses: c.da,
-			IdleSeconds:  int64(now.Sub(c.lastUsed).Seconds()),
-		})
-		resp.TotalFrames += c.frames
-		resp.TotalFrameDA += c.da
-		c.mu.Unlock()
-	}
-	s.camMu.Unlock()
-	sort.Slice(resp.Cameras, func(i, j int) bool { return resp.Cameras[i].Session < resp.Cameras[j].Session })
-	resp.StoreDiskAccsses = s.store.DiskAccesses()
-	return resp
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(s.statsSnapshot(time.Now())); err != nil {
-		log.Printf("stats encode: %v", err)
-	}
-}
-
-// cacheStatsResponse is the /cachestats body: global cache counters plus
-// the per-tile hit/cost accounting, hottest tiles first (ties keep the
-// underlying Key order, so the encoding is deterministic).
-type cacheStatsResponse struct {
-	Stats  dmesh.TileCacheStats `json:"stats"`
-	Ladder []float64            `json:"lod_ladder"`
-	Tiles  []cacheTileStat      `json:"tiles"`
-}
-
-type cacheTileStat struct {
-	Level int    `json:"level"`
-	IX    int    `json:"ix"`
-	IY    int    `json:"iy"`
-	Band  int    `json:"band"`
-	Hits  uint64 `json:"hits"`
-	DA    uint64 `json:"disk_accesses"`
-	Bytes int    `json:"bytes"`
-	Nodes int    `json:"nodes"`
-}
-
-// cacheStatsSnapshot assembles the /cachestats response. TileStats
-// returns tiles in Key total order; the stable sort re-orders by hits
-// only, so equal-hit tiles keep a deterministic order.
-func (s *server) cacheStatsSnapshot() cacheStatsResponse {
-	resp := cacheStatsResponse{
-		Stats:  s.cache.Stats(),
-		Ladder: s.cache.Ladder(),
-	}
-	for _, ts := range s.cache.TileStats() {
-		resp.Tiles = append(resp.Tiles, cacheTileStat{
-			Level: ts.Key.Level, IX: ts.Key.IX, IY: ts.Key.IY, Band: ts.Key.Band,
-			Hits: ts.Hits, DA: ts.DA, Bytes: ts.Bytes, Nodes: ts.Nodes,
-		})
-	}
-	sort.SliceStable(resp.Tiles, func(i, j int) bool { return resp.Tiles[i].Hits > resp.Tiles[j].Hits })
-	return resp
-}
-
-// handleCacheStats reports the shared tile cache: global counters plus
-// the per-tile hit/cost accounting, hottest tiles first.
-func (s *server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(s.cacheStatsSnapshot()); err != nil {
-		log.Printf("cachestats encode: %v", err)
-	}
+	log.Print("drained cleanly")
 }

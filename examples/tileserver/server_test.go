@@ -1,203 +1,41 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
-	"io"
-	"net/http"
-	"net/http/httptest"
-	"strings"
 	"testing"
-	"time"
+
+	"dmesh/internal/serve"
 )
 
-// testServer builds a small server, drives enough traffic through every
-// endpoint flavor to populate the telemetry, and hands back the httptest
-// front end. Threshold 0 admits every request to the slow log.
-func testServer(t *testing.T) (*server, *httptest.Server) {
-	t.Helper()
-	s, err := newServer(33, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(s.routes(true))
-	t.Cleanup(ts.Close)
+// The serving behavior itself (obs smoke, stats determinism,
+// introspection opt-out, patch wire endpoint, graceful drain) is tested
+// where the code now lives, in internal/serve, on the same shared
+// harness. This smoke test only checks the example's deployment shape:
+// the extracted core wired up the way main() does it still answers the
+// canonical traffic mix.
+func TestExampleServesExtractedCore(t *testing.T) {
+	_, ts := serve.StartTestHarness(t)
 
-	get := func(path string) {
-		t.Helper()
-		resp, err := http.Get(ts.URL + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
-		}
+	resp, body := serve.Fetch(t, ts.URL, "/tile?x0=0.2&y0=0.2&x1=0.6&y1=0.6&lod=0.9")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/tile: status %d", resp.StatusCode)
 	}
-	get("/tile?x0=0.2&y0=0.2&x1=0.6&y1=0.6&lod=0.9")
-	get("/tile?x0=0.2&y0=0.2&x1=0.6&y1=0.6&lod=0.9") // cache hit
-	get("/tile?x0=0.1&y0=0.1&x1=0.5&y1=0.5&lod=0.9&nocache=1")
-	get("/frame?session=cam1&x0=0.2&y0=0.0&x1=0.7&y1=0.4&near=0.75&far=0.99")
-	get("/frame?session=cam1&x0=0.2&y0=0.1&x1=0.7&y1=0.5&near=0.75&far=0.99")
-	return s, ts
-}
-
-func fetch(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
-	t.Helper()
-	resp, err := http.Get(ts.URL + path)
-	if err != nil {
-		t.Fatal(err)
+	var tile struct {
+		LOD       float64               `json:"lod"`
+		Vertices  map[string][3]float64 `json:"vertices"`
+		Triangles [][3]int64            `json:"triangles"`
 	}
-	body, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		t.Fatal(err)
+	if err := json.Unmarshal(body, &tile); err != nil {
+		t.Fatalf("/tile not JSON: %v", err)
 	}
-	return resp, body
-}
+	if len(tile.Vertices) == 0 || len(tile.Triangles) == 0 {
+		t.Fatal("/tile answered an empty mesh")
+	}
 
-// TestObsSmoke drives the introspection endpoints end to end: /metrics
-// must be Prometheus text carrying the server's series, /slowlog must
-// return phase-attributed entries, /debug/vars must be expvar JSON with
-// the published registry.
-func TestObsSmoke(t *testing.T) {
-	_, ts := testServer(t)
-
-	resp, body := fetch(t, ts, "/metrics")
-	if resp.StatusCode != http.StatusOK {
+	if resp, _ := serve.Fetch(t, ts.URL, "/stats"); resp.StatusCode != 200 {
+		t.Fatalf("/stats: status %d", resp.StatusCode)
+	}
+	if resp, _ := serve.Fetch(t, ts.URL, "/metrics"); resp.StatusCode != 200 {
 		t.Fatalf("/metrics: status %d", resp.StatusCode)
-	}
-	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
-		t.Errorf("/metrics content type %q", ct)
-	}
-	text := string(body)
-	for _, want := range []string{
-		"# TYPE tileserver_tile_requests_total counter",
-		"tileserver_tile_requests_total 3",
-		"tileserver_frame_requests_total 2",
-		"# TYPE tileserver_tile_disk_accesses histogram",
-		"tileserver_tile_disk_accesses_count 3",
-		"tileserver_cameras_active 1",
-		"tileserver_cache_entries",
-	} {
-		if !strings.Contains(text, want) {
-			t.Errorf("/metrics missing %q", want)
-		}
-	}
-
-	resp, body = fetch(t, ts, "/slowlog?n=10")
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("/slowlog: status %d", resp.StatusCode)
-	}
-	var slow struct {
-		ThresholdNanos int64 `json:"threshold_nanos"`
-		Entries        []struct {
-			Query  string `json:"query"`
-			DA     uint64 `json:"disk_accesses"`
-			Phases []struct {
-				Phase string `json:"phase"`
-				DA    uint64 `json:"disk_accesses"`
-			} `json:"phases"`
-		} `json:"entries"`
-	}
-	if err := json.Unmarshal(body, &slow); err != nil {
-		t.Fatalf("/slowlog: %v\n%s", err, body)
-	}
-	if len(slow.Entries) != 5 {
-		t.Fatalf("/slowlog: got %d entries, want 5 (threshold 0 admits all)", len(slow.Entries))
-	}
-	// Every traced entry's phase DA must sum exactly to the entry's DA —
-	// the attribution invariant, visible all the way out at the endpoint.
-	for _, e := range slow.Entries {
-		var sum uint64
-		for _, p := range e.Phases {
-			sum += p.DA
-		}
-		if sum != e.DA {
-			t.Errorf("entry %q: phase DA sum %d != entry DA %d", e.Query, sum, e.DA)
-		}
-		if e.DA > 0 && len(e.Phases) == 0 {
-			t.Errorf("entry %q: %d disk accesses but no phase breakdown", e.Query, e.DA)
-		}
-	}
-
-	resp, body = fetch(t, ts, "/debug/vars")
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("/debug/vars: status %d", resp.StatusCode)
-	}
-	var vars map[string]json.RawMessage
-	if err := json.Unmarshal(body, &vars); err != nil {
-		t.Fatalf("/debug/vars not JSON: %v", err)
-	}
-	if _, ok := vars["tileserver"]; !ok {
-		t.Error("/debug/vars missing published \"tileserver\" registry")
-	}
-
-	if resp, _ := fetch(t, ts, "/debug/pprof/"); resp.StatusCode != http.StatusOK {
-		t.Errorf("/debug/pprof/: status %d", resp.StatusCode)
-	}
-}
-
-// TestStatsEncodingDeterministic is the regression for the JSON
-// determinism audit: for a fixed server state, two back-to-back
-// encodings of the /stats and /cachestats payloads must be
-// byte-identical — no map-iteration order, no unsorted slices.
-// /stats is pinned to one timestamp because IdleSeconds is (second
-// granularity) time-dependent; everything else must not depend on when
-// it is encoded.
-func TestStatsEncodingDeterministic(t *testing.T) {
-	s, ts := testServer(t)
-
-	now := time.Now()
-	a, err := json.Marshal(s.statsSnapshot(now))
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := json.Marshal(s.statsSnapshot(now))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(a, b) {
-		t.Errorf("/stats payload not deterministic:\n%s\n%s", a, b)
-	}
-
-	// /cachestats has no time-dependent fields at all, so the HTTP
-	// responses themselves must match byte for byte.
-	_, c1 := fetch(t, ts, "/cachestats")
-	_, c2 := fetch(t, ts, "/cachestats")
-	if !bytes.Equal(c1, c2) {
-		t.Errorf("/cachestats response not deterministic:\n%s\n%s", c1, c2)
-	}
-}
-
-// TestIntrospectionOptOut checks that -introspect=false leaves only the
-// serving endpoints mounted.
-func TestIntrospectionOptOut(t *testing.T) {
-	s, err := newServer(33, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(s.routes(false))
-	defer ts.Close()
-	for _, path := range []string{"/metrics", "/slowlog", "/debug/vars", "/debug/pprof/"} {
-		resp, err := http.Get(ts.URL + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusNotFound {
-			t.Errorf("GET %s with introspection off: status %d, want 404", path, resp.StatusCode)
-		}
-	}
-	if resp, err := http.Get(ts.URL + "/stats"); err != nil {
-		t.Fatal(err)
-	} else {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			t.Errorf("GET /stats: status %d", resp.StatusCode)
-		}
 	}
 }

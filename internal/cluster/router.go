@@ -1,0 +1,411 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"dmesh/internal/dm"
+	"dmesh/internal/geom"
+	"dmesh/internal/obs"
+	"dmesh/internal/tilecache"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Shards are the shard base URLs ("http://host:port").
+	Shards []string
+	// IDs are the shards' stable ring identities, parallel to Shards.
+	// Placement hashes the identity, not the address, so re-homing a
+	// shard (new port, new host) never reshuffles the key space; every
+	// router fronting the same identity list computes the same
+	// placement. Empty defaults to the URLs themselves.
+	IDs []string
+	// Grid must equal every shard's tile grid (same data rect, max
+	// level, LOD ladder); the router quantizes queries with it exactly
+	// like a local tile cache would. Shards publish theirs at /gridinfo.
+	Grid *tilecache.Grid
+	// VNodes is the ring's virtual-node count per shard (0 = 64).
+	VNodes int
+	// MaxAttempts bounds how many candidate shards one tile request
+	// tries before the query fails (0 = min(3, len(Shards))). Attempts
+	// walk the key's ring-successor order, so they land on the shards
+	// hot-tile replication warms.
+	MaxAttempts int
+	// Client issues the shard requests. Nil selects a client with a 30s
+	// timeout over a dedicated transport whose idle-connection pool is
+	// sized for fan-out: the default transport keeps only 2 idle
+	// connections per host, so a multi-tile burst against few shards
+	// would discard and re-dial almost every connection it opens.
+	Client *http.Client
+	// Registry receives the router metrics (nil = a private registry).
+	Registry *obs.Registry
+}
+
+// QueryStats describes how one fan-out query was answered.
+type QueryStats struct {
+	SnappedE   float64 // the ladder rung actually served
+	Level      int     // tile-grid level of the cover
+	Tiles      int     // tiles fanned out to
+	DA         uint64  // shard store disk accesses charged to this query
+	Attempts   int     // shard requests issued (>= Tiles)
+	Redirected int     // tiles served by a later candidate after a failure
+}
+
+// Router is the stdlib-only front tier: it consistent-hashes canonical
+// tile keys onto shards, fans multi-tile ROI queries out, stitches the
+// wire patches exactly (dm.StitchTiles), retries replicas on shard
+// failure, and replicates hot tiles via Rebalance. Safe for concurrent
+// use.
+type Router struct {
+	ring        *Ring
+	shards      []string
+	grid        *tilecache.Grid
+	maxAttempts int
+	client      *http.Client
+
+	reg        *obs.Registry
+	mQueries   *obs.Counter
+	mTiles     *obs.Counter
+	mErrors    *obs.Counter
+	mRedirects *obs.Counter
+	mReplica   *obs.Counter
+	hQueryDA   *obs.Histogram
+	hQueryNs   *obs.Histogram
+
+	// hot is the replicated tile set from the last Rebalance: key ->
+	// replica count R. Reads of a hot key rotate across its R ring
+	// candidates (all warmed), spreading the skewed load that made the
+	// tile hot in the first place.
+	hotMu   sync.RWMutex
+	hot     map[tilecache.Key]int
+	hotSeq  map[tilecache.Key]*uint64
+	hotSeqM sync.Mutex
+}
+
+// NewRouter builds a router over the shard list.
+func NewRouter(cfg Config) (*Router, error) {
+	if cfg.Grid == nil {
+		return nil, fmt.Errorf("cluster: Config.Grid is required")
+	}
+	ids := cfg.IDs
+	if len(ids) == 0 {
+		ids = cfg.Shards
+	}
+	if len(ids) != len(cfg.Shards) {
+		return nil, fmt.Errorf("cluster: %d ring IDs for %d shards", len(ids), len(cfg.Shards))
+	}
+	ring, err := NewRing(ids, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	maxAttempts := cfg.MaxAttempts
+	if maxAttempts == 0 {
+		maxAttempts = 3
+		if len(cfg.Shards) < maxAttempts {
+			maxAttempts = len(cfg.Shards)
+		}
+	}
+	if maxAttempts < 1 || maxAttempts > len(cfg.Shards) {
+		return nil, fmt.Errorf("cluster: MaxAttempts %d outside [1, %d]", maxAttempts, len(cfg.Shards))
+	}
+	client := cfg.Client
+	if client == nil {
+		tr, _ := http.DefaultTransport.(*http.Transport)
+		if tr != nil {
+			tr = tr.Clone()
+			tr.MaxIdleConns = 256
+			tr.MaxIdleConnsPerHost = 64
+		}
+		client = &http.Client{Timeout: 30 * time.Second}
+		if tr != nil {
+			client.Transport = tr
+		}
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	rt := &Router{
+		ring:        ring,
+		shards:      append([]string(nil), cfg.Shards...),
+		grid:        cfg.Grid,
+		maxAttempts: maxAttempts,
+		client:      client,
+		reg:         reg,
+		hot:         make(map[tilecache.Key]int),
+		hotSeq:      make(map[tilecache.Key]*uint64),
+	}
+	rt.mQueries = reg.Counter("cluster_router_queries_total", "fan-out queries answered")
+	rt.mTiles = reg.Counter("cluster_router_tiles_total", "per-tile shard requests that succeeded")
+	rt.mErrors = reg.Counter("cluster_router_shard_errors_total", "failed shard attempts (transport error or non-200)")
+	rt.mRedirects = reg.Counter("cluster_router_redirects_total", "tiles served by a later candidate after a shard failure")
+	rt.mReplica = reg.Counter("cluster_router_replicated_tiles_total", "hot-tile replica warm-ups issued by Rebalance")
+	rt.hQueryDA = reg.Histogram("cluster_router_query_disk_accesses", "shard disk accesses per fan-out query")
+	rt.hQueryNs = reg.Histogram("cluster_router_query_latency_nanos", "fan-out query latency in nanoseconds")
+	return rt, nil
+}
+
+// Ring returns the router's placement ring.
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Registry returns the registry carrying the router metrics.
+func (rt *Router) Registry() *obs.Registry { return rt.reg }
+
+// Grid returns the router's quantization grid.
+func (rt *Router) Grid() *tilecache.Grid { return rt.grid }
+
+// candidates returns the shard order to try for a key. A key in the hot
+// set rotates its starting replica (all R are warmed by Rebalance);
+// everything else starts at the primary. The full successor order
+// follows in both cases, so the failover path is always complete.
+func (rt *Router) candidates(k tilecache.Key) []int {
+	order := rt.ring.Order(k.String())
+	rt.hotMu.RLock()
+	r := rt.hot[k]
+	var seq *uint64
+	if r > 1 {
+		seq = rt.hotSeq[k]
+	}
+	rt.hotMu.RUnlock()
+	if r <= 1 || seq == nil || r > len(order) {
+		return order
+	}
+	rt.hotSeqM.Lock()
+	start := int(*seq % uint64(r))
+	*seq++
+	rt.hotSeqM.Unlock()
+	if start == 0 {
+		return order
+	}
+	rot := make([]int, 0, len(order))
+	rot = append(rot, order[start])
+	for i, s := range order {
+		if i != start {
+			rot = append(rot, s)
+		}
+	}
+	return rot
+}
+
+// fetchTile requests one tile from its candidate shards in order,
+// bounded by MaxAttempts, and decodes the wire patch. da is the shard
+// store I/O reported for the winning attempt; redirected counts the
+// failed attempts that preceded it.
+func (rt *Router) fetchTile(k tilecache.Key) (tp *dm.TilePatch, da uint64, attempts, redirected int, err error) {
+	cands := rt.candidates(k)
+	if len(cands) > rt.maxAttempts {
+		cands = cands[:rt.maxAttempts]
+	}
+	var lastErr error
+	for i, shard := range cands {
+		attempts++
+		tp, da, lastErr = rt.getPatch(rt.shards[shard], k)
+		if lastErr == nil {
+			if i > 0 {
+				redirected = 1
+				rt.mRedirects.Inc()
+			}
+			rt.mTiles.Inc()
+			return tp, da, attempts, redirected, nil
+		}
+		rt.mErrors.Inc()
+	}
+	return nil, 0, attempts, 0, fmt.Errorf("cluster: tile %s failed on all %d candidates: %w", k, attempts, lastErr)
+}
+
+// getPatch issues one /patch request and decodes the body. Any
+// transport error, non-200 status, or undecodable body is a failed
+// attempt — the fail-stop model treats them all as "this shard cannot
+// serve the tile right now".
+func (rt *Router) getPatch(base string, k tilecache.Key) (*dm.TilePatch, uint64, error) {
+	url := fmt.Sprintf("%s/patch?level=%d&ix=%d&iy=%d&band=%d", base, k.Level, k.IX, k.IY, k.Band)
+	resp, err := rt.client.Get(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("cluster: %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	tp, err := dm.DecodeTilePatch(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	da, _ := strconv.ParseUint(resp.Header.Get("X-DM-DA"), 10, 64)
+	return tp, da, nil
+}
+
+// Query answers Q(r, e) through the cluster: snap e onto the ladder,
+// cover r with canonical tiles, fetch each tile from its owner (replica
+// on failure), stitch exactly. The result equals the single-node
+// tilecache answer for the same query — byte for byte once encoded —
+// because both sides stitch identical canonical patches.
+func (rt *Router) Query(r geom.Rect, e float64) (*dm.Result, QueryStats, error) {
+	start := time.Now()
+	band, snapped := rt.grid.SnapE(e)
+	level := rt.grid.LevelFor(r)
+	keys := rt.grid.Cover(r, level, band)
+	st := QueryStats{SnappedE: snapped, Level: level, Tiles: len(keys)}
+
+	type slot struct {
+		tp         *dm.TilePatch
+		da         uint64
+		attempts   int
+		redirected int
+		err        error
+	}
+	slots := make([]slot, len(keys))
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		wg.Add(1)
+		go func(i int, k tilecache.Key) {
+			defer wg.Done()
+			s := &slots[i]
+			s.tp, s.da, s.attempts, s.redirected, s.err = rt.fetchTile(k)
+		}(i, k)
+	}
+	wg.Wait()
+
+	tiles := make([]*dm.TilePatch, len(keys))
+	for i := range slots {
+		st.DA += slots[i].da
+		st.Attempts += slots[i].attempts
+		st.Redirected += slots[i].redirected
+		if slots[i].err != nil {
+			return nil, st, slots[i].err
+		}
+		tiles[i] = slots[i].tp
+	}
+	res, err := dm.StitchTiles(r, snapped, tiles)
+	if err != nil {
+		return nil, st, err
+	}
+	rt.mQueries.Inc()
+	rt.hQueryDA.Observe(st.DA)
+	rt.hQueryNs.Observe(uint64(time.Since(start)))
+	return res, st, nil
+}
+
+// RebalanceStats summarizes one Rebalance pass.
+type RebalanceStats struct {
+	HotKeys    int    // distinct keys selected for replication
+	Replicated int    // replica warm-ups issued (HotKeys x (R-1), minus failures)
+	WarmDA     uint64 // shard disk accesses the warm-ups cost
+	Failed     int    // warm-ups that failed (shard down); non-fatal
+}
+
+// Rebalance refreshes the hot-tile replica set: it pulls each shard's
+// top-K tile stats (/hottiles), merges them into a global ranking —
+// hits descending, Key total order on ties, so every router ranks
+// identically — and warms the top keys onto their first R ring
+// successors by fetching /patch there. Subsequent reads of a hot key
+// rotate across its R candidates. R < 2 or K < 1 clears the hot set.
+func (rt *Router) Rebalance(topK, replicas int) (RebalanceStats, error) {
+	var st RebalanceStats
+	if replicas > len(rt.shards) {
+		replicas = len(rt.shards)
+	}
+	if topK < 1 || replicas < 2 {
+		rt.hotMu.Lock()
+		rt.hot = make(map[tilecache.Key]int)
+		rt.hotSeq = make(map[tilecache.Key]*uint64)
+		rt.hotMu.Unlock()
+		return st, nil
+	}
+
+	// Global ranking: sum per-shard hits per key. Shards that fail to
+	// answer just contribute nothing (their tiles stay primary-only).
+	hits := make(map[tilecache.Key]uint64)
+	for _, base := range rt.shards {
+		top, err := rt.getHotTiles(base, topK)
+		if err != nil {
+			st.Failed++
+			continue
+		}
+		for _, ht := range top {
+			hits[ht.key] += ht.hits
+		}
+	}
+	keys := make([]tilecache.Key, 0, len(hits))
+	for k := range hits {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if hits[keys[i]] != hits[keys[j]] {
+			return hits[keys[i]] > hits[keys[j]]
+		}
+		return keys[i].Less(keys[j])
+	})
+	if len(keys) > topK {
+		keys = keys[:topK]
+	}
+
+	hot := make(map[tilecache.Key]int, len(keys))
+	hotSeq := make(map[tilecache.Key]*uint64, len(keys))
+	for _, k := range keys {
+		order := rt.ring.Order(k.String())
+		warmed := 1 // the primary already has it (it is where the hits happened)
+		for _, shard := range order[1:replicas] {
+			if _, da, err := rt.getPatch(rt.shards[shard], k); err != nil {
+				st.Failed++
+			} else {
+				st.WarmDA += da
+				st.Replicated++
+				rt.mReplica.Inc()
+				warmed++
+			}
+		}
+		hot[k] = warmed
+		hotSeq[k] = new(uint64)
+	}
+	st.HotKeys = len(keys)
+	rt.hotMu.Lock()
+	rt.hot = hot
+	rt.hotSeq = hotSeq
+	rt.hotMu.Unlock()
+	return st, nil
+}
+
+type hotEntry struct {
+	key  tilecache.Key
+	hits uint64
+}
+
+func (rt *Router) getHotTiles(base string, n int) ([]hotEntry, error) {
+	resp, err := rt.client.Get(fmt.Sprintf("%s/hottiles?n=%d", base, n))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: hottiles: status %d", resp.StatusCode)
+	}
+	var raw []struct {
+		Level int    `json:"level"`
+		IX    int    `json:"ix"`
+		IY    int    `json:"iy"`
+		Band  int    `json:"band"`
+		Hits  uint64 `json:"hits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		return nil, err
+	}
+	out := make([]hotEntry, 0, len(raw))
+	for _, e := range raw {
+		out = append(out, hotEntry{
+			key:  tilecache.Key{Level: e.Level, IX: e.IX, IY: e.IY, Band: e.Band},
+			hits: e.Hits,
+		})
+	}
+	return out, nil
+}

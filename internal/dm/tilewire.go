@@ -1,0 +1,245 @@
+package dm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"dmesh/internal/geom"
+)
+
+// Wire format for TilePatch — the unit a cluster shard ships to the
+// router, which stitches the decoded patches with StitchTiles exactly as
+// it would stitch locally materialized ones.
+//
+// The encoding is deterministic (nodes sorted by ID; edges, triangles and
+// out-pairs are already kept sorted by MaterializeTile), so the same
+// patch always serializes to the same bytes: responses are cachable and
+// byte-comparable across shards. Layout (little endian):
+//
+//	magic "DMTP", version uvarint (1)
+//	Rect (4 x float64 bits), E (float64 bits), FetchedRecords uvarint
+//	node count uvarint, then per node (sorted by ID):
+//	  ID uvarint; Pos x,y,z; ERaw; ELow; EHigh (float64 bits)
+//	  Parent, Child1, Child2, Wing1, Wing2 (zigzag varints; pm.None = -1)
+//	  MBR (4 x float64 bits)
+//	  conn count uvarint, conn IDs as zigzag deltas vs the previous entry
+//	edge count uvarint, then (a, b) zigzag varint pairs
+//	triangle count uvarint, then (A, B, C) zigzag varint triples
+//	out-pair count uvarint, then (a, c) zigzag varint pairs
+//
+// Floats travel as raw IEEE-754 bits, so every value — +Inf EHigh
+// included — round-trips bit-exactly.
+const (
+	tileWireMagic   = "DMTP"
+	tileWireVersion = 1
+)
+
+// EncodeTilePatch serializes tp into the deterministic binary wire form
+// decodable with DecodeTilePatch.
+func EncodeTilePatch(tp *TilePatch) []byte {
+	buf := make([]byte, 0, 64+len(tp.Nodes)*96+16*len(tp.edges)+24*len(tp.tris)+16*len(tp.outPairs))
+	buf = append(buf, tileWireMagic...)
+	buf = binary.AppendUvarint(buf, tileWireVersion)
+	buf = appendF64(buf, tp.Rect.MinX, tp.Rect.MinY, tp.Rect.MaxX, tp.Rect.MaxY, tp.E)
+	buf = binary.AppendUvarint(buf, uint64(tp.FetchedRecords))
+
+	ids := make([]int64, 0, len(tp.Nodes))
+	for id := range tp.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		n := tp.Nodes[id]
+		buf = binary.AppendUvarint(buf, uint64(id))
+		buf = appendF64(buf, n.Pos.X, n.Pos.Y, n.Pos.Z, n.ERaw, n.ELow, n.EHigh)
+		for _, ref := range [...]int64{n.Parent, n.Child1, n.Child2, n.Wing1, n.Wing2} {
+			buf = binary.AppendVarint(buf, ref)
+		}
+		buf = appendF64(buf, n.MBR.MinX, n.MBR.MinY, n.MBR.MaxX, n.MBR.MaxY)
+		buf = binary.AppendUvarint(buf, uint64(len(n.Conn)))
+		prev := int64(0)
+		for _, c := range n.Conn { // sorted ascending: small positive deltas
+			buf = binary.AppendVarint(buf, c-prev)
+			prev = c
+		}
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(tp.edges)))
+	for _, e := range tp.edges {
+		buf = binary.AppendVarint(buf, e[0])
+		buf = binary.AppendVarint(buf, e[1])
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(tp.tris)))
+	for _, t := range tp.tris {
+		buf = binary.AppendVarint(buf, t.A)
+		buf = binary.AppendVarint(buf, t.B)
+		buf = binary.AppendVarint(buf, t.C)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(tp.outPairs)))
+	for _, p := range tp.outPairs {
+		buf = binary.AppendVarint(buf, p[0])
+		buf = binary.AppendVarint(buf, p[1])
+	}
+	return buf
+}
+
+func appendF64(buf []byte, vs ...float64) []byte {
+	for _, v := range vs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// tileWireReader is a bounds-checked cursor over an encoded patch. Every
+// read error wraps ErrCorrupt; allocation sizes are validated against the
+// bytes remaining, so truncated or hostile inputs fail cleanly instead of
+// panicking or ballooning memory.
+type tileWireReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *tileWireReader) corrupt(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("dm: tile patch wire: %s at offset %d: %w", what, r.off, ErrCorrupt)
+	}
+}
+
+func (r *tileWireReader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.corrupt("bad uvarint " + what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *tileWireReader) varint(what string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.corrupt("bad varint " + what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *tileWireReader) f64(what string) float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.corrupt("truncated float " + what)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+// count reads a collection length and sanity-bounds it: each element
+// occupies at least minBytes on the wire, so a count the remaining bytes
+// cannot hold is corruption, not an allocation request.
+func (r *tileWireReader) count(what string, minBytes int) int {
+	v := r.uvarint(what)
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(len(r.b)-r.off)/uint64(minBytes) {
+		r.corrupt("impossible count " + what)
+		return 0
+	}
+	return int(v)
+}
+
+// DecodeTilePatch parses a patch encoded by EncodeTilePatch. The decode
+// is panic-free on arbitrary input: corruption surfaces as an error
+// wrapping ErrCorrupt.
+func DecodeTilePatch(b []byte) (*TilePatch, error) {
+	r := &tileWireReader{b: b}
+	if len(b) < len(tileWireMagic) || string(b[:len(tileWireMagic)]) != tileWireMagic {
+		return nil, fmt.Errorf("dm: tile patch wire: bad magic: %w", ErrCorrupt)
+	}
+	r.off = len(tileWireMagic)
+	if v := r.uvarint("version"); r.err == nil && v != tileWireVersion {
+		return nil, fmt.Errorf("dm: tile patch wire: unsupported version %d: %w", v, ErrCorrupt)
+	}
+	tp := &TilePatch{}
+	tp.Rect.MinX, tp.Rect.MinY = r.f64("rect"), r.f64("rect")
+	tp.Rect.MaxX, tp.Rect.MaxY = r.f64("rect"), r.f64("rect")
+	tp.E = r.f64("e")
+	tp.FetchedRecords = int(r.uvarint("fetched"))
+
+	nNodes := r.count("nodes", 2)
+	tp.Nodes = make(map[int64]*Node, nNodes)
+	for i := 0; i < nNodes && r.err == nil; i++ {
+		n := &Node{}
+		id := int64(r.uvarint("node id"))
+		n.ID = id
+		n.Pos.X, n.Pos.Y, n.Pos.Z = r.f64("pos"), r.f64("pos"), r.f64("pos")
+		n.ERaw, n.ELow, n.EHigh = r.f64("eraw"), r.f64("elow"), r.f64("ehigh")
+		n.Parent = r.varint("parent")
+		n.Child1, n.Child2 = r.varint("child"), r.varint("child")
+		n.Wing1, n.Wing2 = r.varint("wing"), r.varint("wing")
+		n.MBR.MinX, n.MBR.MinY = r.f64("mbr"), r.f64("mbr")
+		n.MBR.MaxX, n.MBR.MaxY = r.f64("mbr"), r.f64("mbr")
+		nConn := r.count("conn", 1)
+		if nConn > 0 {
+			n.Conn = make([]int64, 0, nConn)
+			prev := int64(0)
+			for j := 0; j < nConn && r.err == nil; j++ {
+				prev += r.varint("conn delta")
+				n.Conn = append(n.Conn, prev)
+			}
+		}
+		if r.err == nil {
+			if _, dup := tp.Nodes[id]; dup {
+				r.corrupt("duplicate node id")
+				break
+			}
+			tp.Nodes[id] = n
+		}
+	}
+
+	nEdges := r.count("edges", 2)
+	if nEdges > 0 {
+		tp.edges = make([][2]int64, 0, nEdges)
+		for i := 0; i < nEdges && r.err == nil; i++ {
+			tp.edges = append(tp.edges, [2]int64{r.varint("edge"), r.varint("edge")})
+		}
+	}
+	nTris := r.count("tris", 3)
+	if nTris > 0 {
+		tp.tris = make([]geom.Triangle, 0, nTris)
+		for i := 0; i < nTris && r.err == nil; i++ {
+			tp.tris = append(tp.tris, geom.Triangle{
+				A: r.varint("tri"), B: r.varint("tri"), C: r.varint("tri"),
+			})
+		}
+	}
+	nOut := r.count("outpairs", 2)
+	if nOut > 0 {
+		tp.outPairs = make([][2]int64, 0, nOut)
+		for i := 0; i < nOut && r.err == nil; i++ {
+			tp.outPairs = append(tp.outPairs, [2]int64{r.varint("outpair"), r.varint("outpair")})
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("dm: tile patch wire: %d trailing bytes: %w", len(b)-r.off, ErrCorrupt)
+	}
+	return tp, nil
+}

@@ -1,0 +1,724 @@
+// Package serve is the reusable HTTP tile-serving core extracted from
+// examples/tileserver: the hardened single-process server (shared mesh-
+// tile cache, per-request store sessions, coherent camera sessions, obs
+// registry + slow log + introspection endpoints) behind an importable
+// API, so a cluster shard is exactly the example server over a subset of
+// tile keys.
+//
+// On top of the example's JSON endpoints (/tile, /frame, /stats,
+// /cachestats) it serves the shard-facing surface the cluster router
+// consumes:
+//
+//   - /patch?level=&ix=&iy=&band= — one canonical tile, materialized
+//     through the shared cache and returned in the deterministic binary
+//     wire encoding (dm.EncodeTilePatch); per-request disk accesses and
+//     cache coldness travel in X-DM-DA / X-DM-Cold headers.
+//   - /hottiles?n=K — the cache's top-K hottest tiles (hit-count order,
+//     Key total-order tie-breaks), the router's replication input.
+//   - /gridinfo — the tile grid parameters (data rect, max level, LOD
+//     ladder), so any client can verify it quantizes like the shard.
+//
+// Start runs the server on a listener; Shutdown drains: it stops
+// accepting, then blocks until every in-flight request (tile fetches
+// included) has completed or the context expires.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmesh"
+	"dmesh/internal/dm"
+	"dmesh/internal/geom"
+	"dmesh/internal/obs"
+	"dmesh/internal/tilecache"
+)
+
+// Config parameterizes a Server. Terrain is required; everything else
+// has a serviceable zero value.
+type Config struct {
+	// Terrain is the dataset to serve. Shards of one cluster share a
+	// single *dmesh.Terrain and each build their own store over it.
+	Terrain *dmesh.Terrain
+	// Store serves the queries; nil builds one from Terrain with one
+	// buffer-pool shard per CPU.
+	Store *dmesh.DMStore
+	// CacheMaxBytes caps the shared tile cache (0 = tilecache default).
+	CacheMaxBytes int
+	// SlowThreshold is the slow-log admission threshold (0 admits all).
+	SlowThreshold time.Duration
+	// SlowLogSize is the slow-log ring capacity (0 = 128).
+	SlowLogSize int
+	// ExpvarName, when non-empty, publishes the metrics registry under
+	// this expvar key. Leave empty for in-process clusters: expvar is
+	// process-global and the first registry would shadow the rest.
+	ExpvarName string
+}
+
+// Server is the serving core: store, tile cache, coherent camera
+// sessions, and the telemetry behind the introspection endpoints.
+type Server struct {
+	terrain *dmesh.Terrain
+	store   *dmesh.DMStore
+	model   *dmesh.CostModel
+	cache   *dmesh.DMTileCache
+
+	served   atomic.Uint64
+	tileDA   atomic.Uint64
+	patches  atomic.Uint64
+	patchDA  atomic.Uint64
+	inflight atomic.Int64
+
+	// Telemetry: the metrics registry behind /metrics and /debug/vars,
+	// and the ring-buffered slow-request log behind /slowlog.
+	reg  *obs.Registry
+	slow *obs.SlowLog
+
+	mTileReqs  *obs.Counter
+	mFrameReqs *obs.Counter
+	mPatchReqs *obs.Counter
+	mErrors    *obs.Counter
+	hTileDA    *obs.Histogram
+	hTileNanos *obs.Histogram
+	hFrameDA   *obs.Histogram
+	hFrameNs   *obs.Histogram
+	hPatchDA   *obs.Histogram
+
+	// Named coherent sessions, one per animating client. A coherent
+	// session is stateful and not safe for concurrent use, so each entry
+	// carries its own lock; the map itself has another. Evicted clients'
+	// frame and disk-access totals roll up into the evicted* fields so
+	// /stats never under-reports served work.
+	camMu         sync.Mutex
+	cameras       map[string]*camera
+	camEvictions  uint64
+	evictedFrames uint64
+	evictedDA     uint64
+
+	httpMu   sync.Mutex
+	httpSrv  *http.Server
+	listener net.Listener
+}
+
+// maxCameras caps the retained coherent sessions; the least recently
+// used one is dropped when a new client would exceed it.
+const maxCameras = 64
+
+type camera struct {
+	mu       sync.Mutex
+	cs       *dmesh.DMCoherentSession
+	tr       *obs.Trace // the session's trace; reset every frame
+	lastUsed time.Time
+	frames   uint64
+	da       uint64
+}
+
+// New builds the store (unless provided), the tile cache, and the
+// telemetry plumbing over cfg.Terrain.
+func New(cfg Config) (*Server, error) {
+	if cfg.Terrain == nil {
+		return nil, fmt.Errorf("serve: Config.Terrain is required")
+	}
+	store := cfg.Store
+	if store == nil {
+		var err error
+		store, err = cfg.Terrain.NewDMStoreWithPools(dmesh.StorePools{Shards: runtime.NumCPU()})
+		if err != nil {
+			return nil, err
+		}
+	}
+	model, err := dmesh.NewCostModel(store)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := cfg.Terrain.NewTileCache(store, cfg.CacheMaxBytes)
+	if err != nil {
+		return nil, err
+	}
+	slowSize := cfg.SlowLogSize
+	if slowSize == 0 {
+		slowSize = 128
+	}
+	s := &Server{
+		terrain: cfg.Terrain, store: store, model: model, cache: cache,
+		cameras: make(map[string]*camera),
+		reg:     obs.NewRegistry(),
+		slow:    obs.NewSlowLog(slowSize, cfg.SlowThreshold),
+	}
+	s.mTileReqs = s.reg.Counter("tileserver_tile_requests_total", "tile requests served")
+	s.mFrameReqs = s.reg.Counter("tileserver_frame_requests_total", "coherent frames served")
+	s.mPatchReqs = s.reg.Counter("tileserver_patch_requests_total", "wire tile patches served")
+	s.mErrors = s.reg.Counter("tileserver_request_errors_total", "requests answered with an error status")
+	s.hTileDA = s.reg.Histogram("tileserver_tile_disk_accesses", "disk accesses per tile request")
+	s.hTileNanos = s.reg.Histogram("tileserver_tile_latency_nanos", "tile request latency in nanoseconds")
+	s.hFrameDA = s.reg.Histogram("tileserver_frame_disk_accesses", "disk accesses per coherent frame")
+	s.hFrameNs = s.reg.Histogram("tileserver_frame_latency_nanos", "frame request latency in nanoseconds")
+	s.hPatchDA = s.reg.Histogram("tileserver_patch_disk_accesses", "disk accesses per wire patch request")
+	s.reg.GaugeFunc("tileserver_cache_entries", "resident tile-cache patches", func() int64 {
+		return int64(cache.Stats().Entries)
+	})
+	s.reg.GaugeFunc("tileserver_cache_bytes", "estimated resident tile-cache bytes", func() int64 {
+		return int64(cache.Stats().Bytes)
+	})
+	s.reg.GaugeFunc("tileserver_cameras_active", "retained coherent sessions", func() int64 {
+		s.camMu.Lock()
+		defer s.camMu.Unlock()
+		return int64(len(s.cameras))
+	})
+	s.reg.GaugeFunc("tileserver_inflight_requests", "requests currently being served", func() int64 {
+		return s.inflight.Load()
+	})
+	if cfg.ExpvarName != "" {
+		s.reg.PublishExpvar(cfg.ExpvarName)
+	}
+	return s, nil
+}
+
+// Terrain returns the served dataset.
+func (s *Server) Terrain() *dmesh.Terrain { return s.terrain }
+
+// Store returns the server's DM store.
+func (s *Server) Store() *dmesh.DMStore { return s.store }
+
+// Cache returns the shared mesh-tile cache (per-tile stats included).
+func (s *Server) Cache() *dmesh.DMTileCache { return s.cache }
+
+// Registry returns the server's metrics registry, so an in-process
+// cluster can read per-shard counters without scraping /metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// PatchTotals reports the wire-patch traffic: requests served and the
+// store disk accesses they cost (cold materializations only).
+func (s *Server) PatchTotals() (served, da uint64) {
+	return s.patches.Load(), s.patchDA.Load()
+}
+
+// Handler mounts the serving endpoints, plus (when introspect is set)
+// the observability surface: /metrics, /slowlog, /debug/vars,
+// /debug/pprof/. Every handler runs inside the in-flight tracker that
+// Shutdown drains.
+func (s *Server) Handler(introspect bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/tile", s.handleTile)
+	mux.HandleFunc("/frame", s.handleFrame)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/cachestats", s.handleCacheStats)
+	mux.HandleFunc("/patch", s.handlePatch)
+	mux.HandleFunc("/hottiles", s.handleHotTiles)
+	mux.HandleFunc("/gridinfo", s.handleGridInfo)
+	if introspect {
+		mux.Handle("/metrics", obs.MetricsHandler(s.reg))
+		mux.Handle("/slowlog", obs.SlowLogHandler(s.slow))
+		obs.RegisterDebug(mux)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// Start listens on addr and serves in the background; the returned
+// address carries the bound port (useful with ":0"). Stop with Shutdown.
+func (s *Server) Start(addr string, introspect bool) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: s.Handler(introspect)}
+	s.httpMu.Lock()
+	s.httpSrv, s.listener = srv, l
+	s.httpMu.Unlock()
+	go func() {
+		if err := srv.Serve(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+	}()
+	return l.Addr().String(), nil
+}
+
+// Shutdown stops accepting connections and blocks until every in-flight
+// request has drained (tile fetches run inside their handlers, so a
+// completed drain means no request is still touching the store) or ctx
+// expires. Safe to call without a prior Start.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// lookupCamera returns the named client's coherent session, creating it
+// (and evicting the least recently used one past the cap) if needed.
+func (s *Server) lookupCamera(name string) *camera {
+	s.camMu.Lock()
+	defer s.camMu.Unlock()
+	if c, ok := s.cameras[name]; ok {
+		c.lastUsed = time.Now()
+		return c
+	}
+	if len(s.cameras) >= maxCameras {
+		var oldest string
+		for n, c := range s.cameras {
+			if oldest == "" || c.lastUsed.Before(s.cameras[oldest].lastUsed) {
+				oldest = n
+			}
+		}
+		// Roll the evicted client's stats into the totals instead of
+		// silently dropping them with the session.
+		old := s.cameras[oldest]
+		old.mu.Lock()
+		frames, da := old.frames, old.da
+		old.mu.Unlock()
+		s.camEvictions++
+		s.evictedFrames += frames
+		s.evictedDA += da
+		delete(s.cameras, oldest)
+		log.Printf("evicted coherent session %q (%d frames, %d disk accesses)", oldest, frames, da)
+	}
+	cs := s.store.NewCoherentSession(s.model)
+	c := &camera{cs: cs, tr: cs.EnableTrace(), lastUsed: time.Now()}
+	s.cameras[name] = c
+	return c
+}
+
+type tileResponse struct {
+	LOD          float64               `json:"lod"`
+	Vertices     map[string][3]float64 `json:"vertices"`
+	Triangles    [][3]int64            `json:"triangles"`
+	DiskAccesses uint64                `json:"disk_accesses"`
+}
+
+func queryFloat(r *http.Request, name string, def float64) (float64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}
+
+// jsonError answers a failed request with a JSON body, so API clients
+// parsing every response get structured errors instead of plain text.
+// I/O faults under a query surface here as a 500 with the error chain
+// (e.g. an injected fault or a checksum mismatch) — the server itself
+// keeps serving.
+func (s *Server) jsonError(w http.ResponseWriter, status int, err error) {
+	s.mErrors.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if encErr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); encErr != nil {
+		log.Printf("error encode: %v", encErr)
+	}
+}
+
+func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
+	x0, err1 := queryFloat(r, "x0", 0)
+	y0, err2 := queryFloat(r, "y0", 0)
+	x1, err3 := queryFloat(r, "x1", 1)
+	y1, err4 := queryFloat(r, "y1", 1)
+	pct, err5 := queryFloat(r, "lod", 0.9)
+	for _, err := range []error{err1, err2, err3, err4, err5} {
+		if err != nil {
+			s.jsonError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if pct < 0 || pct > 1 {
+		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("lod must be a percentile in [0,1]"))
+		return
+	}
+	roi := dmesh.NewRect(x0, y0, x1, y1)
+	lod := s.terrain.LODPercentile(pct)
+
+	var res *dmesh.Result
+	var da uint64
+	var tr *obs.Trace
+	var err error
+	start := time.Now()
+	nocache := r.URL.Query().Get("nocache") != ""
+	if nocache {
+		// Bypass the tile cache: one session per request, so the
+		// session's counters see only this request's page reads — and the
+		// trace samples them directly.
+		sess := s.store.NewSession()
+		tr = sess.NewTrace()
+		res, err = sess.ViewpointIndependent(roi, lod)
+		da = sess.DiskAccesses()
+	} else {
+		// The cache snaps the LOD onto its ladder, materializes any cold
+		// tiles (once, however many requests race) and stitches; da is
+		// only the store I/O this request's cold tiles cost, and the
+		// charge-based trace attributes exactly that.
+		tr = dmesh.NewQueryTrace(nil)
+		var qs dmesh.TileQueryStats
+		res, qs, err = s.cache.QueryTraced(roi, lod, tr)
+		lod, da = qs.SnappedE, qs.DA
+	}
+	dur := time.Since(start)
+	if err != nil {
+		s.jsonError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.served.Add(1)
+	s.tileDA.Add(da)
+	s.mTileReqs.Inc()
+	s.hTileDA.Observe(da)
+	s.hTileNanos.Observe(uint64(dur))
+	s.slow.Observe(fmt.Sprintf("tile roi=[%g,%g,%g,%g] lod=%g nocache=%t", x0, y0, x1, y1, pct, nocache),
+		dur, da, tr)
+
+	resp := tileResponse{
+		LOD:          lod,
+		Vertices:     make(map[string][3]float64, len(res.Vertices)),
+		Triangles:    make([][3]int64, 0, len(res.Triangles)),
+		DiskAccesses: da,
+	}
+	for id, p := range res.Vertices {
+		resp.Vertices[strconv.FormatInt(id, 10)] = [3]float64{p.X, p.Y, p.Z}
+	}
+	for _, t := range res.Triangles {
+		resp.Triangles = append(resp.Triangles, [3]int64{t.A, t.B, t.C})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("tile encode: %v", err)
+	}
+}
+
+// handlePatch answers one canonical tile by key in the binary wire
+// encoding — the shard endpoint the cluster router fans out to. The
+// response is deterministic for a key (the patch encoding sorts nodes),
+// so any replica returns byte-identical bodies.
+func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
+	level, err1 := queryInt(r, "level", -1)
+	ix, err2 := queryInt(r, "ix", -1)
+	iy, err3 := queryInt(r, "iy", -1)
+	band, err4 := queryInt(r, "band", -1)
+	for _, err := range []error{err1, err2, err3, err4} {
+		if err != nil {
+			s.jsonError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	k := tilecache.Key{Level: level, IX: ix, IY: iy, Band: band}
+	start := time.Now()
+	tp, st, err := s.cache.Patch(k)
+	if err != nil {
+		if errors.Is(err, tilecache.ErrInvalidKey) {
+			s.jsonError(w, http.StatusBadRequest, err)
+		} else {
+			s.jsonError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	dur := time.Since(start)
+	s.patches.Add(1)
+	s.patchDA.Add(st.DA)
+	s.mPatchReqs.Inc()
+	s.hPatchDA.Observe(st.DA)
+	s.slow.Observe(fmt.Sprintf("patch key=%s cold=%t", k, st.Cold), dur, st.DA, nil)
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-DM-DA", strconv.FormatUint(st.DA, 10))
+	w.Header().Set("X-DM-Cold", strconv.FormatBool(st.Cold))
+	if _, err := w.Write(dm.EncodeTilePatch(tp)); err != nil {
+		log.Printf("patch write: %v", err)
+	}
+}
+
+// hotTile is one entry of the /hottiles ranking.
+type hotTile struct {
+	Level int    `json:"level"`
+	IX    int    `json:"ix"`
+	IY    int    `json:"iy"`
+	Band  int    `json:"band"`
+	Hits  uint64 `json:"hits"`
+	DA    uint64 `json:"disk_accesses"`
+	Bytes int    `json:"bytes"`
+	Nodes int    `json:"nodes"`
+}
+
+// handleHotTiles reports the cache's top-K hottest tiles in the
+// deterministic replication order (hits descending, Key order ties).
+func (s *Server) handleHotTiles(w http.ResponseWriter, r *http.Request) {
+	n, err := queryInt(r, "n", 0)
+	if err != nil {
+		s.jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	top := s.cache.TopTiles(n)
+	out := make([]hotTile, 0, len(top))
+	for _, ts := range top {
+		out = append(out, hotTile{
+			Level: ts.Key.Level, IX: ts.Key.IX, IY: ts.Key.IY, Band: ts.Key.Band,
+			Hits: ts.Hits, DA: ts.DA, Bytes: ts.Bytes, Nodes: ts.Nodes,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		log.Printf("hottiles encode: %v", err)
+	}
+}
+
+// gridInfo is the /gridinfo body: everything needed to rebuild the
+// shard's quantization grid (and so compute identical tile keys).
+type gridInfo struct {
+	DataRect [4]float64 `json:"data_rect"` // min_x, min_y, max_x, max_y
+	MaxLevel int        `json:"max_level"`
+	Ladder   []float64  `json:"lod_ladder"`
+}
+
+func (s *Server) handleGridInfo(w http.ResponseWriter, r *http.Request) {
+	g := s.cache.Grid()
+	dr := g.DataRect()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(gridInfo{
+		DataRect: [4]float64{dr.MinX, dr.MinY, dr.MaxX, dr.MaxY},
+		MaxLevel: g.MaxLevel(),
+		Ladder:   g.Ladder(),
+	}); err != nil {
+		log.Printf("gridinfo encode: %v", err)
+	}
+}
+
+// Grid returns the cache's quantization grid.
+func (s *Server) Grid() *tilecache.Grid { return s.cache.Grid() }
+
+// DataSpace returns the store's data rect (for grid reconstruction).
+func (s *Server) DataSpace() geom.Rect { return s.cache.Grid().DataRect() }
+
+type frameResponse struct {
+	Session      string                `json:"session"`
+	Full         bool                  `json:"full"`
+	Retained     int                   `json:"retained"`
+	Fetched      int                   `json:"fetched"`
+	Evicted      int                   `json:"evicted"`
+	Vertices     map[string][3]float64 `json:"vertices"`
+	Triangles    [][3]int64            `json:"triangles"`
+	DiskAccesses uint64                `json:"disk_accesses"`
+}
+
+// handleFrame answers one frame of a named client's camera animation
+// through its retained coherent session. near and far are LOD
+// percentiles at the low- and high-y edges of the view (equal values
+// give a uniform frame); overlapping consecutive frames are answered
+// incrementally.
+func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("session")
+	if name == "" {
+		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("session parameter required"))
+		return
+	}
+	x0, err1 := queryFloat(r, "x0", 0)
+	y0, err2 := queryFloat(r, "y0", 0)
+	x1, err3 := queryFloat(r, "x1", 1)
+	y1, err4 := queryFloat(r, "y1", 1)
+	near, err5 := queryFloat(r, "near", 0.75)
+	far, err6 := queryFloat(r, "far", 0.99)
+	for _, err := range []error{err1, err2, err3, err4, err5, err6} {
+		if err != nil {
+			s.jsonError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if near < 0 || near > 1 || far < 0 || far > 1 {
+		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("near and far must be percentiles in [0,1]"))
+		return
+	}
+	plane := dmesh.QueryPlane{
+		R:    dmesh.NewRect(x0, y0, x1, y1),
+		EMin: s.terrain.LODPercentile(near),
+		EMax: s.terrain.LODPercentile(far),
+		Axis: 1,
+	}
+
+	cam := s.lookupCamera(name)
+	cam.mu.Lock()
+	start := time.Now()
+	res, st, err := cam.cs.Frame(plane)
+	dur := time.Since(start)
+	if err == nil {
+		cam.frames++
+		cam.da += st.DA
+		// Observe under the camera lock: the trace is reset by the next
+		// frame, and Observe copies the phase stats out.
+		s.slow.Observe(fmt.Sprintf("frame session=%s roi=[%g,%g,%g,%g]", name, x0, y0, x1, y1),
+			dur, st.DA, cam.tr)
+	}
+	cam.mu.Unlock()
+	if err != nil {
+		s.jsonError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.mFrameReqs.Inc()
+	s.hFrameDA.Observe(st.DA)
+	s.hFrameNs.Observe(uint64(dur))
+
+	resp := frameResponse{
+		Session:      name,
+		Full:         st.Full,
+		Retained:     st.Retained,
+		Fetched:      st.Fetched,
+		Evicted:      st.Evicted,
+		Vertices:     make(map[string][3]float64, len(res.Vertices)),
+		Triangles:    make([][3]int64, 0, len(res.Triangles)),
+		DiskAccesses: st.DA,
+	}
+	for id, p := range res.Vertices {
+		resp.Vertices[strconv.FormatInt(id, 10)] = [3]float64{p.X, p.Y, p.Z}
+	}
+	for _, t := range res.Triangles {
+		resp.Triangles = append(resp.Triangles, [3]int64{t.A, t.B, t.C})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("frame encode: %v", err)
+	}
+}
+
+// CameraStats is one retained coherent session's accounting in /stats.
+type CameraStats struct {
+	Session      string `json:"session"`
+	Frames       uint64 `json:"frames"`
+	DiskAccesses uint64 `json:"disk_accesses"`
+	IdleSeconds  int64  `json:"idle_seconds"`
+}
+
+// StatsResponse is the /stats body.
+type StatsResponse struct {
+	Points         int                `json:"points"`
+	Nodes          int                `json:"nodes"`
+	MaxLOD         float64            `json:"max_lod"`
+	LODPercentiles map[string]float64 `json:"lod_percentiles"`
+
+	TilesServed uint64  `json:"tiles_served"`
+	TileDA      uint64  `json:"tile_disk_accesses"`
+	DAPerTile   float64 `json:"da_per_tile"`
+
+	PatchesServed uint64 `json:"patches_served"`
+	PatchDA       uint64 `json:"patch_disk_accesses"`
+
+	// Coherent-session LRU: per-client occupancy plus eviction counts.
+	// Totals include clients already evicted from the LRU, so nothing is
+	// silently dropped.
+	Cameras          []CameraStats `json:"cameras"`
+	CameraOccupancy  int           `json:"camera_occupancy"`
+	CameraCapacity   int           `json:"camera_capacity"`
+	CameraEvictions  uint64        `json:"camera_evictions"`
+	TotalFrames      uint64        `json:"total_frames"`
+	TotalFrameDA     uint64        `json:"total_frame_disk_accesses"`
+	EvictedFrames    uint64        `json:"evicted_frames"`
+	EvictedFrameDA   uint64        `json:"evicted_frame_disk_accesses"`
+	StoreDiskAccsses uint64        `json:"store_disk_accesses"`
+}
+
+// StatsSnapshot assembles the /stats response at the given time.
+// Deterministic for a fixed server state and now: the only map in the
+// response is encoded by encoding/json (sorted keys) and the camera list
+// is sorted by session name.
+func (s *Server) StatsSnapshot(now time.Time) StatsResponse {
+	resp := StatsResponse{
+		Points:         s.terrain.NumPoints(),
+		Nodes:          s.terrain.Dataset.Tree.Len(),
+		MaxLOD:         s.terrain.MaxLOD(),
+		LODPercentiles: make(map[string]float64),
+		TilesServed:    s.served.Load(),
+		TileDA:         s.tileDA.Load(),
+		PatchesServed:  s.patches.Load(),
+		PatchDA:        s.patchDA.Load(),
+		CameraCapacity: maxCameras,
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		resp.LODPercentiles[fmt.Sprintf("p%.0f", p*100)] = s.terrain.LODPercentile(p)
+	}
+	if resp.TilesServed > 0 {
+		resp.DAPerTile = float64(resp.TileDA) / float64(resp.TilesServed)
+	}
+	s.camMu.Lock()
+	resp.CameraOccupancy = len(s.cameras)
+	resp.CameraEvictions = s.camEvictions
+	resp.EvictedFrames = s.evictedFrames
+	resp.EvictedFrameDA = s.evictedDA
+	resp.TotalFrames = s.evictedFrames
+	resp.TotalFrameDA = s.evictedDA
+	for name, c := range s.cameras {
+		c.mu.Lock()
+		resp.Cameras = append(resp.Cameras, CameraStats{
+			Session:      name,
+			Frames:       c.frames,
+			DiskAccesses: c.da,
+			IdleSeconds:  int64(now.Sub(c.lastUsed).Seconds()),
+		})
+		resp.TotalFrames += c.frames
+		resp.TotalFrameDA += c.da
+		c.mu.Unlock()
+	}
+	s.camMu.Unlock()
+	sort.Slice(resp.Cameras, func(i, j int) bool { return resp.Cameras[i].Session < resp.Cameras[j].Session })
+	resp.StoreDiskAccsses = s.store.DiskAccesses()
+	return resp
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.StatsSnapshot(time.Now())); err != nil {
+		log.Printf("stats encode: %v", err)
+	}
+}
+
+// CacheStatsResponse is the /cachestats body: global cache counters plus
+// the per-tile hit/cost accounting, hottest tiles first (ties keep the
+// underlying Key order, so the encoding is deterministic).
+type CacheStatsResponse struct {
+	Stats  dmesh.TileCacheStats `json:"stats"`
+	Ladder []float64            `json:"lod_ladder"`
+	Tiles  []hotTile            `json:"tiles"`
+}
+
+// CacheStatsSnapshot assembles the /cachestats response. TopTiles ranks
+// by hits with Key total-order tie-breaks, so the encoding is
+// deterministic.
+func (s *Server) CacheStatsSnapshot() CacheStatsResponse {
+	resp := CacheStatsResponse{
+		Stats:  s.cache.Stats(),
+		Ladder: s.cache.Ladder(),
+	}
+	for _, ts := range s.cache.TopTiles(0) {
+		resp.Tiles = append(resp.Tiles, hotTile{
+			Level: ts.Key.Level, IX: ts.Key.IX, IY: ts.Key.IY, Band: ts.Key.Band,
+			Hits: ts.Hits, DA: ts.DA, Bytes: ts.Bytes, Nodes: ts.Nodes,
+		})
+	}
+	return resp
+}
+
+// handleCacheStats reports the shared tile cache: global counters plus
+// the per-tile hit/cost accounting, hottest tiles first.
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.CacheStatsSnapshot()); err != nil {
+		log.Printf("cachestats encode: %v", err)
+	}
+}

@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dmesh/internal/dm"
+	"dmesh/internal/tilecache"
+)
+
+// TestObsSmoke drives the introspection endpoints end to end: /metrics
+// must be Prometheus text carrying the server's series, /slowlog must
+// return phase-attributed entries, /debug/vars must be expvar JSON with
+// the published registry.
+func TestObsSmoke(t *testing.T) {
+	_, ts := StartTestHarness(t)
+
+	resp, body := Fetch(t, ts.URL, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE tileserver_tile_requests_total counter",
+		"tileserver_tile_requests_total 3",
+		"tileserver_frame_requests_total 2",
+		"# TYPE tileserver_tile_disk_accesses histogram",
+		"tileserver_tile_disk_accesses_count 3",
+		"tileserver_cameras_active 1",
+		"tileserver_cache_entries",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	resp, body = Fetch(t, ts.URL, "/slowlog?n=10")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/slowlog: status %d", resp.StatusCode)
+	}
+	var slow struct {
+		ThresholdNanos int64 `json:"threshold_nanos"`
+		Entries        []struct {
+			Query  string `json:"query"`
+			DA     uint64 `json:"disk_accesses"`
+			Phases []struct {
+				Phase string `json:"phase"`
+				DA    uint64 `json:"disk_accesses"`
+			} `json:"phases"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(body, &slow); err != nil {
+		t.Fatalf("/slowlog: %v\n%s", err, body)
+	}
+	if len(slow.Entries) != 5 {
+		t.Fatalf("/slowlog: got %d entries, want 5 (threshold 0 admits all)", len(slow.Entries))
+	}
+	// Every traced entry's phase DA must sum exactly to the entry's DA —
+	// the attribution invariant, visible all the way out at the endpoint.
+	for _, e := range slow.Entries {
+		var sum uint64
+		for _, p := range e.Phases {
+			sum += p.DA
+		}
+		if sum != e.DA {
+			t.Errorf("entry %q: phase DA sum %d != entry DA %d", e.Query, sum, e.DA)
+		}
+		if e.DA > 0 && len(e.Phases) == 0 {
+			t.Errorf("entry %q: %d disk accesses but no phase breakdown", e.Query, e.DA)
+		}
+	}
+
+	resp, body = Fetch(t, ts.URL, "/debug/vars")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars: status %d", resp.StatusCode)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["tileserver"]; !ok {
+		t.Error("/debug/vars missing published \"tileserver\" registry")
+	}
+
+	if resp, _ := Fetch(t, ts.URL, "/debug/pprof/"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/: status %d", resp.StatusCode)
+	}
+}
+
+// TestStatsEncodingDeterministic is the regression for the JSON
+// determinism audit: for a fixed server state, two back-to-back
+// encodings of the /stats and /cachestats payloads must be
+// byte-identical — no map-iteration order, no unsorted slices.
+// /stats is pinned to one timestamp because IdleSeconds is (second
+// granularity) time-dependent; everything else must not depend on when
+// it is encoded.
+func TestStatsEncodingDeterministic(t *testing.T) {
+	s, ts := StartTestHarness(t)
+
+	now := time.Now()
+	a, err := json.Marshal(s.StatsSnapshot(now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(s.StatsSnapshot(now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("/stats payload not deterministic:\n%s\n%s", a, b)
+	}
+
+	// /cachestats has no time-dependent fields at all, so the HTTP
+	// responses themselves must match byte for byte.
+	_, c1 := Fetch(t, ts.URL, "/cachestats")
+	_, c2 := Fetch(t, ts.URL, "/cachestats")
+	if !bytes.Equal(c1, c2) {
+		t.Errorf("/cachestats response not deterministic:\n%s\n%s", c1, c2)
+	}
+}
+
+// TestIntrospectionOptOut checks that introspect=false leaves only the
+// serving endpoints mounted.
+func TestIntrospectionOptOut(t *testing.T) {
+	s := NewTestServer(t, 33, 0)
+	ts := httptest.NewServer(s.Handler(false))
+	defer ts.Close()
+	for _, path := range []string{"/metrics", "/slowlog", "/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s with introspection off: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/stats"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET /stats: status %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestPatchEndpoint fetches a wire patch, checks it decodes to the same
+// patch the cache serves locally, and that the stats headers carry the
+// cold/warm distinction. Invalid keys must be a 400.
+func TestPatchEndpoint(t *testing.T) {
+	s := NewTestServer(t, 33, 0)
+	ts := httptest.NewServer(s.Handler(false))
+	defer ts.Close()
+
+	g := s.Grid()
+	k := tilecache.Key{Level: 1, IX: 0, IY: 1, Band: len(g.Ladder()) / 2}
+	path := fmt.Sprintf("/patch?level=%d&ix=%d&iy=%d&band=%d", k.Level, k.IX, k.IY, k.Band)
+
+	// Cold-cache discipline: the store's buffer pool is warm from the
+	// build, so empty it first or the cold fetch may cost zero DA.
+	if err := s.Store().DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := Fetch(t, ts.URL, path)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold patch: status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("content type %q", ct)
+	}
+	if c := resp.Header.Get("X-DM-Cold"); c != "true" {
+		t.Errorf("first fetch X-DM-Cold = %q, want true", c)
+	}
+	da, err := strconv.ParseUint(resp.Header.Get("X-DM-DA"), 10, 64)
+	if err != nil || da == 0 {
+		t.Errorf("cold fetch X-DM-DA = %q, want a positive count", resp.Header.Get("X-DM-DA"))
+	}
+	got, err := dm.DecodeTilePatch(body)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	want, _, err := s.Cache().Patch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dm.EncodeTilePatch(got), dm.EncodeTilePatch(want)) {
+		t.Error("served patch differs from the cache's own")
+	}
+
+	// Warm: same bytes, zero DA, not cold.
+	resp2, body2 := Fetch(t, ts.URL, path)
+	if resp2.Header.Get("X-DM-Cold") != "false" || resp2.Header.Get("X-DM-DA") != "0" {
+		t.Errorf("warm fetch: cold=%q da=%q", resp2.Header.Get("X-DM-Cold"), resp2.Header.Get("X-DM-DA"))
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("warm fetch served different bytes")
+	}
+
+	if resp, _ := Fetch(t, ts.URL, "/patch?level=99&ix=0&iy=0&band=0"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid key: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := Fetch(t, ts.URL, "/patch?level=x"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed key: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHotTilesAndGridInfo checks the shard-facing metadata endpoints:
+// /hottiles ranks by hits with deterministic ties, /gridinfo round-trips
+// into an identical tilecache.Grid.
+func TestHotTilesAndGridInfo(t *testing.T) {
+	s, ts := StartTestHarness(t)
+
+	var hot []struct {
+		Level int    `json:"level"`
+		IX    int    `json:"ix"`
+		IY    int    `json:"iy"`
+		Band  int    `json:"band"`
+		Hits  uint64 `json:"hits"`
+	}
+	resp, body := Fetch(t, ts.URL, "/hottiles?n=3")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/hottiles: status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &hot); err != nil {
+		t.Fatalf("/hottiles: %v\n%s", err, body)
+	}
+	if len(hot) == 0 {
+		t.Fatal("/hottiles empty after traffic")
+	}
+	for i := 1; i < len(hot); i++ {
+		if hot[i].Hits > hot[i-1].Hits {
+			t.Errorf("/hottiles not sorted by hits: %v", hot)
+		}
+	}
+
+	var gi struct {
+		DataRect [4]float64 `json:"data_rect"`
+		MaxLevel int        `json:"max_level"`
+		Ladder   []float64  `json:"lod_ladder"`
+	}
+	if _, body := Fetch(t, ts.URL, "/gridinfo"); json.Unmarshal(body, &gi) != nil {
+		t.Fatalf("/gridinfo not JSON: %s", body)
+	}
+	g := s.Grid()
+	if gi.MaxLevel != g.MaxLevel() {
+		t.Errorf("gridinfo max level %d, want %d", gi.MaxLevel, g.MaxLevel())
+	}
+	wantLadder := g.Ladder()
+	if len(gi.Ladder) != len(wantLadder) {
+		t.Fatalf("gridinfo ladder %v, want %v", gi.Ladder, wantLadder)
+	}
+	for i := range wantLadder {
+		if gi.Ladder[i] != wantLadder[i] {
+			t.Fatalf("gridinfo ladder %v, want %v", gi.Ladder, wantLadder)
+		}
+	}
+	dr := g.DataRect()
+	if gi.DataRect != [4]float64{dr.MinX, dr.MinY, dr.MaxX, dr.MaxY} {
+		t.Errorf("gridinfo data rect %v, want %v", gi.DataRect, dr)
+	}
+}
+
+// TestGracefulShutdown starts a real listener, parks a request in a slow
+// handler region (a cold /tile is plenty), and checks Shutdown blocks
+// until the response completes — the drain contract — while new
+// connections are refused afterwards.
+func TestGracefulShutdown(t *testing.T) {
+	s := NewTestServer(t, 33, 0)
+	addr, err := s.Start("127.0.0.1:0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	// Park one request in-flight, then shut down while it runs.
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(base + "/tile?x0=0&y0=0&x1=1&y1=1&lod=0.99&nocache=1")
+		if err != nil {
+			done <- err
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("status %d: %s", resp.StatusCode, body)
+		}
+		if err == nil && len(body) == 0 {
+			err = fmt.Errorf("empty body")
+		}
+		done <- err
+	}()
+	// Wait until the request is actually inside a handler (or already
+	// finished, in which case the drain is trivially satisfied).
+	for i := 0; s.inflight.Load() == 0 && len(done) == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// Shutdown returning means the in-flight request was drained; its
+	// response must have been complete and well-formed.
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("in-flight request failed across shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request still pending after Shutdown returned")
+	}
+	if s.inflight.Load() != 0 {
+		t.Errorf("%d requests still tracked in-flight after drain", s.inflight.Load())
+	}
+
+	if _, err := http.Get(base + "/stats"); err == nil {
+		t.Error("server still accepting connections after Shutdown")
+	}
+	// Idempotent and safe without a live listener.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Errorf("second Shutdown: %v", err)
+	}
+}

@@ -14,6 +14,7 @@
 package tilecache
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -22,7 +23,9 @@ import (
 
 // Key identifies one cacheable tile: a cell of the 2^Level x 2^Level
 // quadtree grid over the unit square, at one rung of the LOD ladder.
-// Identical keys are what overlapping queries share.
+// Identical keys are what overlapping queries share — and what the
+// cluster router hashes onto shards (the key is canonical, so every
+// router and every shard agree on the unit of placement).
 type Key struct {
 	// Level is the quadtree depth; the grid is 2^Level cells per side.
 	Level int
@@ -47,20 +50,67 @@ func (k Key) Less(o Key) bool {
 	return k.Band < o.Band
 }
 
-// grid quantizes queries for one store: a power-of-two tile grid over the
+// String renders the canonical spelling of the key, "L/IY/IX/B" — the
+// byte string the cluster's consistent-hash ring hashes. Two processes
+// computing a key's placement must hash identical bytes, so the format
+// is part of the routing contract.
+func (k Key) String() string {
+	return fmt.Sprintf("%d/%d/%d/%d", k.Level, k.IY, k.IX, k.Band)
+}
+
+// Grid quantizes queries for one store: a power-of-two tile grid over the
 // unit square whose border cells are widened to the store's data space
 // (collapse placement may position merged nodes slightly outside the unit
 // square; every node must land in some tile for covers to stay exact).
-type grid struct {
+//
+// A Grid is pure arithmetic over its three parameters, so a cluster
+// router built with the same (dataRect, maxLevel, ladder) as its shards'
+// caches computes byte-identical keys and footprints without talking to
+// them.
+type Grid struct {
 	dataRect geom.Rect // (x, y) bounds of the stored segments
 	maxLevel int
 	ladder   []float64 // ascending discrete LODs
 }
 
-// snapE maps a requested LOD onto the ladder: the largest rung <= e, or
+// NewGrid validates and builds a quantization grid. The ladder is copied,
+// sorted ascending, and must be non-empty without duplicate rungs;
+// maxLevel < 0 is rejected and maxLevel == 0 selects the default depth 4.
+func NewGrid(dataRect geom.Rect, maxLevel int, ladder []float64) (*Grid, error) {
+	if len(ladder) == 0 {
+		return nil, fmt.Errorf("tilecache: empty LOD ladder")
+	}
+	l := append([]float64(nil), ladder...)
+	sort.Float64s(l)
+	for i := 1; i < len(l); i++ {
+		if l[i] == l[i-1] {
+			return nil, fmt.Errorf("tilecache: duplicate ladder rung %g", l[i])
+		}
+	}
+	if maxLevel == 0 {
+		maxLevel = 4
+	}
+	if maxLevel < 0 {
+		return nil, fmt.Errorf("tilecache: negative MaxLevel")
+	}
+	return &Grid{dataRect: dataRect, maxLevel: maxLevel, ladder: l}, nil
+}
+
+// DataRect returns the (x, y) bounds border tiles are widened to.
+func (g *Grid) DataRect() geom.Rect { return g.dataRect }
+
+// MaxLevel returns the deepest quadtree level the grid quantizes to.
+func (g *Grid) MaxLevel() int { return g.maxLevel }
+
+// Ladder returns the grid's LOD ladder (ascending copy).
+func (g *Grid) Ladder() []float64 {
+	return append([]float64(nil), g.ladder...)
+}
+
+// SnapE maps a requested LOD onto the ladder: the largest rung <= e, or
 // the lowest rung when e undercuts the whole ladder. Snapping down means
 // the served mesh is never coarser than requested.
-func (g *grid) snapE(e float64) (band int, snapped float64) {
+func (g *Grid) SnapE(e float64) (band int, snapped float64) {
 	i := sort.SearchFloat64s(g.ladder, e) // first rung > e is at i if not exact
 	if i < len(g.ladder) && g.ladder[i] == e {
 		return i, e
@@ -71,11 +121,11 @@ func (g *grid) snapE(e float64) (band int, snapped float64) {
 	return i - 1, g.ladder[i-1]
 }
 
-// levelFor picks the grid level for an ROI: the deepest level whose tile
+// LevelFor picks the grid level for an ROI: the deepest level whose tile
 // side still covers the ROI's larger dimension, clamped to [0, maxLevel].
 // Covers then span at most 2x2 tiles (plus boundary inclusivity), and
 // similar-size ROIs land on the same level — the sharing precondition.
-func (g *grid) levelFor(r geom.Rect) int {
+func (g *Grid) LevelFor(r geom.Rect) int {
 	d := r.Width()
 	if h := r.Height(); h > d {
 		d = h
@@ -93,10 +143,10 @@ func (g *grid) levelFor(r geom.Rect) int {
 	return lv
 }
 
-// cover returns the keys of the tiles intersecting r at the given level
+// Cover returns the keys of the tiles intersecting r at the given level
 // and band, in Key total order. Indices are clamped to the grid, so ROIs
 // reaching past the unit square fall into the (widened) border tiles.
-func (g *grid) cover(r geom.Rect, level, band int) []Key {
+func (g *Grid) Cover(r geom.Rect, level, band int) []Key {
 	n := 1 << level
 	clamp := func(f float64) int {
 		if !(f >= 0) { // also catches NaN
@@ -118,9 +168,9 @@ func (g *grid) cover(r geom.Rect, level, band int) []Key {
 	return out
 }
 
-// rectFor is the tile footprint: cell boundaries are exact binary
+// RectFor is the tile footprint: cell boundaries are exact binary
 // fractions (ix * 2^-level), and border cells extend to the data space.
-func (g *grid) rectFor(k Key) geom.Rect {
+func (g *Grid) RectFor(k Key) geom.Rect {
 	n := 1 << k.Level
 	side := 1.0 / float64(n)
 	t := geom.Rect{
@@ -140,4 +190,19 @@ func (g *grid) rectFor(k Key) geom.Rect {
 		t.MaxY = g.dataRect.MaxY
 	}
 	return t
+}
+
+// ValidKey reports whether k addresses a cell of this grid: level within
+// depth, indices inside the 2^Level x 2^Level grid, band on the ladder.
+// Servers answering tile requests by key validate with it before
+// materializing.
+func (g *Grid) ValidKey(k Key) bool {
+	if k.Level < 0 || k.Level > g.maxLevel {
+		return false
+	}
+	n := 1 << k.Level
+	if k.IX < 0 || k.IX >= n || k.IY < 0 || k.IY >= n {
+		return false
+	}
+	return k.Band >= 0 && k.Band < len(g.ladder)
 }

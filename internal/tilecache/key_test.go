@@ -7,12 +7,12 @@ import (
 	"dmesh/internal/geom"
 )
 
-func testGrid() *grid {
-	return &grid{
-		dataRect: geom.Rect{MinX: -0.02, MinY: 0, MaxX: 1.01, MaxY: 1},
-		maxLevel: 4,
-		ladder:   []float64{0.1, 0.5, 2.0},
+func testGrid() *Grid {
+	g, err := NewGrid(geom.Rect{MinX: -0.02, MinY: 0, MaxX: 1.01, MaxY: 1}, 4, []float64{0.1, 0.5, 2.0})
+	if err != nil {
+		panic(err)
 	}
+	return g
 }
 
 func TestSnapE(t *testing.T) {
@@ -31,7 +31,7 @@ func TestSnapE(t *testing.T) {
 		{7.0, 2, 2.0}, // above the ladder: top rung
 	}
 	for _, c := range cases {
-		band, snapped := g.snapE(c.e)
+		band, snapped := g.SnapE(c.e)
 		if band != c.band || snapped != c.snapped {
 			t.Errorf("snapE(%g) = (%d, %g), want (%d, %g)", c.e, band, snapped, c.band, c.snapped)
 		}
@@ -53,7 +53,7 @@ func TestLevelFor(t *testing.T) {
 		{geom.Rect{MinX: -0.5, MinY: -0.5, MaxX: 1.5, MaxY: 1.5}, 0}, // oversized: clamp to 0
 	}
 	for _, c := range cases {
-		if lv := g.levelFor(c.r); lv != c.level {
+		if lv := g.LevelFor(c.r); lv != c.level {
 			t.Errorf("levelFor(%v) = %d, want %d", c.r, lv, c.level)
 		}
 	}
@@ -65,7 +65,7 @@ func TestCoverBoundaryAndDegenerate(t *testing.T) {
 	// ROI exactly on level-2 tile boundaries: inclusive boundaries pull in
 	// the touching row/column of tiles on the max side.
 	r := geom.Rect{MinX: 0.25, MinY: 0.25, MaxX: 0.5, MaxY: 0.5}
-	got := g.cover(r, 2, 1)
+	got := g.Cover(r, 2, 1)
 	want := []Key{
 		{Level: 2, IX: 1, IY: 1, Band: 1}, {Level: 2, IX: 2, IY: 1, Band: 1},
 		{Level: 2, IX: 1, IY: 2, Band: 1}, {Level: 2, IX: 2, IY: 2, Band: 1},
@@ -77,7 +77,7 @@ func TestCoverBoundaryAndDegenerate(t *testing.T) {
 	// Degenerate zero-area ROI on a tile corner: a single tile (the one
 	// whose min corner it is).
 	p := geom.Rect{MinX: 0.5, MinY: 0.5, MaxX: 0.5, MaxY: 0.5}
-	got = g.cover(p, 1, 0)
+	got = g.Cover(p, 1, 0)
 	want = []Key{{Level: 1, IX: 1, IY: 1, Band: 0}}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("zero-area cover = %v, want %v", got, want)
@@ -85,7 +85,7 @@ func TestCoverBoundaryAndDegenerate(t *testing.T) {
 
 	// ROI past the data space: indices clamp to the border tiles.
 	o := geom.Rect{MinX: -3, MinY: 0.6, MaxX: 9, MaxY: 0.6}
-	got = g.cover(o, 1, 2)
+	got = g.Cover(o, 1, 2)
 	want = []Key{{Level: 1, IX: 0, IY: 1, Band: 2}, {Level: 1, IX: 1, IY: 1, Band: 2}}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("clamped cover = %v, want %v", got, want)
@@ -103,32 +103,32 @@ func TestRectForBorderWidening(t *testing.T) {
 	g := testGrid()
 
 	// Interior tile: exact binary-fraction boundaries.
-	in := g.rectFor(Key{Level: 2, IX: 1, IY: 1})
+	in := g.RectFor(Key{Level: 2, IX: 1, IY: 1})
 	if in != (geom.Rect{MinX: 0.25, MinY: 0.25, MaxX: 0.5, MaxY: 0.5}) {
 		t.Errorf("interior tile = %v", in)
 	}
 
 	// Border tiles stretch to the data space, which here pokes out of the
 	// unit square on both x sides but not in y.
-	bl := g.rectFor(Key{Level: 2, IX: 0, IY: 0})
-	if bl.MinX != g.dataRect.MinX || bl.MinY != 0 {
+	bl := g.RectFor(Key{Level: 2, IX: 0, IY: 0})
+	if bl.MinX != g.DataRect().MinX || bl.MinY != 0 {
 		t.Errorf("min border tile = %v", bl)
 	}
-	tr := g.rectFor(Key{Level: 2, IX: 3, IY: 3})
-	if tr.MaxX != g.dataRect.MaxX || tr.MaxY != 1 {
+	tr := g.RectFor(Key{Level: 2, IX: 3, IY: 3})
+	if tr.MaxX != g.DataRect().MaxX || tr.MaxY != 1 {
 		t.Errorf("max border tile = %v", tr)
 	}
 
 	// Adjacent tiles share their interior boundary exactly.
-	a, b := g.rectFor(Key{Level: 3, IX: 2, IY: 5}), g.rectFor(Key{Level: 3, IX: 3, IY: 5})
+	a, b := g.RectFor(Key{Level: 3, IX: 2, IY: 5}), g.RectFor(Key{Level: 3, IX: 3, IY: 5})
 	if a.MaxX != b.MinX {
 		t.Errorf("interior seam mismatch: %v vs %v", a, b)
 	}
 
 	// Level-0 cover is a single tile spanning the whole data space.
-	whole := g.rectFor(Key{Level: 0, IX: 0, IY: 0})
-	if !whole.ContainsRect(g.dataRect) {
-		t.Errorf("level-0 tile %v does not contain data space %v", whole, g.dataRect)
+	whole := g.RectFor(Key{Level: 0, IX: 0, IY: 0})
+	if !whole.ContainsRect(g.DataRect()) {
+		t.Errorf("level-0 tile %v does not contain data space %v", whole, g.DataRect())
 	}
 }
 
@@ -152,5 +152,78 @@ func TestKeyLessTotalOrder(t *testing.T) {
 				t.Fatalf("Less not antisymmetric for %v, %v", a, b)
 			}
 		}
+	}
+}
+
+func TestValidKey(t *testing.T) {
+	g := testGrid()
+	valid := []Key{
+		{Level: 0, IX: 0, IY: 0, Band: 0},
+		{Level: 4, IX: 15, IY: 15, Band: 2},
+		{Level: 2, IX: 3, IY: 0, Band: 1},
+	}
+	for _, k := range valid {
+		if !g.ValidKey(k) {
+			t.Errorf("ValidKey(%v) = false, want true", k)
+		}
+	}
+	invalid := []Key{
+		{Level: -1, IX: 0, IY: 0, Band: 0}, // negative level
+		{Level: 5, IX: 0, IY: 0, Band: 0},  // past maxLevel
+		{Level: 2, IX: 4, IY: 0, Band: 0},  // column outside 2^2 grid
+		{Level: 2, IX: 0, IY: -1, Band: 0}, // negative row
+		{Level: 2, IX: 0, IY: 0, Band: 3},  // band off the ladder
+		{Level: 2, IX: 0, IY: 0, Band: -1},
+	}
+	for _, k := range invalid {
+		if g.ValidKey(k) {
+			t.Errorf("ValidKey(%v) = true, want false", k)
+		}
+	}
+}
+
+// TestKeyStringCanonical pins the canonical key spelling: it is the byte
+// string the cluster ring hashes, so changing it re-shards every cluster.
+func TestKeyStringCanonical(t *testing.T) {
+	k := Key{Level: 3, IX: 5, IY: 2, Band: 1}
+	if got, want := k.String(), "3/2/5/1"; got != want {
+		t.Fatalf("Key.String() = %q, want %q", got, want)
+	}
+}
+
+// TestTopK checks the replication-policy ranking: hits descending, Key
+// total-order tie-breaks, input untouched, k clamped.
+func TestTopK(t *testing.T) {
+	in := []TileStat{
+		{Key: Key{Level: 2, IX: 1, IY: 0, Band: 0}, Hits: 3},
+		{Key: Key{Level: 1, IX: 0, IY: 0, Band: 0}, Hits: 7},
+		{Key: Key{Level: 2, IX: 0, IY: 0, Band: 1}, Hits: 3},
+		{Key: Key{Level: 2, IX: 0, IY: 0, Band: 0}, Hits: 3},
+		{Key: Key{Level: 0, IX: 0, IY: 0, Band: 0}, Hits: 1},
+	}
+	orig := append([]TileStat(nil), in...)
+	got := TopK(in, 4)
+	want := []Key{
+		{Level: 1, IX: 0, IY: 0, Band: 0}, // 7 hits
+		{Level: 2, IX: 0, IY: 0, Band: 0}, // 3 hits, smallest key
+		{Level: 2, IX: 0, IY: 0, Band: 1}, // 3 hits
+		{Level: 2, IX: 1, IY: 0, Band: 0}, // 3 hits, largest key
+	}
+	if len(got) != len(want) {
+		t.Fatalf("TopK returned %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Key != want[i] {
+			t.Errorf("rank %d = %v, want %v", i, got[i].Key, want[i])
+		}
+	}
+	if !reflect.DeepEqual(in, orig) {
+		t.Error("TopK mutated its input")
+	}
+	if n := len(TopK(in, 0)); n != len(in) {
+		t.Errorf("TopK(stats, 0) returned %d entries, want all %d", n, len(in))
+	}
+	if n := len(TopK(in, 100)); n != len(in) {
+		t.Errorf("TopK(stats, 100) returned %d entries, want %d", n, len(in))
 	}
 }

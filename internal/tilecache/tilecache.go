@@ -1,6 +1,7 @@
 package tilecache
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,6 +10,11 @@ import (
 	"dmesh/internal/geom"
 	"dmesh/internal/obs"
 )
+
+// ErrInvalidKey marks a Patch request whose key does not address a cell
+// of the cache's grid; servers answer it with a client error, not a
+// retryable server fault.
+var ErrInvalidKey = errors.New("tilecache: invalid tile key")
 
 // Config parameterizes a Cache.
 type Config struct {
@@ -85,7 +91,7 @@ type flight struct {
 // cold tile cost one store query.
 type Cache struct {
 	store *dm.Store
-	grid  grid
+	grid  *Grid
 
 	maxBytes int
 
@@ -103,22 +109,6 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("tilecache: nil store")
 	}
-	if len(cfg.Ladder) == 0 {
-		return nil, fmt.Errorf("tilecache: empty LOD ladder")
-	}
-	ladder := append([]float64(nil), cfg.Ladder...)
-	sort.Float64s(ladder)
-	for i := 1; i < len(ladder); i++ {
-		if ladder[i] == ladder[i-1] {
-			return nil, fmt.Errorf("tilecache: duplicate ladder rung %g", ladder[i])
-		}
-	}
-	if cfg.MaxLevel == 0 {
-		cfg.MaxLevel = 4
-	}
-	if cfg.MaxLevel < 0 {
-		return nil, fmt.Errorf("tilecache: negative MaxLevel")
-	}
 	if cfg.MaxBytes == 0 {
 		cfg.MaxBytes = 64 << 20
 	}
@@ -126,13 +116,14 @@ func New(cfg Config) (*Cache, error) {
 		return nil, fmt.Errorf("tilecache: negative MaxBytes")
 	}
 	ds := cfg.Store.DataSpace()
+	g, err := NewGrid(geom.Rect{MinX: ds.MinX, MinY: ds.MinY, MaxX: ds.MaxX, MaxY: ds.MaxY},
+		cfg.MaxLevel, cfg.Ladder)
+	if err != nil {
+		return nil, err
+	}
 	c := &Cache{
-		store: cfg.Store,
-		grid: grid{
-			dataRect: geom.Rect{MinX: ds.MinX, MinY: ds.MinY, MaxX: ds.MaxX, MaxY: ds.MaxY},
-			maxLevel: cfg.MaxLevel,
-			ladder:   ladder,
-		},
+		store:   cfg.Store,
+		grid:    g,
 		entries: make(map[Key]*entry),
 		flights: make(map[Key]*flight),
 	}
@@ -140,14 +131,19 @@ func New(cfg Config) (*Cache, error) {
 	return c, nil
 }
 
+// Grid returns the cache's quantization grid. A router partitioning this
+// cache's key space builds its own Grid from the same parameters; the
+// accessor is what in-process callers (and tests) compare against.
+func (c *Cache) Grid() *Grid { return c.grid }
+
 // Ladder returns the cache's LOD ladder (ascending copy).
 func (c *Cache) Ladder() []float64 {
-	return append([]float64(nil), c.grid.ladder...)
+	return c.grid.Ladder()
 }
 
 // SnapE maps a requested LOD to the ladder rung Query would serve.
 func (c *Cache) SnapE(e float64) float64 {
-	_, s := c.grid.snapE(e)
+	_, s := c.grid.SnapE(e)
 	return s
 }
 
@@ -169,9 +165,9 @@ func (c *Cache) Query(r geom.Rect, e float64) (*dm.Result, QueryStats, error) {
 func (c *Cache) QueryTraced(r geom.Rect, e float64, tr *obs.Trace) (*dm.Result, QueryStats, error) {
 	tr.Begin(obs.PhaseQuery)
 	defer tr.End()
-	band, snapped := c.grid.snapE(e)
-	level := c.grid.levelFor(r)
-	keys := c.grid.cover(r, level, band)
+	band, snapped := c.grid.SnapE(e)
+	level := c.grid.LevelFor(r)
+	keys := c.grid.Cover(r, level, band)
 	qs := QueryStats{SnappedE: snapped, Level: level, Tiles: len(keys)}
 
 	c.mu.Lock()
@@ -230,7 +226,7 @@ func (c *Cache) tile(k Key, tr *obs.Trace) (p *dm.TilePatch, da uint64, cold, de
 
 	tr.Begin(obs.PhaseMaterialize)
 	sess := c.store.NewSession()
-	f.patch, f.err = sess.MaterializeTile(c.grid.rectFor(k), c.grid.ladder[k.Band])
+	f.patch, f.err = sess.MaterializeTile(c.grid.RectFor(k), c.grid.ladder[k.Band])
 	f.da = sess.DiskAccesses()
 	tr.AddDA(f.da)
 	tr.End()
@@ -330,4 +326,57 @@ func (c *Cache) TileStats() []TileStat {
 	c.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Key.Less(out[j].Key) })
 	return out
+}
+
+// PatchStats describes how one Patch lookup was answered.
+type PatchStats struct {
+	// DA is the disk accesses charged to this lookup: nonzero only when
+	// this lookup ran the materialization itself (Cold).
+	DA uint64
+	// Cold is set when this lookup materialized the tile.
+	Cold bool
+	// Deduped is set when this lookup waited on another's materialization.
+	Deduped bool
+}
+
+// Patch returns the materialized patch for one tile key — the single-tile
+// entry point a cluster shard serves remote fetches from. The key must
+// address a cell of the cache's grid; the patch is materialized on a miss
+// (deduplicated like Query's lookups) and shares the cache's eviction and
+// accounting machinery, so remotely served tiles rank in TileStats and
+// TopTiles alongside locally stitched ones.
+func (c *Cache) Patch(k Key) (*dm.TilePatch, PatchStats, error) {
+	if !c.grid.ValidKey(k) {
+		return nil, PatchStats{}, fmt.Errorf("tilecache: key %v outside grid (max level %d, %d ladder rungs): %w",
+			k, c.grid.maxLevel, len(c.grid.ladder), ErrInvalidKey)
+	}
+	p, da, cold, deduped, err := c.tile(k, nil)
+	if err != nil {
+		return nil, PatchStats{}, fmt.Errorf("tilecache: tile %+v: %w", k, err)
+	}
+	return p, PatchStats{DA: da, Cold: cold, Deduped: deduped}, nil
+}
+
+// TopK ranks tile stats by hit count, hottest first, with Key total-order
+// tie-breaks, and returns at most k entries (k <= 0 means all). The input
+// is not mutated. The ranking is the cluster's replication policy: given
+// the same stats, every router computes the same hot set, so replica
+// placement is deterministic.
+func TopK(stats []TileStat, k int) []TileStat {
+	out := append([]TileStat(nil), stats...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hits != out[j].Hits {
+			return out[i].Hits > out[j].Hits
+		}
+		return out[i].Key.Less(out[j].Key)
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// TopTiles returns the k hottest resident tiles (TopK over TileStats).
+func (c *Cache) TopTiles(k int) []TileStat {
+	return TopK(c.TileStats(), k)
 }

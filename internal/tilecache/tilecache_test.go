@@ -398,3 +398,99 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("negative MaxBytes accepted")
 	}
 }
+
+// TestPatchByKey drives the single-tile entry point the cluster shards
+// serve: a cold Patch materializes and charges DA, a warm Patch is free,
+// the patch matches what a Query of the same footprint would stitch from,
+// and invalid keys are rejected without touching the store.
+func TestPatchByKey(t *testing.T) {
+	tr := terrain(t, "highland")
+	c, s := newCache(t, tr, 0)
+	g := c.Grid()
+	e := tr.LODPercentile(0.9)
+	band, snapped := g.SnapE(e)
+	k := tilecache.Key{Level: 1, IX: 0, IY: 1, Band: band}
+
+	p, st, err := c.Patch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Cold || st.DA == 0 {
+		t.Fatalf("cold Patch: stats %+v, want cold with nonzero DA", st)
+	}
+	if p.E != snapped {
+		t.Fatalf("patch E = %g, want snapped %g", p.E, snapped)
+	}
+	if p.Rect != g.RectFor(k) {
+		t.Fatalf("patch footprint %v, want %v", p.Rect, g.RectFor(k))
+	}
+
+	p2, st2, err := c.Patch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p {
+		t.Error("warm Patch returned a different patch instance")
+	}
+	if st2.Cold || st2.DA != 0 {
+		t.Errorf("warm Patch: stats %+v, want hit with zero DA", st2)
+	}
+
+	// The patch is the exact answer to the footprint query.
+	want, err := s.ViewpointIndependent(g.RectFor(k), snapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes) != len(want.Vertices) {
+		t.Errorf("patch has %d nodes, direct query has %d vertices", len(p.Nodes), len(want.Vertices))
+	}
+
+	for _, bad := range []tilecache.Key{
+		{Level: 99, IX: 0, IY: 0, Band: 0},
+		{Level: 1, IX: 2, IY: 0, Band: 0},
+		{Level: 1, IX: 0, IY: 0, Band: 99},
+	} {
+		if _, _, err := c.Patch(bad); err == nil {
+			t.Errorf("Patch(%v) accepted an invalid key", bad)
+		}
+	}
+
+	// Patch lookups feed the same accounting as Query lookups: the key is
+	// resident and ranked.
+	top := c.TopTiles(1)
+	if len(top) != 1 || top[0].Key != k {
+		t.Errorf("TopTiles(1) = %+v, want the patched key %v first", top, k)
+	}
+}
+
+// TestTopTilesDeterministic re-runs an access pattern on a fresh cache
+// and store; the hot ranking must come out identical (the cluster's
+// replication policy depends on it).
+func TestTopTilesDeterministic(t *testing.T) {
+	tr := terrain(t, "highland")
+	run := func() []tilecache.TileStat {
+		c, _ := newCache(t, tr, 0)
+		e := tr.LODPercentile(0.9)
+		rois := []geom.Rect{
+			{MinX: 0.1, MinY: 0.1, MaxX: 0.45, MaxY: 0.45},
+			{MinX: 0.1, MinY: 0.1, MaxX: 0.45, MaxY: 0.45},
+			{MinX: 0.55, MinY: 0.55, MaxX: 0.9, MaxY: 0.9},
+			{MinX: 0.2, MinY: 0.6, MaxX: 0.4, MaxY: 0.9},
+		}
+		for _, r := range rois {
+			if _, _, err := c.Query(r, e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.TopTiles(5)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("rankings differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].Hits != b[i].Hits {
+			t.Errorf("rank %d differs across identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
