@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: verify fmt build vet test race racecache chaos obssmoke layoutcheck packcheck clustercheck bench benchsmoke figures
+.PHONY: verify fmt build vet test race racecache chaos obssmoke layoutcheck packcheck clustercheck streamcheck bench benchsmoke figures
 
 # The CI gate: formatting, build, vet, and the full test suite under the
 # race detector (short mode keeps the large-terrain tests out of the
 # loop), plus a non-short race pass over the concurrent tile cache, the
 # small-scale chaos run, the observability smoke over the tileserver
 # introspection endpoints, the physical-layout equivalence gate, the
-# packed-encoding gate, and the sharded-cluster gate.
-verify: fmt build vet race racecache chaos obssmoke layoutcheck packcheck clustercheck
+# packed-encoding gate, the sharded-cluster gate, and the progressive-
+# streaming gate.
+verify: fmt build vet race racecache chaos obssmoke layoutcheck packcheck clustercheck streamcheck
 
 # gofmt cleanliness: fails listing the offending files, fixes nothing.
 fmt:
@@ -69,6 +70,19 @@ packcheck:
 # hot-tile replication, and graceful shutdown draining in-flight fetches.
 clustercheck:
 	$(GO) test -race -count=1 ./internal/serve/ ./internal/cluster/
+
+# Progressive-streaming gate: the wire codec under the race detector —
+# every batch prefix decodes to a valid mesh, the full stream decodes
+# exactly equal to the direct query on both datasets, truncation at any
+# byte offset is resumable, corruption rejected with ErrCorrupt — plus
+# the serve/cluster streaming paths (byte-identical /stream bodies,
+# truncated-body failover, Content-Length on every fixed-size response)
+# and the tile-wire decoder fuzz seeds. A longer exploration is
+# `go test -fuzz FuzzTilePatchDecode ./internal/dm/`.
+streamcheck:
+	$(GO) test -race -count=1 ./internal/stream/
+	$(GO) test -race -count=1 -run 'Stream|Truncated|ContentLength' ./internal/serve/ ./internal/cluster/
+	$(GO) test -count=1 -run FuzzTilePatchDecode ./internal/dm/
 
 # The paper's metric: custom DA/... counters, not ns/op. Runs the unit
 # suite first (a benchmark of broken code measures nothing); -run '^$$'

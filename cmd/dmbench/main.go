@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn|throughput|flyover|tilecache|faults|dabreakdown|layoutcmp|cluster]
+//	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn|throughput|flyover|tilecache|faults|dabreakdown|layoutcmp|cluster|stream]
 //	        [-size N] [-size2 N] [-seed S] [-locations L] [-layout str|hilbert|rowmajor|connect|packed]
 //	        [-cpuprofile F] [-memprofile F]
 //
@@ -52,6 +52,14 @@
 // state, and writes the series to results/BENCH_cluster.json. Every
 // cluster answer is cross-checked against a single-node oracle.
 //
+// -fig stream is the progressive-streaming figure: every frame of a
+// camera flyover answered as a coarse-to-fine batch stream (the /stream
+// wire format), reporting mean bytes to the first renderable frame vs
+// bytes to the exact answer, the per-batch byte schedule, and the
+// overhead against shipping the exact answer in one shot. Every stream
+// is decoded back and verified exactly equal to the direct query; the
+// series goes to results/BENCH_stream.json.
+//
 // -layout selects the DM store's physical record layout for every
 // figure; layoutcmp uses it as the "before" side.
 //
@@ -93,7 +101,7 @@ func main() {
 // selected figure fails.
 func mainErr() error {
 	var (
-		fig       = flag.String("fig", "all", "figure to reproduce (6a..6d, 8a..8f, conn, throughput, flyover, tilecache, faults, dabreakdown, layoutcmp, cluster, all)")
+		fig       = flag.String("fig", "all", "figure to reproduce (6a..6d, 8a..8f, conn, throughput, flyover, tilecache, faults, dabreakdown, layoutcmp, cluster, stream, all)")
 		layoutF   = flag.String("layout", "str", "physical DM-store layout: str, hilbert, rowmajor, connect, or packed")
 		size      = flag.Int("size", 257, "grid side of the highland dataset (the paper's 2M-point terrain)")
 		size2     = flag.Int("size2", 513, "grid side of the crater dataset (the paper's 17M-point terrain)")
@@ -358,6 +366,24 @@ func runners() []figureRunner {
 			}
 			return writeClusterJSON("results/BENCH_cluster.json", e, []*experiments.ClusterFigure{fig})
 		}},
+		{"stream", func(e *benchEnv) error {
+			var figs []*experiments.StreamFigure
+			for _, name := range []string{"highland", "crater"} {
+				b, err := e.bundle(name)
+				if err != nil {
+					return err
+				}
+				fig, err := b.Streaming(e.seed, 24, 0.6, 0.95)
+				if err != nil {
+					return fmt.Errorf("stream: %w", err)
+				}
+				if err := printStream(fig); err != nil {
+					return err
+				}
+				figs = append(figs, fig)
+			}
+			return writeStreamJSON("results/BENCH_stream.json", e, figs)
+		}},
 	}
 }
 
@@ -511,6 +537,53 @@ func writeClusterJSON(path string, e *benchEnv, figs []*experiments.ClusterFigur
 		Sizes    [2]int                       `json:"sizes"`
 		Seed     int64                        `json:"seed"`
 		Datasets []*experiments.ClusterFigure `json:"datasets"`
+	}{
+		Sizes: [2]int{e.size, e.size2}, Seed: e.seed, Datasets: figs,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}
+
+// printStream prints the progressive-streaming wire-cost table: bytes
+// to the first renderable frame vs bytes to the exact answer per
+// flyover frame, the per-batch byte schedule, and the progressivity
+// overhead against a single-shot transfer.
+func printStream(fig *experiments.StreamFigure) error {
+	fmt.Printf("\nProgressive streaming (%s, %d frames, overlap %.1f, LOD p%.0f, %d batches to E %.3g):\n",
+		fig.Name, fig.Frames, fig.Overlap, 100*fig.EPct, fig.Batches, fig.SnappedE)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "first-frame B\texact B\tfirst/exact\tsingle-shot B\toverhead\tDA/stream")
+	fmt.Fprintf(w, "%.0f\t%.0f\t%.1f%%\t%.0f\t%.2fx\t%.1f\n",
+		fig.MeanBytesToFirstFrame, fig.MeanBytesToExact, 100*fig.FirstFrameFraction,
+		fig.MeanBytesSingleShot, fig.ProgressiveOverhead, fig.MeanDAPerStream)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Print("  batch bytes (coarse->fine):")
+	for _, b := range fig.MeanBatchBytes {
+		fmt.Printf(" %.0f", b)
+	}
+	fmt.Println()
+	return nil
+}
+
+// writeStreamJSON persists the streaming series for the repo's
+// streamcheck tooling and the EXPERIMENTS.md stream table.
+func writeStreamJSON(path string, e *benchEnv, figs []*experiments.StreamFigure) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	doc := struct {
+		Sizes    [2]int                      `json:"sizes"`
+		Seed     int64                       `json:"seed"`
+		Datasets []*experiments.StreamFigure `json:"datasets"`
 	}{
 		Sizes: [2]int{e.size, e.size2}, Seed: e.seed, Datasets: figs,
 	}

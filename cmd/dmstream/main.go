@@ -1,0 +1,164 @@
+// Command dmstream is the progressive-streaming replay client: it walks
+// a deterministic camera flyover against a tile server's /stream
+// endpoint, decodes every answer batch by batch, and reports the wire
+// cost per frame — bytes to the first renderable mesh vs bytes to the
+// exact answer — plus flyover-wide means.
+//
+// Usage:
+//
+//	dmstream [-addr host:port] [-dataset highland|crater] [-size N] [-seed S]
+//	         [-frames N] [-overlap F] [-lod P] [-drift F] [-resume-demo]
+//
+// With no -addr, dmstream self-hosts: it builds the dataset, starts a
+// serve.Server on a loopback port, and replays against it — the
+// one-command demo. Point -addr at a running tileserver (or a cluster
+// front) to replay against real infrastructure.
+//
+// -resume-demo additionally exercises the resume protocol on the first
+// frame: the client drops the connection after the first batch, then
+// re-requests with resume=<last applied batch> and verifies the
+// continuation completes to the same exact mesh.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"dmesh"
+	"dmesh/internal/serve"
+	"dmesh/internal/stream"
+	"dmesh/internal/workload"
+)
+
+func main() {
+	if err := mainErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "dmstream:", err)
+		os.Exit(1)
+	}
+}
+
+func mainErr() error {
+	var (
+		addr       = flag.String("addr", "", "tile server address (empty = self-host a server)")
+		dataset    = flag.String("dataset", "highland", "dataset for the self-hosted server: highland or crater")
+		size       = flag.Int("size", 129, "grid side of the self-hosted dataset")
+		seed       = flag.Int64("seed", 1, "generation seed of the self-hosted dataset")
+		frames     = flag.Int("frames", 16, "flyover frames to replay")
+		overlap    = flag.Float64("overlap", 0.6, "viewport overlap between consecutive frames")
+		lod        = flag.Float64("lod", 0.95, "target LOD percentile in [0, 1]")
+		drift      = flag.Float64("drift", 0.1, "lateral camera drift fraction")
+		resumeDemo = flag.Bool("resume-demo", false, "drop frame 0 after its first batch and complete it via resume")
+	)
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		terrain, err := dmesh.Build(dmesh.Config{Dataset: *dataset, Size: *size, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		s, err := serve.New(serve.Config{Terrain: terrain})
+		if err != nil {
+			return err
+		}
+		hostport, err := s.Start("127.0.0.1:0", false)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			s.Shutdown(ctx)
+		}()
+		base = hostport
+		fmt.Printf("self-hosted %s (%dx%d) at %s\n", *dataset, *size, *size, base)
+	}
+	base = "http://" + trimScheme(base)
+
+	planes := workload.CameraPath{
+		Frames:  *frames,
+		Overlap: *overlap,
+		Drift:   *drift,
+		Seed:    *seed,
+	}.Planes()
+	fmt.Printf("replaying %d frames (overlap %.2f, realized %.2f, LOD p%.0f) against %s\n",
+		len(planes), *overlap, workload.MeanOverlap(planes), 100**lod, base)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "frame\tbatches\tfirst-frame B\texact B\tfirst/exact\tverts\ttris\tms")
+	var sumFirst, sumExact float64
+	for i, qp := range planes {
+		r := qp.R
+		url := fmt.Sprintf("%s/stream?x0=%g&y0=%g&x1=%g&y1=%g&lod=%g", base, r.MinX, r.MinY, r.MaxX, r.MaxY, *lod)
+		start := time.Now()
+		dec := stream.NewDecoder()
+		if err := fetchStream(dec, url, *resumeDemo && i == 0); err != nil {
+			return fmt.Errorf("frame %d: %w", i, err)
+		}
+		mesh := dec.Mesh()
+		sumFirst += float64(dec.BytesToFirstFrame())
+		sumExact += float64(dec.BytesRead())
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.1f%%\t%d\t%d\t%.1f\n",
+			i, dec.NumBatches(), dec.BytesToFirstFrame(), dec.BytesRead(),
+			100*float64(dec.BytesToFirstFrame())/float64(dec.BytesRead()),
+			len(mesh.Vertices), len(mesh.Triangles),
+			float64(time.Since(start))/float64(time.Millisecond))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	n := float64(len(planes))
+	fmt.Printf("mean bytes to first frame %.0f, to exact %.0f (%.1f%%)\n",
+		sumFirst/n, sumExact/n, 100*sumFirst/sumExact)
+	return nil
+}
+
+// fetchStream drives one /stream request to completion. With dropFirst,
+// it cuts the connection after the first applied batch and finishes
+// through a second request at resume=LastApplied() — the exact recovery
+// a client performs after a broken transfer.
+func fetchStream(dec *stream.Decoder, url string, dropFirst bool) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := dec.Attach(resp.Body); err != nil {
+		resp.Body.Close()
+		return err
+	}
+	for !dec.Done() {
+		if _, _, err := dec.Next(); err != nil {
+			resp.Body.Close()
+			return err
+		}
+		if dropFirst && dec.LastApplied() == 0 {
+			resp.Body.Close() // simulate a broken transfer after batch 0
+			fmt.Printf("  resume demo: dropped after batch 0, resuming at %d\n", dec.LastApplied())
+			return fetchStream(dec, fmt.Sprintf("%s&resume=%d", url, dec.LastApplied()), false)
+		}
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// trimScheme accepts both "host:port" and "http://host:port" -addr
+// spellings.
+func trimScheme(addr string) string {
+	for _, p := range []string{"http://", "https://"} {
+		if len(addr) > len(p) && addr[:len(p)] == p {
+			return addr[len(p):]
+		}
+	}
+	return addr
+}

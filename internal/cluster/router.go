@@ -207,9 +207,13 @@ func (rt *Router) fetchTile(k tilecache.Key) (tp *dm.TilePatch, da uint64, attem
 		attempts++
 		tp, da, lastErr = rt.getPatch(rt.shards[shard], k)
 		if lastErr == nil {
+			// Count every failed attempt that preceded the winner, not
+			// just the fact that one happened: the accounting invariant is
+			// attempts == tiles + redirects, and with two failures before
+			// a success this tile contributes 3 attempts and 1 tile.
 			if i > 0 {
-				redirected = 1
-				rt.mRedirects.Inc()
+				redirected = i
+				rt.mRedirects.Add(uint64(i))
 			}
 			rt.mTiles.Inc()
 			return tp, da, attempts, redirected, nil
@@ -220,9 +224,10 @@ func (rt *Router) fetchTile(k tilecache.Key) (tp *dm.TilePatch, da uint64, attem
 }
 
 // getPatch issues one /patch request and decodes the body. Any
-// transport error, non-200 status, or undecodable body is a failed
-// attempt — the fail-stop model treats them all as "this shard cannot
-// serve the tile right now".
+// transport error, non-200 status, truncated body, or undecodable body
+// is a failed attempt — the fail-stop model treats them all as "this
+// shard cannot serve the tile right now", and fetchTile fails over to
+// the next candidate.
 func (rt *Router) getPatch(base string, k tilecache.Key) (*dm.TilePatch, uint64, error) {
 	url := fmt.Sprintf("%s/patch?level=%d&ix=%d&iy=%d&band=%d", base, k.Level, k.IX, k.IY, k.Band)
 	resp, err := rt.client.Get(url)
@@ -236,6 +241,15 @@ func (rt *Router) getPatch(base string, k tilecache.Key) (*dm.TilePatch, uint64,
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, 0, fmt.Errorf("cluster: %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	// The shard declares Content-Length on /patch; a body of any other
+	// length is a cut connection or a misbehaving middlebox. (When the
+	// declared length exceeds the bytes sent, Go's transport already
+	// fails the read above; this catches the short-declaration flavor,
+	// where the body "completes" at the wrong size.)
+	if resp.ContentLength >= 0 && int64(len(body)) != resp.ContentLength {
+		return nil, 0, fmt.Errorf("cluster: %s: truncated body (%d of %d declared bytes): %w",
+			url, len(body), resp.ContentLength, dm.ErrCorrupt)
 	}
 	tp, err := dm.DecodeTilePatch(body)
 	if err != nil {

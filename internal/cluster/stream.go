@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dmesh/internal/dm"
+	"dmesh/internal/geom"
+	"dmesh/internal/stream"
+)
+
+// StreamStats describes how one progressive answer was assembled and
+// what it cost on the wire.
+type StreamStats struct {
+	SnappedE float64 // the ladder rung the full stream decodes to
+	Batches  int     // batches in the stream (ladder rungs, coarse to fine)
+	Sent     int     // frames actually written (resume skips the rest)
+
+	BytesToFirst int // header + coarsest batch: the first-render cost
+	BytesToExact int // header + every batch: the exact-answer cost
+	BytesSent    int // bytes actually written for this request
+
+	// Fan-out accounting summed over every rung's Query; the invariant
+	// Attempts == Tiles + Redirected holds for the whole stream.
+	DA         uint64
+	Tiles      int
+	Attempts   int
+	Redirected int
+}
+
+// Stream assembles the progressive answer for Q(r, e) from per-shard
+// patch fetches and writes it to w: for each LOD-ladder rung from the
+// coarsest down to the rung e snaps to, it fans the rung's tile cover
+// out across the cluster, stitches exactly, and encodes the delta
+// batch. The bytes written are identical to a single node's /stream
+// body for the same query — both sides encode identical canonical
+// meshes with the same deterministic codec — so a client cannot tell
+// whether its stream was assembled by one process or a cluster.
+//
+// resume is the last batch index the client already holds (-1 streams
+// everything). Earlier rungs are still queried — the delta state needs
+// them — but not transmitted. The returned Result is the full-stream
+// mesh (the direct answer at the snapped rung).
+func (rt *Router) Stream(r geom.Rect, e float64, resume int, w io.Writer) (*dm.Result, StreamStats, error) {
+	band, snapped := rt.grid.SnapE(e)
+	levels, err := stream.LevelsFor(rt.grid.Ladder(), band)
+	if err != nil {
+		return nil, StreamStats{}, err
+	}
+	st := StreamStats{SnappedE: snapped, Batches: len(levels)}
+	if resume < -1 || resume >= len(levels) {
+		return nil, st, fmt.Errorf("cluster: resume %d outside [-1, %d)", resume, len(levels))
+	}
+	enc, err := stream.NewEncoder(r, levels)
+	if err != nil {
+		return nil, st, err
+	}
+	start := time.Now()
+	hdr := enc.Header()
+	st.BytesToFirst = len(hdr)
+	st.BytesToExact = len(hdr)
+	n, err := w.Write(hdr)
+	st.BytesSent += n
+	if err != nil {
+		return nil, st, err
+	}
+	var res *dm.Result
+	for i, le := range levels {
+		var qs QueryStats
+		res, qs, err = rt.Query(r, le)
+		if err != nil {
+			return nil, st, fmt.Errorf("cluster: stream rung %d (E %g): %w", i, le, err)
+		}
+		st.DA += qs.DA
+		st.Tiles += qs.Tiles
+		st.Attempts += qs.Attempts
+		st.Redirected += qs.Redirected
+		frame, err := enc.EncodeNext(res)
+		if err != nil {
+			return nil, st, err
+		}
+		if i == 0 {
+			st.BytesToFirst += len(frame)
+		}
+		st.BytesToExact += len(frame)
+		if i <= resume {
+			continue
+		}
+		n, err := w.Write(frame)
+		st.BytesSent += n
+		if err != nil {
+			return nil, st, err
+		}
+		st.Sent++
+	}
+	rt.hQueryNs.Observe(uint64(time.Since(start)))
+	return res, st, nil
+}

@@ -1,0 +1,235 @@
+package cluster_test
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"dmesh/internal/cluster"
+	"dmesh/internal/dm"
+	"dmesh/internal/geom"
+	"dmesh/internal/obs"
+	"dmesh/internal/serve"
+	"dmesh/internal/stream"
+	"dmesh/internal/tilecache"
+)
+
+// localStream encodes, over the single-node reference cache, the stream
+// Router.Stream must produce for Q(r, e).
+func localStream(t *testing.T, c *tilecache.Cache, r geom.Rect, e float64) *stream.Stream {
+	t.Helper()
+	band, _ := c.Grid().SnapE(e)
+	levels, err := stream.LevelsFor(c.Grid().Ladder(), band)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meshes := make([]*dm.Result, 0, len(levels))
+	for _, le := range levels {
+		res, _, err := c.Query(r, le)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meshes = append(meshes, res)
+	}
+	st, err := stream.Encode(r, levels, meshes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRouterStreamMatchesSingleNode: a progressive answer assembled from
+// per-shard patch fetches must be byte-identical to the single-node
+// stream for the same query, with the fan-out accounting invariant
+// holding across every rung — and stay so after a shard dies.
+func TestRouterStreamMatchesSingleNode(t *testing.T) {
+	tr := terrain(t, "highland")
+	single := singleNode(t, tr)
+	lc := startLocal(t, tr, 3)
+	rng := rand.New(rand.NewSource(23))
+	ladder := single.Ladder()
+
+	check := func(roi geom.Rect, e float64, resume int) {
+		t.Helper()
+		want := localStream(t, single, roi, e)
+		var wantBody bytes.Buffer
+		if _, err := want.WriteTo(&wantBody, resume); err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		res, st, err := lc.Router.Stream(roi, e, resume, &got)
+		if err != nil {
+			t.Fatalf("Stream(%v, %g, %d): %v", roi, e, resume, err)
+		}
+		if !bytes.Equal(got.Bytes(), wantBody.Bytes()) {
+			t.Fatalf("clustered stream (%d B) differs from single node (%d B)", got.Len(), wantBody.Len())
+		}
+		if st.Attempts != st.Tiles+st.Redirected {
+			t.Fatalf("attempts %d != tiles %d + redirected %d", st.Attempts, st.Tiles, st.Redirected)
+		}
+		if st.BytesSent != got.Len() {
+			t.Fatalf("BytesSent %d, wrote %d", st.BytesSent, got.Len())
+		}
+		if st.Batches != len(want.Frames) || st.Sent != len(want.Frames)-(resume+1) {
+			t.Fatalf("batches %d sent %d, want %d and %d", st.Batches, st.Sent, len(want.Frames), len(want.Frames)-(resume+1))
+		}
+		direct, _, derr := single.Query(roi, e)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if !bytes.Equal(canonicalMesh(res), canonicalMesh(direct)) {
+			t.Fatal("Stream's returned mesh differs from the direct query answer")
+		}
+	}
+
+	for _, roi := range randRects(rng, 4) {
+		check(roi, ladder[rng.Intn(len(ladder))], -1)
+	}
+	roi := geom.Rect{MinX: 0.15, MinY: 0.1, MaxX: 0.8, MaxY: 0.75}
+	check(roi, ladder[0], 1) // resume skips the first two batches
+
+	// A dead shard must not change a single byte: failover re-fetches the
+	// same canonical tiles elsewhere.
+	lc.KillShard(1)
+	check(roi, ladder[0], -1)
+
+	if _, st, err := lc.Router.Stream(roi, ladder[0], 99, &bytes.Buffer{}); err == nil {
+		t.Fatalf("resume past the schedule succeeded (stats %+v)", st)
+	}
+}
+
+// truncatingFront fronts a healthy shard handler but serves every /patch
+// body cut in half. In "clean" mode the response declares the short
+// length — it looks like a complete 200 and only patch decoding can
+// reject it; in "lying" mode it declares the full length and the cut
+// surfaces in the client transport as an unexpected EOF.
+func truncatingFront(t *testing.T, h http.Handler, lying bool) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/patch" {
+			h.ServeHTTP(w, r)
+			return
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, r)
+		body := rec.Body.Bytes()
+		half := body[:len(body)/2]
+		for k, vs := range rec.Header() {
+			if k == "Content-Length" {
+				continue
+			}
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		declared := len(half)
+		if lying {
+			declared = len(body)
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(declared))
+		w.WriteHeader(rec.Code)
+		w.Write(half)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestFailoverTruncatedBodies is the regression for the router's
+// truncation handling: shards that serve cut /patch bodies — whether the
+// truncation is visible in the framing (lying Content-Length) or looks
+// like a clean short 200 — must count as failed attempts and fail over,
+// keeping attempts == tiles + redirects even when several failures
+// precede the success. The old accounting recorded at most one redirect
+// per tile, so any query with a two-failure tile broke the invariant.
+func TestFailoverTruncatedBodies(t *testing.T) {
+	tr := terrain(t, "highland")
+	single := singleNode(t, tr)
+
+	newShard := func() *serve.Server {
+		s, err := serve.New(serve.Config{Terrain: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	good := newShard()
+	goodTS := httptest.NewServer(good.Handler(false))
+	t.Cleanup(goodTS.Close)
+	fronts := []*httptest.Server{
+		truncatingFront(t, newShard().Handler(false), false), // clean truncation
+		truncatingFront(t, newShard().Handler(false), true),  // lying Content-Length
+		goodTS,
+	}
+
+	reg := obs.NewRegistry()
+	urls := make([]string, len(fronts))
+	ids := []string{"shard-0", "shard-1", "shard-2"}
+	for i, f := range fronts {
+		urls[i] = f.URL
+	}
+	rt, err := cluster.NewRouter(cluster.Config{
+		Shards:   urls,
+		IDs:      ids,
+		Grid:     good.Grid(),
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(41))
+	ladder := single.Ladder()
+	maxRedirect := 0
+	for _, roi := range randRects(rng, 12) {
+		e := ladder[rng.Intn(len(ladder))]
+		res, st, err := rt.Query(roi, e)
+		if err != nil {
+			t.Fatalf("Query(%v, %g): %v", roi, e, err)
+		}
+		if st.Attempts != st.Tiles+st.Redirected {
+			t.Fatalf("attempts %d != tiles %d + redirected %d", st.Attempts, st.Tiles, st.Redirected)
+		}
+		direct, _, derr := single.Query(roi, e)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if !bytes.Equal(canonicalMesh(res), canonicalMesh(direct)) {
+			t.Fatal("answer assembled around truncating shards differs from single node")
+		}
+		if st.Redirected > maxRedirect {
+			maxRedirect = st.Redirected
+		}
+	}
+	// The ring must have routed some tile through both truncating shards
+	// before the good one, or this test isn't exercising the multi-failure
+	// accounting at all.
+	if maxRedirect < 2 {
+		t.Fatalf("no query needed >= 2 redirects (max %d); ring layout defeats the regression", maxRedirect)
+	}
+	// Every failed attempt preceded a success (the good shard always
+	// answers), so the two global counters must agree exactly.
+	errs := reg.Counter("cluster_router_shard_errors_total", "").Value()
+	reds := reg.Counter("cluster_router_redirects_total", "").Value()
+	if errs == 0 || errs != reds {
+		t.Fatalf("shard errors %d, redirects %d; want equal and positive", errs, reds)
+	}
+
+	// Streaming rides the same fetch path: the progressive answer through
+	// the truncating cluster must still be byte-identical to single node.
+	roi := geom.Rect{MinX: 0.1, MinY: 0.15, MaxX: 0.85, MaxY: 0.8}
+	want := localStream(t, single, roi, ladder[0])
+	var wantBody bytes.Buffer
+	if _, err := want.WriteTo(&wantBody, -1); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if _, _, err := rt.Stream(roi, ladder[0], -1, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), wantBody.Bytes()) {
+		t.Fatal("stream through truncating cluster differs from single node")
+	}
+}

@@ -1,0 +1,75 @@
+package dm
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"dmesh/internal/geom"
+)
+
+// CanonicalMesh serializes a query answer into one deterministic byte
+// string: vertices sorted by ID with raw IEEE-754 coordinate bits,
+// edges normalized low-high and sorted, triangles canonicalized and
+// sorted. Two answers are the same mesh — positions bit for bit — iff
+// their canonical serializations are equal, which is the equality the
+// exactness properties (cluster vs single node, streamed vs direct)
+// are stated in.
+func CanonicalMesh(res *Result) []byte {
+	var buf []byte
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+
+	ids := make([]int64, 0, len(res.Vertices))
+	for id := range res.Vertices {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	u64(uint64(len(ids)))
+	for _, id := range ids {
+		p := res.Vertices[id]
+		u64(uint64(id))
+		u64(math.Float64bits(p.X))
+		u64(math.Float64bits(p.Y))
+		u64(math.Float64bits(p.Z))
+	}
+
+	edges := make([][2]int64, 0, len(res.Edges))
+	for _, e := range res.Edges {
+		if e[0] > e[1] {
+			e[0], e[1] = e[1], e[0]
+		}
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	u64(uint64(len(edges)))
+	for _, e := range edges {
+		u64(uint64(e[0]))
+		u64(uint64(e[1]))
+	}
+
+	tris := make([]geom.Triangle, 0, len(res.Triangles))
+	for _, t := range res.Triangles {
+		tris = append(tris, t.Canon())
+	}
+	sort.Slice(tris, func(i, j int) bool {
+		if tris[i].A != tris[j].A {
+			return tris[i].A < tris[j].A
+		}
+		if tris[i].B != tris[j].B {
+			return tris[i].B < tris[j].B
+		}
+		return tris[i].C < tris[j].C
+	})
+	u64(uint64(len(tris)))
+	for _, t := range tris {
+		u64(uint64(t.A))
+		u64(uint64(t.B))
+		u64(uint64(t.C))
+	}
+	return buf
+}

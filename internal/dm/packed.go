@@ -117,6 +117,16 @@ func dyadicIndex(v float64) (int64, bool) {
 	return k, true
 }
 
+// DyadicIndex reports whether v is exactly representable on the packed
+// encoding's dyadic grid, and its index m = v*2^12 when it is. The
+// progressive stream codec shares this fast path so quantized wire
+// positions round-trip bit-exactly.
+func DyadicIndex(v float64) (int64, bool) { return dyadicIndex(v) }
+
+// FromDyadicIndex inverts DyadicIndex: the float64 whose dyadic index
+// is m. Exact for every m DyadicIndex can produce.
+func FromDyadicIndex(m int64) float64 { return float64(m) / dyadicScale }
+
 // packedFlags computes the record's presence bitmap and, alongside it,
 // the dyadic indices of the float fields that have one. Encoding and
 // length computation share it so they can never disagree.

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"dmesh/internal/dm"
+	"dmesh/internal/stream"
+	"dmesh/internal/workload"
+)
+
+// StreamFigure is the -fig stream experiment: the wire cost of the
+// progressive stream over a camera flyover — how few bytes buy the
+// first renderable frame versus the exact answer, and what the
+// progressivity overhead is against shipping the exact answer in one
+// shot.
+type StreamFigure struct {
+	Name    string  `json:"dataset"`
+	Frames  int     `json:"frames"`
+	Overlap float64 `json:"overlap"`
+	EPct    float64 `json:"lod_percentile"`
+
+	Batches  int     `json:"batches"`   // ladder rungs per stream
+	SnappedE float64 `json:"snapped_e"` // the target rung the streams decode to
+
+	// Per-stream means over the flyover's frames.
+	MeanBytesToFirstFrame float64 `json:"mean_bytes_to_first_frame"`
+	MeanBytesToExact      float64 `json:"mean_bytes_to_exact"`
+	// FirstFrameFraction = MeanBytesToFirstFrame / MeanBytesToExact: the
+	// slice of the full transfer after which the client can render.
+	FirstFrameFraction float64 `json:"first_frame_fraction"`
+
+	// MeanBytesSingleShot is the same answer encoded as one batch at the
+	// target rung — the non-progressive baseline — and
+	// ProgressiveOverhead the multiplicative wire cost of progressivity
+	// (exact bytes / single-shot bytes).
+	MeanBytesSingleShot float64 `json:"mean_bytes_single_shot"`
+	ProgressiveOverhead float64 `json:"progressive_overhead"`
+
+	// MeanBatchBytes[i] is the mean encoded size of batch i (coarse
+	// first) across the flyover.
+	MeanBatchBytes []float64 `json:"mean_batch_bytes"`
+
+	// MeanDAPerStream is the mean store disk accesses one stream's rung
+	// queries cost through a shared tile cache, cold store per frame.
+	MeanDAPerStream float64 `json:"mean_da_per_stream"`
+}
+
+// Streaming measures the progressive wire codec over a CameraPath
+// flyover: every frame's ROI is encoded as a full coarse-to-fine stream
+// through a shared tile cache, decoded back, and verified exactly equal
+// (canonical mesh serialization) to the direct store answer at the
+// snapped LOD — a correctness regression fails the run instead of
+// skewing it.
+func (b *Bundle) Streaming(seed int64, frames int, overlap, lodPct float64) (*StreamFigure, error) {
+	if frames <= 0 {
+		frames = 24
+	}
+	store, err := b.Terrain.NewDMStore()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: stream store: %w", err)
+	}
+	cache, err := b.Terrain.NewTileCache(store, 0)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: stream cache: %w", err)
+	}
+	band, snapped := cache.Grid().SnapE(b.Terrain.LODPercentile(lodPct))
+	levels, err := stream.LevelsFor(cache.Grid().Ladder(), band)
+	if err != nil {
+		return nil, err
+	}
+	planes := workload.CameraPath{
+		Frames:  frames,
+		Overlap: overlap,
+		Seed:    seed,
+		EMin:    snapped,
+	}.Planes()
+
+	fig := &StreamFigure{
+		Name: b.Name, Frames: len(planes), Overlap: overlap, EPct: lodPct,
+		Batches: len(levels), SnappedE: snapped,
+		MeanBatchBytes: make([]float64, len(levels)),
+	}
+	var sumFirst, sumExact, sumSingle, sumDA float64
+	for _, qp := range planes {
+		roi := qp.R
+		// Paper discipline: each frame's stream is measured cold-store
+		// (the tile cache itself stays warm across frames, exactly like
+		// the serving path).
+		if err := store.DropCaches(); err != nil {
+			return nil, err
+		}
+		store.ResetStats()
+		meshes := make([]*dm.Result, 0, len(levels))
+		var da uint64
+		for _, e := range levels {
+			res, qs, err := cache.Query(roi, e)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: stream rung query: %w", err)
+			}
+			da += qs.DA
+			meshes = append(meshes, res)
+		}
+		st, err := stream.Encode(roi, levels, meshes)
+		if err != nil {
+			return nil, err
+		}
+		sumFirst += float64(st.BytesToFirstFrame())
+		sumExact += float64(st.BytesToExact())
+		sumDA += float64(da)
+		for i, fr := range st.Frames {
+			fig.MeanBatchBytes[i] += float64(len(fr))
+		}
+
+		// Oracle: the decoded full stream must equal the direct answer.
+		dec := stream.NewDecoder()
+		var body bytes.Buffer
+		if _, err := st.WriteTo(&body, -1); err != nil {
+			return nil, err
+		}
+		if err := dec.Attach(&body); err != nil {
+			return nil, err
+		}
+		for !dec.Done() {
+			if _, _, err := dec.Next(); err != nil {
+				return nil, fmt.Errorf("experiments: stream decode: %w", err)
+			}
+		}
+		direct, err := store.ViewpointIndependent(roi, snapped)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(dm.CanonicalMesh(dec.Mesh()), dm.CanonicalMesh(direct)) {
+			return nil, fmt.Errorf("experiments: streamed mesh at %v differs from the direct answer", roi)
+		}
+
+		// Single-shot baseline: the same answer as one batch.
+		single, err := stream.Encode(roi, levels[len(levels)-1:], meshes[len(meshes)-1:])
+		if err != nil {
+			return nil, err
+		}
+		sumSingle += float64(single.BytesToExact())
+	}
+	n := float64(len(planes))
+	fig.MeanBytesToFirstFrame = sumFirst / n
+	fig.MeanBytesToExact = sumExact / n
+	fig.MeanBytesSingleShot = sumSingle / n
+	fig.MeanDAPerStream = sumDA / n
+	if fig.MeanBytesToExact > 0 {
+		fig.FirstFrameFraction = fig.MeanBytesToFirstFrame / fig.MeanBytesToExact
+	}
+	if fig.MeanBytesSingleShot > 0 {
+		fig.ProgressiveOverhead = fig.MeanBytesToExact / fig.MeanBytesSingleShot
+	}
+	for i := range fig.MeanBatchBytes {
+		fig.MeanBatchBytes[i] /= n
+	}
+	return fig, nil
+}

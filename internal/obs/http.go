@@ -30,11 +30,21 @@ func SlowLogHandler(l *SlowLog) http.Handler {
 			}
 			n = v
 		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(struct {
+		// Marshal before the header goes out so the response can declare
+		// Content-Length: a connection cut mid-body then surfaces to the
+		// client as a short read instead of a clean-looking 200.
+		body, err := json.Marshal(struct {
 			ThresholdNanos int64       `json:"threshold_nanos"`
 			Entries        []SlowEntry `json:"entries"`
 		}{int64(l.Threshold()), l.Worst(n)})
+		if err != nil {
+			http.Error(w, `{"error":"encoding failed"}`, http.StatusInternalServerError)
+			return
+		}
+		body = append(body, '\n')
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		_, _ = w.Write(body)
 	})
 }
 

@@ -17,6 +17,12 @@
 //     Key total-order tie-breaks), the router's replication input.
 //   - /gridinfo — the tile grid parameters (data rect, max level, LOD
 //     ladder), so any client can verify it quantizes like the shard.
+//   - /stream?x0=&y0=&x1=&y1=&lod=&resume= — the progressive answer: a
+//     chunked body carrying the internal/stream header plus one delta
+//     batch per LOD-ladder rung, coarse to fine, each flushed as soon as
+//     its rung's query completes. resume=K (the last fully received
+//     batch index) re-sends the header and skips batches <= K, so an
+//     interrupted client pays only for what it never got.
 //
 // Start runs the server on a listener; Shutdown drains: it stops
 // accepting, then blocks until every in-flight request (tile fetches
@@ -42,6 +48,7 @@ import (
 	"dmesh/internal/dm"
 	"dmesh/internal/geom"
 	"dmesh/internal/obs"
+	"dmesh/internal/stream"
 	"dmesh/internal/tilecache"
 )
 
@@ -78,6 +85,8 @@ type Server struct {
 	tileDA   atomic.Uint64
 	patches  atomic.Uint64
 	patchDA  atomic.Uint64
+	streams  atomic.Uint64
+	streamDA atomic.Uint64
 	inflight atomic.Int64
 
 	// Telemetry: the metrics registry behind /metrics and /debug/vars,
@@ -85,15 +94,18 @@ type Server struct {
 	reg  *obs.Registry
 	slow *obs.SlowLog
 
-	mTileReqs  *obs.Counter
-	mFrameReqs *obs.Counter
-	mPatchReqs *obs.Counter
-	mErrors    *obs.Counter
-	hTileDA    *obs.Histogram
-	hTileNanos *obs.Histogram
-	hFrameDA   *obs.Histogram
-	hFrameNs   *obs.Histogram
-	hPatchDA   *obs.Histogram
+	mTileReqs   *obs.Counter
+	mFrameReqs  *obs.Counter
+	mPatchReqs  *obs.Counter
+	mStreamReqs *obs.Counter
+	mErrors     *obs.Counter
+	hTileDA     *obs.Histogram
+	hTileNanos  *obs.Histogram
+	hFrameDA    *obs.Histogram
+	hFrameNs    *obs.Histogram
+	hPatchDA    *obs.Histogram
+	hStreamDA   *obs.Histogram
+	hStreamBy   *obs.Histogram
 
 	// Named coherent sessions, one per animating client. A coherent
 	// session is stateful and not safe for concurrent use, so each entry
@@ -165,6 +177,9 @@ func New(cfg Config) (*Server, error) {
 	s.hFrameDA = s.reg.Histogram("tileserver_frame_disk_accesses", "disk accesses per coherent frame")
 	s.hFrameNs = s.reg.Histogram("tileserver_frame_latency_nanos", "frame request latency in nanoseconds")
 	s.hPatchDA = s.reg.Histogram("tileserver_patch_disk_accesses", "disk accesses per wire patch request")
+	s.mStreamReqs = s.reg.Counter("tileserver_stream_requests_total", "progressive streams served")
+	s.hStreamDA = s.reg.Histogram("tileserver_stream_disk_accesses", "disk accesses per progressive stream")
+	s.hStreamBy = s.reg.Histogram("tileserver_stream_bytes", "bytes written per progressive stream")
 	s.reg.GaugeFunc("tileserver_cache_entries", "resident tile-cache patches", func() int64 {
 		return int64(cache.Stats().Entries)
 	})
@@ -204,6 +219,12 @@ func (s *Server) PatchTotals() (served, da uint64) {
 	return s.patches.Load(), s.patchDA.Load()
 }
 
+// StreamTotals reports the progressive-stream traffic: streams served
+// and the store disk accesses their rung queries cost.
+func (s *Server) StreamTotals() (served, da uint64) {
+	return s.streams.Load(), s.streamDA.Load()
+}
+
 // Handler mounts the serving endpoints, plus (when introspect is set)
 // the observability surface: /metrics, /slowlog, /debug/vars,
 // /debug/pprof/. Every handler runs inside the in-flight tracker that
@@ -215,6 +236,7 @@ func (s *Server) Handler(introspect bool) http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/cachestats", s.handleCacheStats)
 	mux.HandleFunc("/patch", s.handlePatch)
+	mux.HandleFunc("/stream", s.handleStream)
 	mux.HandleFunc("/hottiles", s.handleHotTiles)
 	mux.HandleFunc("/gridinfo", s.handleGridInfo)
 	if introspect {
@@ -323,13 +345,44 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 // parsing every response get structured errors instead of plain text.
 // I/O faults under a query surface here as a 500 with the error chain
 // (e.g. an injected fault or a checksum mismatch) — the server itself
-// keeps serving.
+// keeps serving. The body is marshaled before the header goes out, so
+// the status line and Content-Length always describe the bytes actually
+// sent.
 func (s *Server) jsonError(w http.ResponseWriter, status int, err error) {
 	s.mErrors.Inc()
+	body, encErr := json.Marshal(map[string]string{"error": err.Error()})
+	if encErr != nil {
+		// A map[string]string cannot fail to marshal; keep the client
+		// parseable anyway.
+		body = []byte(`{"error":"error encoding failed"}`)
+	}
+	body = append(body, '\n')
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(status)
-	if encErr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); encErr != nil {
-		log.Printf("error encode: %v", encErr)
+	if _, err := w.Write(body); err != nil {
+		log.Printf("error write: %v", err)
+	}
+}
+
+// writeJSON buffers the whole encoding, sets Content-Length, then
+// writes. Streaming json.NewEncoder(w).Encode straight into the
+// ResponseWriter cannot do that: once the header is out, an encode or
+// write failure leaves the client a truncated 200 indistinguishable
+// from a short document, with nothing but a server-side log line to
+// show for it. With the length declared up front a cut body surfaces at
+// the client as an unexpected EOF.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		s.jsonError(w, http.StatusInternalServerError, err)
+		return
+	}
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	if _, err := w.Write(body); err != nil {
+		log.Printf("response write: %v", err)
 	}
 }
 
@@ -401,10 +454,7 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	for _, t := range res.Triangles {
 		resp.Triangles = append(resp.Triangles, [3]int64{t.A, t.B, t.C})
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		log.Printf("tile encode: %v", err)
-	}
+	s.writeJSON(w, resp)
 }
 
 // handlePatch answers one canonical tile by key in the binary wire
@@ -440,12 +490,121 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	s.hPatchDA.Observe(st.DA)
 	s.slow.Observe(fmt.Sprintf("patch key=%s cold=%t", k, st.Cold), dur, st.DA, nil)
 
+	// Encode fully before the header goes out: with Content-Length
+	// declared, a write that dies mid-body surfaces at the router as a
+	// short read (a failed attempt eligible for failover) instead of a
+	// clean-looking truncated 200.
+	body := dm.EncodeTilePatch(tp)
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.Header().Set("X-DM-DA", strconv.FormatUint(st.DA, 10))
 	w.Header().Set("X-DM-Cold", strconv.FormatBool(st.Cold))
-	if _, err := w.Write(dm.EncodeTilePatch(tp)); err != nil {
+	if _, err := w.Write(body); err != nil {
 		log.Printf("patch write: %v", err)
 	}
+}
+
+// handleStream answers one ROI progressively: the stream header, then
+// one delta batch per LOD-ladder rung from the coarsest rung down to
+// the one the requested LOD snaps to, each flushed as soon as its
+// rung's query completes — so the client renders a coarse mesh after
+// the first frame and refines to the exact answer. Every rung's answer
+// comes through the shared tile cache, so the per-rung queries are the
+// same canonical tile fetches /tile and /patch pay for.
+//
+// resume is the last batch index the client fully received (-1, the
+// default, streams everything): the server still replays the earlier
+// rungs' queries to rebuild the delta state, but transmits only the
+// batches after resume.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	x0, err1 := queryFloat(r, "x0", 0)
+	y0, err2 := queryFloat(r, "y0", 0)
+	x1, err3 := queryFloat(r, "x1", 1)
+	y1, err4 := queryFloat(r, "y1", 1)
+	pct, err5 := queryFloat(r, "lod", 0.9)
+	resume, err6 := queryInt(r, "resume", -1)
+	for _, err := range []error{err1, err2, err3, err4, err5, err6} {
+		if err != nil {
+			s.jsonError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if pct < 0 || pct > 1 {
+		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("lod must be a percentile in [0,1]"))
+		return
+	}
+	roi := dmesh.NewRect(x0, y0, x1, y1)
+	band, _ := s.cache.Grid().SnapE(s.terrain.LODPercentile(pct))
+	levels, err := stream.LevelsFor(s.cache.Grid().Ladder(), band)
+	if err != nil {
+		s.jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	if resume < -1 || resume >= len(levels) {
+		s.jsonError(w, http.StatusBadRequest,
+			fmt.Errorf("resume %d outside [-1, %d)", resume, len(levels)))
+		return
+	}
+	enc, err := stream.NewEncoder(roi, levels)
+	if err != nil {
+		s.jsonError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	start := time.Now()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-DM-Batches", strconv.Itoa(len(levels)))
+	w.Header().Set("X-DM-Target-E", strconv.FormatFloat(enc.TargetE(), 'g', -1, 64))
+	flusher, _ := w.(http.Flusher)
+	written, werr := w.Write(enc.Header())
+	sent := int64(written)
+	if werr != nil {
+		s.mErrors.Inc()
+		log.Printf("stream write: %v", werr)
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	var da uint64
+	for i, e := range levels {
+		res, qs, err := s.cache.Query(roi, e)
+		if err != nil {
+			// The header (and possibly earlier frames) are out, so the
+			// status line cannot change; cutting the connection leaves the
+			// client a length-prefixed truncation it can resume from.
+			s.mErrors.Inc()
+			log.Printf("stream query (rung %d): %v", i, err)
+			return
+		}
+		da += qs.DA
+		frame, err := enc.EncodeNext(res)
+		if err != nil {
+			s.mErrors.Inc()
+			log.Printf("stream encode (rung %d): %v", i, err)
+			return
+		}
+		if i <= resume {
+			continue
+		}
+		n, err := w.Write(frame)
+		sent += int64(n)
+		if err != nil {
+			s.mErrors.Inc()
+			log.Printf("stream write (rung %d): %v", i, err)
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	s.streams.Add(1)
+	s.streamDA.Add(da)
+	s.mStreamReqs.Inc()
+	s.hStreamDA.Observe(da)
+	s.hStreamBy.Observe(uint64(sent))
+	s.slow.Observe(fmt.Sprintf("stream roi=[%g,%g,%g,%g] lod=%g resume=%d", x0, y0, x1, y1, pct, resume),
+		time.Since(start), da, nil)
 }
 
 // hotTile is one entry of the /hottiles ranking.
@@ -476,10 +635,7 @@ func (s *Server) handleHotTiles(w http.ResponseWriter, r *http.Request) {
 			Hits: ts.Hits, DA: ts.DA, Bytes: ts.Bytes, Nodes: ts.Nodes,
 		})
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(out); err != nil {
-		log.Printf("hottiles encode: %v", err)
-	}
+	s.writeJSON(w, out)
 }
 
 // gridInfo is the /gridinfo body: everything needed to rebuild the
@@ -493,14 +649,11 @@ type gridInfo struct {
 func (s *Server) handleGridInfo(w http.ResponseWriter, r *http.Request) {
 	g := s.cache.Grid()
 	dr := g.DataRect()
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(gridInfo{
+	s.writeJSON(w, gridInfo{
 		DataRect: [4]float64{dr.MinX, dr.MinY, dr.MaxX, dr.MaxY},
 		MaxLevel: g.MaxLevel(),
 		Ladder:   g.Ladder(),
-	}); err != nil {
-		log.Printf("gridinfo encode: %v", err)
-	}
+	})
 }
 
 // Grid returns the cache's quantization grid.
@@ -592,10 +745,7 @@ func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
 	for _, t := range res.Triangles {
 		resp.Triangles = append(resp.Triangles, [3]int64{t.A, t.B, t.C})
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		log.Printf("frame encode: %v", err)
-	}
+	s.writeJSON(w, resp)
 }
 
 // CameraStats is one retained coherent session's accounting in /stats.
@@ -682,10 +832,7 @@ func (s *Server) StatsSnapshot(now time.Time) StatsResponse {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(s.StatsSnapshot(time.Now())); err != nil {
-		log.Printf("stats encode: %v", err)
-	}
+	s.writeJSON(w, s.StatsSnapshot(time.Now()))
 }
 
 // CacheStatsResponse is the /cachestats body: global cache counters plus
@@ -717,8 +864,5 @@ func (s *Server) CacheStatsSnapshot() CacheStatsResponse {
 // handleCacheStats reports the shared tile cache: global counters plus
 // the per-tile hit/cost accounting, hottest tiles first.
 func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(s.CacheStatsSnapshot()); err != nil {
-		log.Printf("cachestats encode: %v", err)
-	}
+	s.writeJSON(w, s.CacheStatsSnapshot())
 }

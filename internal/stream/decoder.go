@@ -1,0 +1,475 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"dmesh/internal/dm"
+	"dmesh/internal/geom"
+)
+
+// Decoder reconstructs a progressive stream batch by batch. After any
+// number of Next calls, Mesh() is the exact direct-query answer at the
+// last applied batch's LOD; after NumBatches successful calls it is the
+// exact answer at the stream's target.
+//
+// Truncation is recoverable: a Next that fails with ErrTruncated leaves
+// the decoder at the last complete batch. Re-request the stream with
+// resume=LastApplied() and Attach the new response body; the decoder
+// verifies the re-sent header matches and continues where it stopped.
+type Decoder struct {
+	r         io.Reader
+	started   bool
+	rect      geom.Rect
+	targetE   float64
+	nBatches  int
+	next      int
+	lastE     float64
+	bytesRead int64
+	bytesAt1  int64 // bytesRead when the first batch completed
+	state     meshState
+	sticky    error
+}
+
+// NewDecoder returns an empty decoder; Attach a response body to start.
+func NewDecoder() *Decoder {
+	return &Decoder{state: newMeshState()}
+}
+
+// read pulls exactly len(p) bytes, counting them.
+func (d *Decoder) read(p []byte) error {
+	n, err := io.ReadFull(d.r, p)
+	d.bytesRead += int64(n)
+	return err
+}
+
+// ReadByte makes the decoder its own io.ByteReader for the frame length
+// varints, so no buffering reader sits between it and the body (a
+// buffered reader would over-read past frame boundaries and break the
+// byte accounting).
+func (d *Decoder) ReadByte() (byte, error) {
+	var b [1]byte
+	if err := d.read(b[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// Attach starts reading from r: it consumes and validates the stream
+// header. The first Attach fixes the stream identity (ROI, target,
+// batch count); later Attaches — resumed requests — must match it.
+func (d *Decoder) Attach(r io.Reader) error {
+	if d.sticky != nil {
+		return d.sticky
+	}
+	d.r = r
+	magic := make([]byte, len(streamMagic))
+	if err := d.read(magic); err != nil {
+		return fmt.Errorf("stream: reading header: %w", ErrTruncated)
+	}
+	if string(magic) != streamMagic {
+		return d.poison(fmt.Errorf("stream: bad magic %q: %w", magic, ErrCorrupt))
+	}
+	version, err := binary.ReadUvarint(d)
+	if err != nil {
+		return fmt.Errorf("stream: reading header: %w", ErrTruncated)
+	}
+	if version != streamVersion {
+		return d.poison(fmt.Errorf("stream: unsupported version %d: %w", version, ErrCorrupt))
+	}
+	var f [5]float64
+	raw := make([]byte, 8*len(f))
+	if err := d.read(raw); err != nil {
+		return fmt.Errorf("stream: reading header: %w", ErrTruncated)
+	}
+	for i := range f {
+		f[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	n, err := binary.ReadUvarint(d)
+	if err != nil {
+		return fmt.Errorf("stream: reading header: %w", ErrTruncated)
+	}
+	rect := geom.Rect{MinX: f[0], MinY: f[1], MaxX: f[2], MaxY: f[3]}
+	targetE := f[4]
+	if n == 0 || n > maxFramePayload {
+		return d.poison(fmt.Errorf("stream: impossible batch count %d: %w", n, ErrCorrupt))
+	}
+	if !d.started {
+		d.started = true
+		d.rect, d.targetE, d.nBatches = rect, targetE, int(n)
+		return nil
+	}
+	if rect != d.rect || math.Float64bits(targetE) != math.Float64bits(d.targetE) || int(n) != d.nBatches {
+		return d.poison(fmt.Errorf("stream: resumed header mismatch (rect %v target %g batches %d, want %v %g %d): %w",
+			rect, targetE, n, d.rect, d.targetE, d.nBatches, ErrCorrupt))
+	}
+	return nil
+}
+
+func (d *Decoder) poison(err error) error {
+	d.sticky = err
+	return err
+}
+
+// Done reports whether every announced batch has been applied.
+func (d *Decoder) Done() bool { return d.started && d.next >= d.nBatches }
+
+// LastApplied returns the index of the last applied batch, -1 before the
+// first — exactly the resume parameter a re-request needs.
+func (d *Decoder) LastApplied() int { return d.next - 1 }
+
+// NumBatches returns the announced batch count (0 before Attach).
+func (d *Decoder) NumBatches() int { return d.nBatches }
+
+// Rect returns the stream's ROI.
+func (d *Decoder) Rect() geom.Rect { return d.rect }
+
+// TargetE returns the LOD the full stream decodes to.
+func (d *Decoder) TargetE() float64 { return d.targetE }
+
+// LastE returns the LOD of the last applied batch — the LOD Mesh() is
+// exact at. Zero before the first batch.
+func (d *Decoder) LastE() float64 { return d.lastE }
+
+// BytesRead returns the bytes consumed so far, summed across Attaches.
+func (d *Decoder) BytesRead() int64 { return d.bytesRead }
+
+// BytesToFirstFrame returns the bytes consumed when the first renderable
+// mesh was complete (0 until then).
+func (d *Decoder) BytesToFirstFrame() int64 { return d.bytesAt1 }
+
+// Next reads and applies one batch, returning its index and LOD.
+// io.EOF signals a completed stream (all batches applied); ErrTruncated
+// a resumable cut; ErrCorrupt an unrecoverable encoding violation.
+func (d *Decoder) Next() (int, float64, error) {
+	if d.sticky != nil {
+		return 0, 0, d.sticky
+	}
+	if !d.started {
+		return 0, 0, fmt.Errorf("stream: Next before Attach")
+	}
+	if d.Done() {
+		return 0, 0, io.EOF
+	}
+	length, err := binary.ReadUvarint(d)
+	if err != nil {
+		return 0, 0, fmt.Errorf("stream: frame %d: %w", d.next, ErrTruncated)
+	}
+	if length > maxFramePayload {
+		return 0, 0, d.poison(fmt.Errorf("stream: frame %d declares %d bytes: %w", d.next, length, ErrCorrupt))
+	}
+	payload := make([]byte, length)
+	if err := d.read(payload); err != nil {
+		return 0, 0, fmt.Errorf("stream: frame %d: %w", d.next, ErrTruncated)
+	}
+	e, err := d.applyBatch(payload)
+	if err != nil {
+		return 0, 0, d.poison(err)
+	}
+	d.next++
+	d.lastE = e
+	if d.next == 1 {
+		d.bytesAt1 = d.bytesRead
+	}
+	return d.next - 1, e, nil
+}
+
+// Mesh returns the decoded mesh at the last applied batch — a fresh
+// Result in the canonical query-answer shape, safe to retain.
+func (d *Decoder) Mesh() *dm.Result { return d.state.result() }
+
+// frameReader is the bounds-checked cursor over one frame payload;
+// every violation wraps ErrCorrupt.
+type frameReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *frameReader) corrupt(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("stream: %s at offset %d: %w", what, r.off, ErrCorrupt)
+	}
+}
+
+func (r *frameReader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.corrupt("bad uvarint " + what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *frameReader) f64(what string) float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.corrupt("truncated float " + what)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *frameReader) byte(what string) byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.corrupt("truncated " + what)
+		return 0
+	}
+	b := r.b[r.off]
+	r.off++
+	return b
+}
+
+// count reads a collection length and sanity-bounds it against the
+// bytes remaining (each element takes at least minBytes on the wire).
+func (r *frameReader) count(what string, minBytes int) int {
+	v := r.uvarint(what)
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(len(r.b)-r.off)/uint64(minBytes) {
+		r.corrupt("impossible count " + what)
+		return 0
+	}
+	return int(v)
+}
+
+// idSet reads an ascending ID set (first absolute, then strictly
+// positive deltas).
+func (r *frameReader) idSet(what string) []int64 {
+	n := r.count(what, 1)
+	if n == 0 {
+		return nil
+	}
+	ids := make([]int64, 0, n)
+	prev := int64(0)
+	for i := 0; i < n && r.err == nil; i++ {
+		d := r.uvarint(what + " delta")
+		if r.err != nil {
+			break
+		}
+		if i > 0 && d == 0 {
+			r.corrupt("non-ascending " + what)
+			break
+		}
+		if d > math.MaxInt64 || prev > math.MaxInt64-int64(d) {
+			r.corrupt("overflowing " + what)
+			break
+		}
+		prev += int64(d)
+		ids = append(ids, prev)
+	}
+	return ids
+}
+
+// pairSet reads ascending (a, b) pairs with a < b.
+func (r *frameReader) pairSet(what string) [][2]int64 {
+	n := r.count(what, 2)
+	if n == 0 {
+		return nil
+	}
+	ps := make([][2]int64, 0, n)
+	prevA, prevB := int64(0), int64(-1)
+	for i := 0; i < n && r.err == nil; i++ {
+		da := r.uvarint(what + " a")
+		db := r.uvarint(what + " b")
+		if r.err != nil {
+			break
+		}
+		if da > math.MaxInt64 || prevA > math.MaxInt64-int64(da) || db == 0 || db > math.MaxInt64 {
+			r.corrupt("bad pair in " + what)
+			break
+		}
+		a := prevA + int64(da)
+		if a > math.MaxInt64-int64(db) {
+			r.corrupt("overflowing " + what)
+			break
+		}
+		b := a + int64(db)
+		if i > 0 && da == 0 && b <= prevB {
+			r.corrupt("non-ascending " + what)
+			break
+		}
+		ps = append(ps, [2]int64{a, b})
+		prevA, prevB = a, b
+	}
+	return ps
+}
+
+// triSet reads ascending canonical (A, B, C) triangles with A < B < C.
+func (r *frameReader) triSet(what string) []geom.Triangle {
+	n := r.count(what, 3)
+	if n == 0 {
+		return nil
+	}
+	ts := make([]geom.Triangle, 0, n)
+	prevA, prevB, prevC := int64(0), int64(-1), int64(-1)
+	for i := 0; i < n && r.err == nil; i++ {
+		da := r.uvarint(what + " a")
+		db := r.uvarint(what + " b")
+		dc := r.uvarint(what + " c")
+		if r.err != nil {
+			break
+		}
+		if da > math.MaxInt64 || prevA > math.MaxInt64-int64(da) ||
+			db == 0 || db > math.MaxInt64 || dc == 0 || dc > math.MaxInt64 {
+			r.corrupt("bad triangle in " + what)
+			break
+		}
+		a := prevA + int64(da)
+		if a > math.MaxInt64-int64(db) {
+			r.corrupt("overflowing " + what)
+			break
+		}
+		b := a + int64(db)
+		if b > math.MaxInt64-int64(dc) {
+			r.corrupt("overflowing " + what)
+			break
+		}
+		c := b + int64(dc)
+		if i > 0 && da == 0 && (b < prevB || (b == prevB && c <= prevC)) {
+			r.corrupt("non-ascending " + what)
+			break
+		}
+		ts = append(ts, geom.Triangle{A: a, B: b, C: c})
+		prevA, prevB, prevC = a, b, c
+	}
+	return ts
+}
+
+// applyBatch parses one frame payload and applies it to the state,
+// returning the batch's LOD. Membership violations (removing what was
+// never sent, re-adding what exists) are corruption: the two codec ends
+// have diverged and no resume can fix that.
+func (d *Decoder) applyBatch(payload []byte) (float64, error) {
+	r := &frameReader{b: payload}
+	idx := r.uvarint("batch index")
+	e := r.f64("batch e")
+	if r.err != nil {
+		return 0, r.err
+	}
+	if idx != uint64(d.next) {
+		return 0, fmt.Errorf("stream: batch %d arrived, expected %d: %w", idx, d.next, ErrCorrupt)
+	}
+	if d.next > 0 && e >= d.lastE {
+		return 0, fmt.Errorf("stream: batch %d does not refine (E %g after %g): %w", idx, e, d.lastE, ErrCorrupt)
+	}
+	if int(idx) == d.nBatches-1 && math.Float64bits(e) != math.Float64bits(d.targetE) {
+		return 0, fmt.Errorf("stream: final batch E %g, header target %g: %w", e, d.targetE, ErrCorrupt)
+	}
+
+	remTris := r.triSet("removed triangles")
+	remEdges := r.pairSet("removed edges")
+	remVerts := r.idSet("removed vertices")
+
+	nAdd := r.count("added vertices", 5)
+	type addedVert struct {
+		id int64
+		p  geom.Point3
+	}
+	adds := make([]addedVert, 0, nAdd)
+	prevID := int64(0)
+	for i := 0; i < nAdd && r.err == nil; i++ {
+		dID := r.uvarint("added vertex id")
+		if r.err != nil {
+			break
+		}
+		if (i > 0 && dID == 0) || dID > math.MaxInt64 || prevID > math.MaxInt64-int64(dID) {
+			r.corrupt("non-ascending added vertex ids")
+			break
+		}
+		prevID += int64(dID)
+		flags := r.byte("vertex flags")
+		if r.err != nil {
+			break
+		}
+		if flags&^0x07 != 0 {
+			r.corrupt("reserved vertex flag bits")
+			break
+		}
+		var c [3]float64
+		for ci := 0; ci < 3; ci++ {
+			if flags&(1<<ci) != 0 {
+				m := unzigzag(r.uvarint("dyadic coordinate"))
+				c[ci] = dm.FromDyadicIndex(m)
+			} else {
+				c[ci] = r.f64("coordinate")
+			}
+		}
+		adds = append(adds, addedVert{id: prevID, p: geom.Point3{X: c[0], Y: c[1], Z: c[2]}})
+	}
+
+	addEdges := r.pairSet("added edges")
+	addTris := r.triSet("added triangles")
+	if r.err != nil {
+		return 0, r.err
+	}
+	if r.off != len(r.b) {
+		return 0, fmt.Errorf("stream: %d trailing bytes in batch %d: %w", len(r.b)-r.off, idx, ErrCorrupt)
+	}
+
+	for _, t := range remTris {
+		if _, ok := d.state.tris[t]; !ok {
+			return 0, fmt.Errorf("stream: batch %d removes unknown triangle (%d,%d,%d): %w", idx, t.A, t.B, t.C, ErrCorrupt)
+		}
+		delete(d.state.tris, t)
+	}
+	for _, p := range remEdges {
+		if _, ok := d.state.edges[p]; !ok {
+			return 0, fmt.Errorf("stream: batch %d removes unknown edge (%d,%d): %w", idx, p[0], p[1], ErrCorrupt)
+		}
+		delete(d.state.edges, p)
+	}
+	for _, id := range remVerts {
+		if _, ok := d.state.verts[id]; !ok {
+			return 0, fmt.Errorf("stream: batch %d removes unknown vertex %d: %w", idx, id, ErrCorrupt)
+		}
+		delete(d.state.verts, id)
+	}
+	for _, av := range adds {
+		if _, ok := d.state.verts[av.id]; ok {
+			return 0, fmt.Errorf("stream: batch %d re-adds vertex %d: %w", idx, av.id, ErrCorrupt)
+		}
+		d.state.verts[av.id] = av.p
+	}
+	for _, p := range addEdges {
+		if _, ok := d.state.edges[p]; ok {
+			return 0, fmt.Errorf("stream: batch %d re-adds edge (%d,%d): %w", idx, p[0], p[1], ErrCorrupt)
+		}
+		if _, ok := d.state.verts[p[0]]; !ok {
+			return 0, fmt.Errorf("stream: batch %d edge references untransmitted vertex %d: %w", idx, p[0], ErrCorrupt)
+		}
+		if _, ok := d.state.verts[p[1]]; !ok {
+			return 0, fmt.Errorf("stream: batch %d edge references untransmitted vertex %d: %w", idx, p[1], ErrCorrupt)
+		}
+		d.state.edges[p] = struct{}{}
+	}
+	for _, t := range addTris {
+		if _, ok := d.state.tris[t]; ok {
+			return 0, fmt.Errorf("stream: batch %d re-adds triangle (%d,%d,%d): %w", idx, t.A, t.B, t.C, ErrCorrupt)
+		}
+		for _, id := range [3]int64{t.A, t.B, t.C} {
+			if _, ok := d.state.verts[id]; !ok {
+				return 0, fmt.Errorf("stream: batch %d triangle references untransmitted vertex %d: %w", idx, id, ErrCorrupt)
+			}
+		}
+		d.state.tris[t] = struct{}{}
+	}
+	return e, nil
+}

@@ -1,0 +1,317 @@
+package stream_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dmesh"
+	"dmesh/internal/dm"
+	"dmesh/internal/geom"
+	"dmesh/internal/stream"
+	"dmesh/internal/tilecache"
+)
+
+var (
+	fixOnce sync.Once
+	fixes   map[string]*fixture
+)
+
+type fixture struct {
+	terrain *dmesh.Terrain
+	store   *dmesh.DMStore
+	cache   *tilecache.Cache
+}
+
+// fix memoizes one terrain + store + tile cache per dataset; building
+// (simplification above all) dominates test time.
+func fix(t *testing.T, name string) *fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixes = make(map[string]*fixture)
+		for _, n := range []string{"highland", "crater"} {
+			tr, err := dmesh.Build(dmesh.Config{Dataset: n, Size: 17, Seed: 7})
+			if err != nil {
+				panic(err)
+			}
+			s, err := tr.NewDMStore()
+			if err != nil {
+				panic(err)
+			}
+			c, err := tr.NewTileCache(s, 0)
+			if err != nil {
+				panic(err)
+			}
+			fixes[n] = &fixture{terrain: tr, store: s, cache: c}
+		}
+	})
+	return fixes[name]
+}
+
+func randRects(rng *rand.Rand, n int) []geom.Rect {
+	out := make([]geom.Rect, 0, n)
+	for i := 0; i < n; i++ {
+		w := 0.15 + rng.Float64()*0.5
+		h := 0.15 + rng.Float64()*0.5
+		x := rng.Float64() * (1 - w)
+		y := rng.Float64() * (1 - h)
+		out = append(out, geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h})
+	}
+	return out
+}
+
+// encodeStream builds the progressive stream for Q(roi, target) out of
+// the fixture's tile cache, returning the stream and its levels.
+func encodeStream(t *testing.T, f *fixture, roi geom.Rect, band int) *stream.Stream {
+	t.Helper()
+	levels, err := stream.LevelsFor(f.cache.Grid().Ladder(), band)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meshes := make([]*dm.Result, 0, len(levels))
+	for _, e := range levels {
+		res, _, err := f.cache.Query(roi, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meshes = append(meshes, res)
+	}
+	st, err := stream.Encode(roi, levels, meshes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func flatten(st *stream.Stream) []byte {
+	var buf bytes.Buffer
+	buf.Write(st.Header)
+	for _, f := range st.Frames {
+		buf.Write(f)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamPrefixExactness is the core property on both datasets:
+// for random ROIs and LOD bands, decoding any batch prefix yields
+// exactly (canonical serialization) the direct query answer at that
+// prefix's rung, and the full stream reproduces the direct answer at
+// the target. Run under -race by make streamcheck.
+func TestStreamPrefixExactness(t *testing.T) {
+	for _, name := range []string{"highland", "crater"} {
+		t.Run(name, func(t *testing.T) {
+			f := fix(t, name)
+			ladder := f.cache.Grid().Ladder()
+			rng := rand.New(rand.NewSource(11))
+			for qi, roi := range randRects(rng, 6) {
+				band := rng.Intn(len(ladder))
+				st := encodeStream(t, f, roi, band)
+				if got, want := len(st.Frames), len(ladder)-band; got != want {
+					t.Fatalf("query %d: %d batches, want %d", qi, got, want)
+				}
+				if st.BytesToFirstFrame() >= st.BytesToExact() && len(st.Frames) > 1 {
+					t.Fatalf("query %d: first frame (%d B) not cheaper than exact (%d B)",
+						qi, st.BytesToFirstFrame(), st.BytesToExact())
+				}
+
+				dec := stream.NewDecoder()
+				if err := dec.Attach(bytes.NewReader(flatten(st))); err != nil {
+					t.Fatal(err)
+				}
+				for !dec.Done() {
+					idx, e, err := dec.Next()
+					if err != nil {
+						t.Fatalf("query %d batch %d: %v", qi, idx, err)
+					}
+					direct, derr := f.store.ViewpointIndependent(roi, e)
+					if derr != nil {
+						t.Fatal(derr)
+					}
+					if !bytes.Equal(dm.CanonicalMesh(dec.Mesh()), dm.CanonicalMesh(direct)) {
+						t.Fatalf("query %d: prefix through batch %d (E %g) differs from direct query", qi, idx, e)
+					}
+				}
+				if _, _, err := dec.Next(); err != io.EOF {
+					t.Fatalf("Next after completion: %v, want io.EOF", err)
+				}
+				if dec.LastE() != ladder[band] {
+					t.Fatalf("final E %g, want rung %g", dec.LastE(), ladder[band])
+				}
+				if dec.BytesRead() != int64(st.BytesToExact()) {
+					t.Fatalf("decoder consumed %d B, stream is %d B", dec.BytesRead(), st.BytesToExact())
+				}
+				if dec.BytesToFirstFrame() != int64(st.BytesToFirstFrame()) {
+					t.Fatalf("decoder first-frame bytes %d, encoder says %d",
+						dec.BytesToFirstFrame(), st.BytesToFirstFrame())
+				}
+			}
+		})
+	}
+}
+
+// TestStreamTruncationAndResume cuts one stream at a sweep of byte
+// positions: the decoder must keep the last complete batch, report
+// ErrTruncated (never panic, never corrupt state), and complete exactly
+// after re-attaching a resumed body (header + the batches it lacks).
+func TestStreamTruncationAndResume(t *testing.T) {
+	f := fix(t, "highland")
+	ladder := f.cache.Grid().Ladder()
+	roi := geom.Rect{MinX: 0.2, MinY: 0.15, MaxX: 0.8, MaxY: 0.75}
+	st := encodeStream(t, f, roi, 0) // deepest target: every rung
+	full := flatten(st)
+	direct, err := f.store.ViewpointIndependent(roi, ladder[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dm.CanonicalMesh(direct)
+
+	// Cut positions: every frame boundary, one byte to each side of it,
+	// and a few interior points per frame.
+	cuts := map[int]bool{0: true, 1: true, len(st.Header) - 1: true, len(st.Header): true}
+	off := len(st.Header)
+	for _, fr := range st.Frames {
+		for _, c := range []int{off + 1, off + len(fr)/2, off + len(fr) - 1, off + len(fr)} {
+			if c >= 0 && c <= len(full) {
+				cuts[c] = true
+			}
+		}
+		off += len(fr)
+	}
+	for cut := range cuts {
+		dec := stream.NewDecoder()
+		err := dec.Attach(bytes.NewReader(full[:cut]))
+		if err != nil {
+			if !errors.Is(err, stream.ErrTruncated) {
+				t.Fatalf("cut %d: Attach: %v, want ErrTruncated", cut, err)
+			}
+		} else {
+			for !dec.Done() {
+				if _, _, err := dec.Next(); err != nil {
+					if !errors.Is(err, stream.ErrTruncated) {
+						t.Fatalf("cut %d: %v, want ErrTruncated", cut, err)
+					}
+					break
+				}
+			}
+		}
+		if dec.Done() {
+			if cut != len(full) {
+				t.Fatalf("cut %d: decoder done early", cut)
+			}
+			continue
+		}
+
+		// Resume: the server's protocol re-sends the header and skips
+		// every batch the client confirmed.
+		var resumed bytes.Buffer
+		if _, err := st.WriteTo(&resumed, dec.LastApplied()); err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.Attach(&resumed); err != nil {
+			t.Fatalf("cut %d: resumed Attach: %v", cut, err)
+		}
+		for !dec.Done() {
+			if _, _, err := dec.Next(); err != nil {
+				t.Fatalf("cut %d: resumed Next: %v", cut, err)
+			}
+		}
+		if !bytes.Equal(dm.CanonicalMesh(dec.Mesh()), want) {
+			t.Fatalf("cut %d: resumed stream decodes a different mesh", cut)
+		}
+	}
+}
+
+// TestStreamResumeHeaderMismatch: a resumed body for a different query
+// must be rejected, not silently applied.
+func TestStreamResumeHeaderMismatch(t *testing.T) {
+	f := fix(t, "highland")
+	roi := geom.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.7, MaxY: 0.7}
+	st := encodeStream(t, f, roi, 0)
+	other := encodeStream(t, f, geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.5, MaxY: 0.5}, 0)
+
+	dec := stream.NewDecoder()
+	if err := dec.Attach(bytes.NewReader(flatten(st))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dec.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Attach(bytes.NewReader(flatten(other))); !errors.Is(err, stream.ErrCorrupt) {
+		t.Fatalf("mismatched resume header: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestStreamCorruptionRejected flips single bytes across one encoded
+// stream: the decoder must never panic; any error must be ErrCorrupt or
+// ErrTruncated. (A flip inside raw coordinate bits can decode to a
+// different valid mesh — that is the quantizer's job to care about, not
+// the framing's.)
+func TestStreamCorruptionRejected(t *testing.T) {
+	f := fix(t, "highland")
+	roi := geom.Rect{MinX: 0.25, MinY: 0.25, MaxX: 0.7, MaxY: 0.6}
+	full := flatten(encodeStream(t, f, roi, 0))
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		pos := rng.Intn(len(full))
+		mut := append([]byte(nil), full...)
+		mut[pos] ^= byte(1 + rng.Intn(255))
+		dec := stream.NewDecoder()
+		if err := dec.Attach(bytes.NewReader(mut)); err != nil {
+			if !errors.Is(err, stream.ErrCorrupt) && !errors.Is(err, stream.ErrTruncated) {
+				t.Fatalf("flip at %d: Attach: %v", pos, err)
+			}
+			continue
+		}
+		for !dec.Done() {
+			if _, _, err := dec.Next(); err != nil {
+				if !errors.Is(err, stream.ErrCorrupt) && !errors.Is(err, stream.ErrTruncated) {
+					t.Fatalf("flip at %d: Next: %v", pos, err)
+				}
+				break
+			}
+		}
+	}
+}
+
+// TestLevelsFor pins the batch schedule: coarse to fine, down to the
+// target band, errors outside the ladder.
+func TestLevelsFor(t *testing.T) {
+	ladder := []float64{1, 2, 4, 8}
+	levels, err := stream.LevelsFor(ladder, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 || levels[0] != 8 || levels[1] != 4 || levels[2] != 2 {
+		t.Fatalf("LevelsFor(band 1) = %v", levels)
+	}
+	for _, band := range []int{-1, 4} {
+		if _, err := stream.LevelsFor(ladder, band); err == nil {
+			t.Fatalf("LevelsFor(band %d) succeeded", band)
+		}
+	}
+}
+
+// TestEncoderValidation pins the encoder's input contract.
+func TestEncoderValidation(t *testing.T) {
+	rect := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	if _, err := stream.NewEncoder(rect, nil); err == nil {
+		t.Fatal("NewEncoder with no levels succeeded")
+	}
+	if _, err := stream.NewEncoder(rect, []float64{1, 2}); err == nil {
+		t.Fatal("NewEncoder with ascending levels succeeded")
+	}
+	enc, err := stream.NewEncoder(rect, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &dm.Result{Vertices: map[int64]geom.Point3{}}
+	if _, err := enc.EncodeNext(empty); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.EncodeNext(empty); err == nil {
+		t.Fatal("EncodeNext past the schedule succeeded")
+	}
+}
