@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: verify fmt build vet test race racecache chaos obssmoke layoutcheck packcheck clustercheck streamcheck bench benchsmoke figures
+.PHONY: verify fmt build vet test race racecache chaos obssmoke layoutcheck packcheck clustercheck streamcheck obstracecheck fuzzsmoke benchdiff bench benchsmoke figures
 
 # The CI gate: formatting, build, vet, and the full test suite under the
 # race detector (short mode keeps the large-terrain tests out of the
 # loop), plus a non-short race pass over the concurrent tile cache, the
 # small-scale chaos run, the observability smoke over the tileserver
 # introspection endpoints, the physical-layout equivalence gate, the
-# packed-encoding gate, the sharded-cluster gate, and the progressive-
-# streaming gate.
-verify: fmt build vet race racecache chaos obssmoke layoutcheck packcheck clustercheck streamcheck
+# packed-encoding gate, the sharded-cluster gate, the progressive-
+# streaming gate, the distributed-tracing gate, the decoder fuzz smoke,
+# and the benchmark regression gate.
+verify: fmt build vet race racecache chaos obssmoke layoutcheck packcheck clustercheck streamcheck obstracecheck fuzzsmoke benchdiff
 
 # gofmt cleanliness: fails listing the offending files, fixes nothing.
 fmt:
@@ -83,6 +84,37 @@ streamcheck:
 	$(GO) test -race -count=1 ./internal/stream/
 	$(GO) test -race -count=1 -run 'Stream|Truncated|ContentLength' ./internal/serve/ ./internal/cluster/
 	$(GO) test -count=1 -run FuzzTilePatchDecode ./internal/dm/
+
+# Distributed-tracing gate: the trace wire codec and the cross-hop
+# accounting invariant under the race detector — round trips, corrupt
+# rejection, SpliceRemote charging, the shard /patch and /stream trace
+# attachments, the router splice (including with a shard killed
+# mid-workload), the cluster metric merge, and the concurrent slow log
+# carrying wire traces.
+obstracecheck:
+	$(GO) test -race -count=1 -run 'TraceWire|SpliceRemote|Traced|PatchTrace|StreamTrace|Prom|LatencyHist|Health|SlowLog' \
+		./internal/obs/ ./internal/serve/ ./internal/cluster/
+
+# Fuzz smoke: a few seconds of live fuzzing over each untrusted-input
+# decoder — the trace wire, the packed record codec, and the tile wire.
+# None may panic; all must reject corruption with their layer's
+# ErrCorrupt. Longer explorations just raise -fuzztime.
+fuzzsmoke:
+	$(GO) test -fuzz 'FuzzTraceWireDecode' -fuzztime 5s -run '^FuzzTraceWireDecode$$' ./internal/obs/
+	$(GO) test -fuzz 'FuzzPackedRecordDecode' -fuzztime 5s -run '^FuzzPackedRecordDecode$$' ./internal/dm/
+	$(GO) test -fuzz 'FuzzTilePatchDecode' -fuzztime 5s -run '^FuzzTilePatchDecode$$' ./internal/dm/
+
+# Benchmark regression gate: regenerate the tracing figure at the gate
+# scale (129-point grids keep it under CI budgets) into results/gate and
+# diff it against the checked-in baselines under results/baselines.
+# dmbenchdiff exits nonzero when a disk-access or byte metric drifts
+# beyond tolerance; timing metrics are ignored (they measure the
+# machine). The full-scale baselines for the other figures live in the
+# same directory and are compared whenever their BENCH_*.json is
+# regenerated into the gate directory at the baseline's scale.
+benchdiff:
+	$(GO) run ./cmd/dmbench -fig obstrace -size 129 -size2 129 -resultdir results/gate
+	$(GO) run ./cmd/dmbenchdiff -baseline results/baselines -current results/gate
 
 # The paper's metric: custom DA/... counters, not ns/op. Runs the unit
 # suite first (a benchmark of broken code measures nothing); -run '^$$'

@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn|throughput|flyover|tilecache|faults|dabreakdown|layoutcmp|cluster|stream]
+//	dmbench [-fig all|6a|6b|6c|6d|8a|8b|8c|8d|8e|8f|conn|throughput|flyover|tilecache|faults|dabreakdown|layoutcmp|cluster|stream|obstrace]
 //	        [-size N] [-size2 N] [-seed S] [-locations L] [-layout str|hilbert|rowmajor|connect|packed]
-//	        [-cpuprofile F] [-memprofile F]
+//	        [-resultdir D] [-cpuprofile F] [-memprofile F]
 //
 // -fig throughput is not a paper figure: it measures concurrent query
 // serving against a sharded buffer pool (queries/sec and speedup by
@@ -60,8 +60,19 @@
 // is decoded back and verified exactly equal to the direct query; the
 // series goes to results/BENCH_stream.json.
 //
+// -fig obstrace is the distributed-tracing figure: the cluster query
+// mix traced end to end over the wire (shard phase traces spliced into
+// the router's fan-out spans), decomposed per hop and per phase, with
+// the cross-hop accounting invariant — root trace == Σ shard response
+// headers == Σ spliced shard spans — hard-checked on every single
+// query, including with a shard fail-stopped mid-workload. The legs go
+// to results/BENCH_obstrace.json.
+//
 // -layout selects the DM store's physical record layout for every
 // figure; layoutcmp uses it as the "before" side.
+//
+// -resultdir redirects the results/ JSON outputs (the benchdiff
+// regression gate points it at a scratch directory).
 //
 // -cpuprofile and -memprofile write pprof profiles of whatever figure
 // selection ran (go tool pprof reads them).
@@ -101,8 +112,9 @@ func main() {
 // selected figure fails.
 func mainErr() error {
 	var (
-		fig       = flag.String("fig", "all", "figure to reproduce (6a..6d, 8a..8f, conn, throughput, flyover, tilecache, faults, dabreakdown, layoutcmp, cluster, stream, all)")
+		fig       = flag.String("fig", "all", "figure to reproduce (6a..6d, 8a..8f, conn, throughput, flyover, tilecache, faults, dabreakdown, layoutcmp, cluster, stream, obstrace, all)")
 		layoutF   = flag.String("layout", "str", "physical DM-store layout: str, hilbert, rowmajor, connect, or packed")
+		resultDir = flag.String("resultdir", "results", "directory the BENCH_*.json figure outputs go to")
 		size      = flag.Int("size", 257, "grid side of the highland dataset (the paper's 2M-point terrain)")
 		size2     = flag.Int("size2", 513, "grid side of the crater dataset (the paper's 17M-point terrain)")
 		seed      = flag.Int64("seed", 1, "generation seed")
@@ -143,12 +155,13 @@ func mainErr() error {
 		}()
 	}
 	env := &benchEnv{
-		cfg:    workload.Config{Locations: *locations, Seed: *seed},
-		size:   *size,
-		size2:  *size2,
-		seed:   *seed,
-		csv:    *csvOut,
-		layout: layout,
+		cfg:       workload.Config{Locations: *locations, Seed: *seed},
+		size:      *size,
+		size2:     *size2,
+		seed:      *seed,
+		csv:       *csvOut,
+		layout:    layout,
+		resultDir: *resultDir,
 	}
 	return run(env, strings.ToLower(*fig))
 }
@@ -162,8 +175,14 @@ type benchEnv struct {
 	seed        int64
 	csv         bool
 	layout      dmesh.Layout
+	resultDir   string
 
 	bundles map[string]*experiments.Bundle
+}
+
+// resultPath places one BENCH_*.json output under -resultdir.
+func (e *benchEnv) resultPath(name string) string {
+	return filepath.Join(e.resultDir, name)
 }
 
 // bundle builds (once) and returns the named dataset bundle.
@@ -347,10 +366,10 @@ func runners() []figureRunner {
 				}
 				sweeps = append(sweeps, sweep)
 			}
-			if err := writeLayoutJSON("results/BENCH_layout.json", e, cmps); err != nil {
+			if err := writeLayoutJSON(e.resultPath("BENCH_layout.json"), e, cmps); err != nil {
 				return err
 			}
-			return writeCompressionJSON("results/BENCH_compression.json", e, sweeps)
+			return writeCompressionJSON(e.resultPath("BENCH_compression.json"), e, sweeps)
 		}},
 		{"cluster", func(e *benchEnv) error {
 			b, err := e.bundle("highland")
@@ -364,7 +383,7 @@ func runners() []figureRunner {
 			if err := printCluster(fig); err != nil {
 				return err
 			}
-			return writeClusterJSON("results/BENCH_cluster.json", e, []*experiments.ClusterFigure{fig})
+			return writeClusterJSON(e.resultPath("BENCH_cluster.json"), e, []*experiments.ClusterFigure{fig})
 		}},
 		{"stream", func(e *benchEnv) error {
 			var figs []*experiments.StreamFigure
@@ -382,7 +401,25 @@ func runners() []figureRunner {
 				}
 				figs = append(figs, fig)
 			}
-			return writeStreamJSON("results/BENCH_stream.json", e, figs)
+			return writeStreamJSON(e.resultPath("BENCH_stream.json"), e, figs)
+		}},
+		{"obstrace", func(e *benchEnv) error {
+			var figs []*experiments.ObsTraceFigure
+			for _, name := range []string{"highland", "crater"} {
+				b, err := e.bundle(name)
+				if err != nil {
+					return err
+				}
+				fig, err := b.ObsTrace(e.seed, 8, 10, 4)
+				if err != nil {
+					return fmt.Errorf("obstrace: %w", err)
+				}
+				if err := printObsTrace(fig); err != nil {
+					return err
+				}
+				figs = append(figs, fig)
+			}
+			return writeObsTraceJSON(e.resultPath("BENCH_obstrace.json"), e, figs)
 		}},
 	}
 }
@@ -817,6 +854,77 @@ func writeCompressionJSON(path string, e *benchEnv, sweeps []*experiments.Layout
 	}{
 		Sizes: [2]int{e.size, e.size2}, Seed: e.seed,
 		Locations: e.cfg.Locations, Datasets: sweeps,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}
+
+// printObsTrace prints the distributed-tracing decomposition: one row
+// per workload leg (cold, steady, resumed streams, shard killed), DA
+// and latency totals plus the per-phase exclusive-DA columns recovered
+// from the spliced shard traces. Every query behind these numbers
+// already passed the cross-hop invariant — an attribution gap fails the
+// figure before it prints.
+func printObsTrace(fig *experiments.ObsTraceFigure) error {
+	fmt.Printf("\nDistributed trace decomposition (%s, %d shards, %d clients x %d queries, LOD p%.0f, exact cross-hop attribution):\n",
+		fig.Name, fig.Shards, fig.Clients, fig.PerClient, 100*fig.EPct)
+	var used [obs.NumPhases]bool
+	for _, leg := range fig.Legs {
+		for _, ps := range leg.Phases {
+			used[ps.Phase] = true
+		}
+	}
+	var phases []string
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		if used[p] {
+			phases = append(phases, p.String())
+		}
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "leg\tqueries\tDA\ttraced DA\tredirects\tp50 us\tp99 us")
+	for _, p := range phases {
+		fmt.Fprintf(w, "\t%s", p)
+	}
+	fmt.Fprintln(w)
+	for _, leg := range fig.Legs {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.0f\t%.0f",
+			leg.Leg, leg.Queries, leg.DA, leg.TraceDA, leg.Redirected,
+			leg.P50Micros, leg.P99Micros)
+		cells := map[string]string{}
+		for _, ps := range leg.Phases {
+			cells[ps.Name] = fmt.Sprintf("%d [%d]", ps.DA, ps.Spans)
+		}
+		for _, p := range phases {
+			c, ok := cells[p]
+			if !ok {
+				c = "-"
+			}
+			fmt.Fprintf(w, "\t%s", c)
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}
+
+// writeObsTraceJSON persists the tracing decomposition for the
+// benchdiff regression gate and the EXPERIMENTS.md obstrace table.
+func writeObsTraceJSON(path string, e *benchEnv, figs []*experiments.ObsTraceFigure) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	doc := struct {
+		Sizes    [2]int                        `json:"sizes"`
+		Seed     int64                         `json:"seed"`
+		Datasets []*experiments.ObsTraceFigure `json:"datasets"`
+	}{
+		Sizes: [2]int{e.size, e.size2}, Seed: e.seed, Datasets: figs,
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"dmesh/internal/dm"
+	"dmesh/internal/obs"
+)
+
+// scrape GETs one shard introspection URL and returns the whole body,
+// enforcing the same truncation discipline as the tile path: a body
+// whose length disagrees with the declared Content-Length is corrupt,
+// not short.
+func (rt *Router) scrape(url string) ([]byte, error) {
+	resp, err := rt.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s: status %d", url, resp.StatusCode)
+	}
+	if resp.ContentLength >= 0 && int64(len(body)) != resp.ContentLength {
+		return nil, fmt.Errorf("cluster: %s: truncated body (%d of %d declared bytes): %w",
+			url, len(body), resp.ContentLength, dm.ErrCorrupt)
+	}
+	return body, nil
+}
+
+// Handler mounts the router's cluster-wide observability surface:
+//
+//   - /clustermetrics — every shard's /metrics plus the router's own
+//     registry, parsed and merged deterministically (shards visited in
+//     configuration order, metrics emitted name-sorted): counters and
+//     histogram buckets sum bucket-wise, so the page reads like one
+//     process serving the whole cluster. Synthetic gauges report how
+//     many shards answered the scrape.
+//   - /clusterhealth — each shard's /healthz + /readyz merged, shard
+//     order preserved; 200 only when every shard is ready.
+//   - /clusterslowlog — every shard's slow log merged (slowest first,
+//     shard-tagged), each entry carrying its wire trace for drill-down.
+//
+// The merged pages fully encode before writing and declare
+// Content-Length, like every fixed-size response in the repo.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/clustermetrics", rt.handleClusterMetrics)
+	mux.HandleFunc("/clusterhealth", rt.handleClusterHealth)
+	mux.HandleFunc("/clusterslowlog", rt.handleClusterSlowLog)
+	return mux
+}
+
+// writeBody sends a fully rendered response with Content-Length.
+func writeBody(w http.ResponseWriter, status int, contentType string, body []byte) {
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+func clusterError(w http.ResponseWriter, status int, err error) {
+	body, _ := json.Marshal(map[string]string{"error": err.Error()})
+	writeBody(w, status, "application/json", append(body, '\n'))
+}
+
+// handleClusterMetrics scrapes every shard's /metrics, merges them with
+// the router's own registry, and serves the union. A shard that fails
+// to answer contributes nothing — visible in the synthetic
+// cluster_shards_scraped gauge — so the page stays available through
+// partial outages.
+func (rt *Router) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	var own bytes.Buffer
+	if err := rt.reg.WritePrometheus(&own); err != nil {
+		clusterError(w, http.StatusInternalServerError, err)
+		return
+	}
+	ownSnap, err := obs.ParsePrometheus(&own)
+	if err != nil {
+		clusterError(w, http.StatusInternalServerError, err)
+		return
+	}
+	snaps := []*obs.PromSnapshot{ownSnap}
+	scraped := 0
+	for _, base := range rt.shards { // configuration order: deterministic
+		body, err := rt.scrape(base + "/metrics")
+		if err != nil {
+			continue
+		}
+		snap, err := obs.ParsePrometheus(bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		snaps = append(snaps, snap)
+		scraped++
+	}
+	merged, err := obs.MergePrometheus(snaps...)
+	if err != nil {
+		clusterError(w, http.StatusInternalServerError, err)
+		return
+	}
+	merged.Metrics["cluster_shards_total"] = &obs.PromMetric{
+		Name: "cluster_shards_total", Help: "shards configured on this router",
+		Kind: "gauge", Value: int64(len(rt.shards)),
+	}
+	merged.Metrics["cluster_shards_scraped"] = &obs.PromMetric{
+		Name: "cluster_shards_scraped", Help: "shards whose /metrics answered this scrape",
+		Kind: "gauge", Value: int64(scraped),
+	}
+	var buf bytes.Buffer
+	if err := merged.WriteText(&buf); err != nil {
+		clusterError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeBody(w, http.StatusOK, "text/plain; version=0.0.4; charset=utf-8", buf.Bytes())
+}
+
+// ShardHealth is one shard's probe outcome in /clusterhealth.
+type ShardHealth struct {
+	ID      string `json:"id"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Ready   bool   `json:"ready"`
+	Error   string `json:"error,omitempty"`
+}
+
+// ClusterHealth is the /clusterhealth body.
+type ClusterHealth struct {
+	Status string        `json:"status"` // "ready" or "degraded"
+	Ready  int           `json:"ready_shards"`
+	Total  int           `json:"total_shards"`
+	Shards []ShardHealth `json:"shards"`
+}
+
+// Health probes every shard's /healthz and /readyz, in configuration
+// order. The cluster is "ready" only when every shard is.
+func (rt *Router) Health() ClusterHealth {
+	ch := ClusterHealth{Total: len(rt.shards)}
+	for i, base := range rt.shards {
+		sh := ShardHealth{ID: rt.ids[i], URL: base}
+		if _, err := rt.scrape(base + "/healthz"); err != nil {
+			sh.Error = err.Error()
+		} else {
+			sh.Healthy = true
+			if _, err := rt.scrape(base + "/readyz"); err != nil {
+				sh.Error = err.Error()
+			} else {
+				sh.Ready = true
+				ch.Ready++
+			}
+		}
+		ch.Shards = append(ch.Shards, sh)
+	}
+	if ch.Ready == ch.Total {
+		ch.Status = "ready"
+	} else {
+		ch.Status = "degraded"
+	}
+	return ch
+}
+
+func (rt *Router) handleClusterHealth(w http.ResponseWriter, r *http.Request) {
+	ch := rt.Health()
+	body, err := json.Marshal(ch)
+	if err != nil {
+		clusterError(w, http.StatusInternalServerError, err)
+		return
+	}
+	status := http.StatusOK
+	if ch.Status != "ready" {
+		status = http.StatusServiceUnavailable
+	}
+	writeBody(w, status, "application/json", append(body, '\n'))
+}
+
+// ClusterSlowEntry is one shard's slow-log entry tagged with the shard
+// it came from. The embedded entry keeps its wire trace, so the merged
+// log still drills down to per-span DA on any hop.
+type ClusterSlowEntry struct {
+	Shard string `json:"shard"`
+	obs.SlowEntry
+}
+
+// handleClusterSlowLog merges every shard's /slowlog, slowest first
+// (ties: shard order, then newest), capped by n (default 20).
+func (rt *Router) handleClusterSlowLog(w http.ResponseWriter, r *http.Request) {
+	n := 20
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			clusterError(w, http.StatusBadRequest, fmt.Errorf("n must be a positive integer"))
+			return
+		}
+		n = v
+	}
+	var entries []ClusterSlowEntry
+	scraped := 0
+	for i, base := range rt.shards {
+		body, err := rt.scrape(fmt.Sprintf("%s/slowlog?n=%d", base, n))
+		if err != nil {
+			continue
+		}
+		var page struct {
+			Entries []obs.SlowEntry `json:"entries"`
+		}
+		if err := json.Unmarshal(body, &page); err != nil {
+			continue
+		}
+		for _, e := range page.Entries {
+			entries = append(entries, ClusterSlowEntry{Shard: rt.ids[i], SlowEntry: e})
+		}
+		scraped++
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Dur != entries[j].Dur {
+			return entries[i].Dur > entries[j].Dur
+		}
+		if entries[i].Shard != entries[j].Shard {
+			return entries[i].Shard < entries[j].Shard
+		}
+		return entries[i].Seq > entries[j].Seq
+	})
+	if len(entries) > n {
+		entries = entries[:n]
+	}
+	body, err := json.Marshal(struct {
+		ScrapedShards int                `json:"scraped_shards"`
+		TotalShards   int                `json:"total_shards"`
+		Entries       []ClusterSlowEntry `json:"entries"`
+	}{scraped, len(rt.shards), entries})
+	if err != nil {
+		clusterError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeBody(w, http.StatusOK, "application/json", append(body, '\n'))
+}

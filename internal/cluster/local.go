@@ -62,7 +62,9 @@ func StartLocal(cfg LocalConfig) (*LocalCluster, error) {
 			lc.Close()
 			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
 		}
-		ts := httptest.NewServer(s.Handler(false))
+		// Introspection on: the router's /clustermetrics and
+		// /clusterslowlog scrape the shards' /metrics and /slowlog.
+		ts := httptest.NewServer(s.Handler(true))
 		lc.Servers = append(lc.Servers, s)
 		lc.HTTP = append(lc.HTTP, ts)
 		urls = append(urls, ts.URL)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -55,6 +56,13 @@ type QueryStats struct {
 	DA         uint64  // shard store disk accesses charged to this query
 	Attempts   int     // shard requests issued (>= Tiles)
 	Redirected int     // tiles served by a later candidate after a failure
+
+	// TraceDA is the disk-access total the shards' spliced wire traces
+	// account for themselves — zero on untraced queries. The cross-hop
+	// invariant of a traced query is DA == TraceDA == the root trace's
+	// CheckTotal figure: every header-reported access appears in exactly
+	// one remote phase span.
+	TraceDA uint64
 }
 
 // Router is the stdlib-only front tier: it consistent-hashes canonical
@@ -65,6 +73,7 @@ type QueryStats struct {
 type Router struct {
 	ring        *Ring
 	shards      []string
+	ids         []string
 	grid        *tilecache.Grid
 	maxAttempts int
 	client      *http.Client
@@ -134,6 +143,7 @@ func NewRouter(cfg Config) (*Router, error) {
 	rt := &Router{
 		ring:        ring,
 		shards:      append([]string(nil), cfg.Shards...),
+		ids:         append([]string(nil), ids...),
 		grid:        cfg.Grid,
 		maxAttempts: maxAttempts,
 		client:      client,
@@ -193,54 +203,82 @@ func (rt *Router) candidates(k tilecache.Key) []int {
 	return rot
 }
 
+// tileFetch is one tile's fan-out outcome: the decoded patch, the
+// winning shard's accounting, and — on traced queries — the shard's
+// wire trace plus the hop's timing, recorded with the goroutine-safe
+// Trace.Now so the query goroutine can splice it after the fan-out
+// rejoins.
+type tileFetch struct {
+	tp         *dm.TilePatch
+	da         uint64
+	attempts   int
+	redirected int
+	wt         *obs.WireTrace
+	start, dur time.Duration
+	err        error
+}
+
 // fetchTile requests one tile from its candidate shards in order,
 // bounded by MaxAttempts, and decodes the wire patch. da is the shard
 // store I/O reported for the winning attempt; redirected counts the
-// failed attempts that preceded it.
-func (rt *Router) fetchTile(k tilecache.Key) (tp *dm.TilePatch, da uint64, attempts, redirected int, err error) {
+// failed attempts that preceded it. A non-nil tr asks the winning shard
+// for its phase trace; only tr.Now is called here (fetchTile runs on
+// fan-out goroutines, and Now is the one goroutine-safe Trace method).
+func (rt *Router) fetchTile(k tilecache.Key, tr *obs.Trace) (f tileFetch) {
 	cands := rt.candidates(k)
 	if len(cands) > rt.maxAttempts {
 		cands = cands[:rt.maxAttempts]
 	}
 	var lastErr error
 	for i, shard := range cands {
-		attempts++
-		tp, da, lastErr = rt.getPatch(rt.shards[shard], k)
+		f.attempts++
+		start := tr.Now()
+		tp, da, wt, err := rt.getPatch(rt.shards[shard], k, tr != nil)
+		lastErr = err
 		if lastErr == nil {
 			// Count every failed attempt that preceded the winner, not
 			// just the fact that one happened: the accounting invariant is
 			// attempts == tiles + redirects, and with two failures before
 			// a success this tile contributes 3 attempts and 1 tile.
 			if i > 0 {
-				redirected = i
+				f.redirected = i
 				rt.mRedirects.Add(uint64(i))
 			}
 			rt.mTiles.Inc()
-			return tp, da, attempts, redirected, nil
+			f.tp, f.da, f.wt = tp, da, wt
+			f.start, f.dur = start, tr.Now()-start
+			return f
 		}
 		rt.mErrors.Inc()
 	}
-	return nil, 0, attempts, 0, fmt.Errorf("cluster: tile %s failed on all %d candidates: %w", k, attempts, lastErr)
+	f.err = fmt.Errorf("cluster: tile %s failed on all %d candidates: %w", k, f.attempts, lastErr)
+	return f
 }
 
 // getPatch issues one /patch request and decodes the body. Any
 // transport error, non-200 status, truncated body, or undecodable body
 // is a failed attempt — the fail-stop model treats them all as "this
 // shard cannot serve the tile right now", and fetchTile fails over to
-// the next candidate.
-func (rt *Router) getPatch(base string, k tilecache.Key) (*dm.TilePatch, uint64, error) {
+// the next candidate. With traced set the shard is asked for its phase
+// trace (trace=1) and a missing or corrupt X-DM-Trace header fails the
+// attempt the same way: a traced query's accounting is part of its
+// answer.
+func (rt *Router) getPatch(base string, k tilecache.Key, traced bool) (*dm.TilePatch, uint64, *obs.WireTrace, error) {
 	url := fmt.Sprintf("%s/patch?level=%d&ix=%d&iy=%d&band=%d", base, k.Level, k.IX, k.IY, k.Band)
+	if traced {
+		url += "&trace=1"
+	}
 	resp, err := rt.client.Get(url)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, 0, fmt.Errorf("cluster: %s: status %d: %s", url, resp.StatusCode, body)
+		return nil, 0, nil, fmt.Errorf("cluster: %s: status %d: %s", url, resp.StatusCode, body)
 	}
 	// The shard declares Content-Length on /patch; a body of any other
 	// length is a cut connection or a misbehaving middlebox. (When the
@@ -248,15 +286,25 @@ func (rt *Router) getPatch(base string, k tilecache.Key) (*dm.TilePatch, uint64,
 	// fails the read above; this catches the short-declaration flavor,
 	// where the body "completes" at the wrong size.)
 	if resp.ContentLength >= 0 && int64(len(body)) != resp.ContentLength {
-		return nil, 0, fmt.Errorf("cluster: %s: truncated body (%d of %d declared bytes): %w",
+		return nil, 0, nil, fmt.Errorf("cluster: %s: truncated body (%d of %d declared bytes): %w",
 			url, len(body), resp.ContentLength, dm.ErrCorrupt)
 	}
 	tp, err := dm.DecodeTilePatch(body)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	da, _ := strconv.ParseUint(resp.Header.Get("X-DM-DA"), 10, 64)
-	return tp, da, nil
+	var wt *obs.WireTrace
+	if traced {
+		raw, err := base64.StdEncoding.DecodeString(resp.Header.Get("X-DM-Trace"))
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("cluster: %s: undecodable X-DM-Trace: %v: %w", url, err, obs.ErrCorrupt)
+		}
+		if wt, err = obs.DecodeTraceWire(raw); err != nil {
+			return nil, 0, nil, fmt.Errorf("cluster: %s: %w", url, err)
+		}
+	}
+	return tp, da, wt, nil
 }
 
 // Query answers Q(r, e) through the cluster: snap e onto the ladder,
@@ -265,42 +313,55 @@ func (rt *Router) getPatch(base string, k tilecache.Key) (*dm.TilePatch, uint64,
 // tilecache answer for the same query — byte for byte once encoded —
 // because both sides stitch identical canonical patches.
 func (rt *Router) Query(r geom.Rect, e float64) (*dm.Result, QueryStats, error) {
+	return rt.QueryTraced(r, e, nil)
+}
+
+// QueryTraced is Query recording phase spans on tr (which may be nil).
+// The router's trace must be charge-based (obs.NewTrace(nil)): the
+// store I/O happens in other processes, so every disk access enters the
+// trace through a PhaseShardHop splice — one per fetched tile, carrying
+// the shard's X-DM-DA and, beneath it, the shard's own phase spans from
+// the X-DM-Trace wire. The cross-hop invariant follows: the root trace
+// passes CheckTotal(st.DA) exactly when no shard claims more in spans
+// than in its header, and st.TraceDA == st.DA exactly when every shard
+// accounts for all of it.
+func (rt *Router) QueryTraced(r geom.Rect, e float64, tr *obs.Trace) (*dm.Result, QueryStats, error) {
 	start := time.Now()
+	tr.Begin(obs.PhaseQuery)
+	defer tr.End()
 	band, snapped := rt.grid.SnapE(e)
 	level := rt.grid.LevelFor(r)
 	keys := rt.grid.Cover(r, level, band)
 	st := QueryStats{SnappedE: snapped, Level: level, Tiles: len(keys)}
 
-	type slot struct {
-		tp         *dm.TilePatch
-		da         uint64
-		attempts   int
-		redirected int
-		err        error
-	}
-	slots := make([]slot, len(keys))
+	slots := make([]tileFetch, len(keys))
 	var wg sync.WaitGroup
 	for i, k := range keys {
 		wg.Add(1)
 		go func(i int, k tilecache.Key) {
 			defer wg.Done()
-			s := &slots[i]
-			s.tp, s.da, s.attempts, s.redirected, s.err = rt.fetchTile(k)
+			slots[i] = rt.fetchTile(k, tr)
 		}(i, k)
 	}
 	wg.Wait()
 
+	// Splice after the barrier, in cover-key order: Trace methods other
+	// than Now are not goroutine-safe, and the deterministic order keeps
+	// traced span sequences reproducible however the fan-out raced.
 	tiles := make([]*dm.TilePatch, len(keys))
 	for i := range slots {
-		st.DA += slots[i].da
-		st.Attempts += slots[i].attempts
-		st.Redirected += slots[i].redirected
-		if slots[i].err != nil {
-			return nil, st, slots[i].err
+		s := &slots[i]
+		st.DA += s.da
+		st.Attempts += s.attempts
+		st.Redirected += s.redirected
+		if s.err != nil {
+			return nil, st, s.err
 		}
-		tiles[i] = slots[i].tp
+		st.TraceDA += s.wt.TotalDA()
+		tr.SpliceRemote(obs.PhaseShardHop, s.start, s.dur, s.da, s.wt)
+		tiles[i] = s.tp
 	}
-	res, err := dm.StitchTiles(r, snapped, tiles)
+	res, err := dm.StitchTilesTraced(r, snapped, tiles, tr)
 	if err != nil {
 		return nil, st, err
 	}
@@ -370,7 +431,7 @@ func (rt *Router) Rebalance(topK, replicas int) (RebalanceStats, error) {
 		order := rt.ring.Order(k.String())
 		warmed := 1 // the primary already has it (it is where the hits happened)
 		for _, shard := range order[1:replicas] {
-			if _, da, err := rt.getPatch(rt.shards[shard], k); err != nil {
+			if _, da, _, err := rt.getPatch(rt.shards[shard], k, false); err != nil {
 				st.Failed++
 			} else {
 				st.WarmDA += da
@@ -396,13 +457,9 @@ type hotEntry struct {
 }
 
 func (rt *Router) getHotTiles(base string, n int) ([]hotEntry, error) {
-	resp, err := rt.client.Get(fmt.Sprintf("%s/hottiles?n=%d", base, n))
+	body, err := rt.scrape(fmt.Sprintf("%s/hottiles?n=%d", base, n))
 	if err != nil {
 		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("cluster: hottiles: status %d", resp.StatusCode)
 	}
 	var raw []struct {
 		Level int    `json:"level"`
@@ -411,7 +468,7 @@ func (rt *Router) getHotTiles(base string, n int) ([]hotEntry, error) {
 		Band  int    `json:"band"`
 		Hits  uint64 `json:"hits"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+	if err := json.Unmarshal(body, &raw); err != nil {
 		return nil, err
 	}
 	out := make([]hotEntry, 0, len(raw))

@@ -7,6 +7,7 @@ import (
 
 	"dmesh/internal/dm"
 	"dmesh/internal/geom"
+	"dmesh/internal/obs"
 	"dmesh/internal/stream"
 )
 
@@ -27,6 +28,10 @@ type StreamStats struct {
 	Tiles      int
 	Attempts   int
 	Redirected int
+
+	// TraceDA sums the rungs' shard-trace-accounted DA (see
+	// QueryStats.TraceDA); zero on untraced streams.
+	TraceDA uint64
 }
 
 // Stream assembles the progressive answer for Q(r, e) from per-shard
@@ -43,6 +48,15 @@ type StreamStats struct {
 // them — but not transmitted. The returned Result is the full-stream
 // mesh (the direct answer at the snapped rung).
 func (rt *Router) Stream(r geom.Rect, e float64, resume int, w io.Writer) (*dm.Result, StreamStats, error) {
+	return rt.StreamTraced(r, e, resume, w, nil)
+}
+
+// StreamTraced is Stream recording phase spans on tr (which may be
+// nil, and must be charge-based like QueryTraced's): one root span over
+// the whole stream, the rung queries' fan-out hops beneath it, encode
+// spans for the codec work, and PhaseStreamReplay spans wrapping the
+// rungs a resumed stream re-runs only to rebuild delta state.
+func (rt *Router) StreamTraced(r geom.Rect, e float64, resume int, w io.Writer, tr *obs.Trace) (*dm.Result, StreamStats, error) {
 	band, snapped := rt.grid.SnapE(e)
 	levels, err := stream.LevelsFor(rt.grid.Ladder(), band)
 	if err != nil {
@@ -57,6 +71,8 @@ func (rt *Router) Stream(r geom.Rect, e float64, resume int, w io.Writer) (*dm.R
 		return nil, st, err
 	}
 	start := time.Now()
+	tr.Begin(obs.PhaseQuery)
+	defer tr.End()
 	hdr := enc.Header()
 	st.BytesToFirst = len(hdr)
 	st.BytesToExact = len(hdr)
@@ -67,24 +83,36 @@ func (rt *Router) Stream(r geom.Rect, e float64, resume int, w io.Writer) (*dm.R
 	}
 	var res *dm.Result
 	for i, le := range levels {
+		replay := i <= resume
+		if replay {
+			tr.Begin(obs.PhaseStreamReplay)
+		}
 		var qs QueryStats
-		res, qs, err = rt.Query(r, le)
+		res, qs, err = rt.QueryTraced(r, le, tr)
 		if err != nil {
+			if replay {
+				tr.End()
+			}
 			return nil, st, fmt.Errorf("cluster: stream rung %d (E %g): %w", i, le, err)
 		}
 		st.DA += qs.DA
 		st.Tiles += qs.Tiles
 		st.Attempts += qs.Attempts
 		st.Redirected += qs.Redirected
-		frame, err := enc.EncodeNext(res)
+		st.TraceDA += qs.TraceDA
+		frame, err := enc.EncodeNextTraced(res, tr)
 		if err != nil {
+			if replay {
+				tr.End()
+			}
 			return nil, st, err
 		}
 		if i == 0 {
 			st.BytesToFirst += len(frame)
 		}
 		st.BytesToExact += len(frame)
-		if i <= resume {
+		if replay {
+			tr.End()
 			continue
 		}
 		n, err := w.Write(frame)

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"dmesh/internal/cluster"
+	"dmesh/internal/geom"
+	"dmesh/internal/obs"
+	"dmesh/internal/workload"
+)
+
+// ObsTraceLeg is one workload leg's per-hop decomposition: the cluster
+// query mix traced end to end, every query hard-checked against the
+// cross-hop invariant before its spans are merged in. Phases carry the
+// exclusive DA and wall time summed over the leg — shard_hop self-DA is
+// the accounting gap between headers and shard spans, and stays zero
+// while every shard explains itself.
+type ObsTraceLeg struct {
+	Leg        string          `json:"leg"`
+	Queries    int             `json:"queries"`
+	DA         uint64          `json:"disk_accesses"`
+	TraceDA    uint64          `json:"trace_accounted_da"`
+	Redirected int             `json:"redirected"`
+	P50Micros  float64         `json:"p50_micros"`
+	P99Micros  float64         `json:"p99_micros"`
+	Phases     []obs.PhaseStat `json:"phases"`
+}
+
+// ObsTraceFigure is the -fig obstrace result for one dataset: the
+// distributed-trace decomposition of the cluster query mix, cold and
+// steady, with a shard killed mid-workload, and over resumed
+// progressive streams.
+type ObsTraceFigure struct {
+	Name      string        `json:"dataset"`
+	Shards    int           `json:"shards"`
+	Clients   int           `json:"clients"`
+	PerClient int           `json:"per_client"`
+	EPct      float64       `json:"lod_percentile"`
+	Legs      []ObsTraceLeg `json:"legs"`
+}
+
+// traceChecked runs the cross-hop hard invariant for one traced cluster
+// query: the root trace's accounted DA equals the independently summed
+// shard headers (CheckTotal: Σ phase self-DA == Σ X-DM-DA, no span
+// over-claimed), and the shards' own spliced spans account for every
+// header access (TraceDA == DA). Any gap fails the figure.
+func traceChecked(tr *obs.Trace, da, traceDA uint64) error {
+	if err := tr.CheckTotal(da); err != nil {
+		return err
+	}
+	if traceDA != da {
+		return fmt.Errorf("shard traces account for %d of %d header disk accesses", traceDA, da)
+	}
+	return nil
+}
+
+// latPct returns the p'th percentile of lats in microseconds.
+func latPct(lats []time.Duration, p float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return float64(sorted[int(p*float64(len(sorted)-1))]) / float64(time.Microsecond)
+}
+
+// ObsTrace measures the distributed tracing plane over an in-process
+// cluster: it warms the shard caches with one HotSpot epoch, then runs
+// traced legs of the query mix — a cold-store epoch, a steady repeat, a
+// fresh epoch with one shard fail-stopped mid-workload, and resumed
+// progressive streams — verifying the cross-hop invariant on every
+// single traced query and aggregating the spliced spans into per-phase
+// DA/latency rows. The figure hard-fails on any attribution gap.
+func (b *Bundle) ObsTrace(seed int64, clients, perClient, shards int) (*ObsTraceFigure, error) {
+	if clients <= 0 {
+		clients = 8
+	}
+	if perClient <= 0 {
+		perClient = 10
+	}
+	if shards <= 0 {
+		shards = 4
+	}
+	const ePct = 0.95
+	e := b.Terrain.LODPercentile(ePct)
+	hs := workload.HotSpot{Clients: clients, PerClient: perClient, AreaFrac: 0.04, Seed: seed}
+	hs.Defaults()
+	fig := &ObsTraceFigure{
+		Name: b.Name, Shards: shards,
+		Clients: hs.Clients, PerClient: hs.PerClient, EPct: ePct,
+	}
+	warm := hs.ROIs()
+	hs.Epoch = 1
+	epoch2 := hs.ROIs()
+	hs.Epoch = 2
+	epoch3 := hs.ROIs()
+
+	lc, err := cluster.StartLocal(cluster.LocalConfig{Terrain: b.Terrain, Shards: shards})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: obstrace cluster: %w", err)
+	}
+	defer lc.Close()
+
+	// Warm epoch, untraced: populate the shard tile caches.
+	for _, qs := range warm {
+		for _, r := range qs {
+			if _, _, err := lc.Router.Query(r, e); err != nil {
+				return nil, fmt.Errorf("experiments: obstrace warmup: %w", err)
+			}
+		}
+	}
+
+	// runLeg plays one epoch sequentially with a fresh trace per query —
+	// the invariant is per-query, so batching would only blur it.
+	redirects := func() uint64 {
+		return lc.Router.Registry().Counter("cluster_router_redirects_total", "").Value()
+	}
+	runLeg := func(name string, rois [][]geom.Rect) (*ObsTraceLeg, error) {
+		leg := &ObsTraceLeg{Leg: name}
+		var agg phaseAgg
+		var lats []time.Duration
+		redirects0 := redirects()
+		tr := obs.NewTrace(nil)
+		for _, qs := range rois {
+			for _, r := range qs {
+				tr.Reset()
+				t0 := time.Now()
+				_, st, err := lc.Router.QueryTraced(r, e, tr)
+				lats = append(lats, time.Since(t0))
+				if err != nil {
+					return nil, fmt.Errorf("experiments: obstrace %s query %v: %w", name, r, err)
+				}
+				if err := traceChecked(tr, st.DA, st.TraceDA); err != nil {
+					return nil, fmt.Errorf("experiments: obstrace %s query %v: %w", name, r, err)
+				}
+				agg.add(tr)
+				leg.Queries++
+				leg.DA += st.DA
+				leg.TraceDA += st.TraceDA
+			}
+		}
+		leg.Redirected = int(redirects() - redirects0)
+		leg.P50Micros = latPct(lats, 0.50)
+		leg.P99Micros = latPct(lats, 0.99)
+		row := agg.row(name, leg.Queries, leg.DA)
+		leg.Phases = row.Phases
+		return leg, nil
+	}
+
+	// Cold leg: fresh buffer pools, warm tile caches — the serving
+	// steady state the cluster figure measures, now with attribution.
+	for _, s := range lc.Servers {
+		if err := s.Store().DropCaches(); err != nil {
+			return nil, err
+		}
+	}
+	leg, err := runLeg("cold", epoch2)
+	if err != nil {
+		return nil, err
+	}
+	fig.Legs = append(fig.Legs, *leg)
+
+	// Steady leg: the same epoch again; every tile is resident, so the
+	// decomposition shows pure cache/stitch time with zero DA.
+	if leg, err = runLeg("steady", epoch2); err != nil {
+		return nil, err
+	}
+	fig.Legs = append(fig.Legs, *leg)
+
+	// Stream leg: resumed progressive streams (resume=0 replays the
+	// coarsest rung without transmitting it), traced end to end. The
+	// invariant extends over every rung's fan-out.
+	streamLeg := ObsTraceLeg{Leg: "stream_resume"}
+	{
+		var agg phaseAgg
+		var lats []time.Duration
+		redirects0 := redirects()
+		tr := obs.NewTrace(nil)
+		for _, r := range epoch2[0] {
+			tr.Reset()
+			t0 := time.Now()
+			_, st, err := lc.Router.StreamTraced(r, e, 0, io.Discard, tr)
+			lats = append(lats, time.Since(t0))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: obstrace stream %v: %w", r, err)
+			}
+			if err := traceChecked(tr, st.DA, st.TraceDA); err != nil {
+				return nil, fmt.Errorf("experiments: obstrace stream %v: %w", r, err)
+			}
+			agg.add(tr)
+			streamLeg.Queries++
+			streamLeg.DA += st.DA
+			streamLeg.TraceDA += st.TraceDA
+		}
+		streamLeg.Redirected = int(redirects() - redirects0)
+		streamLeg.P50Micros = latPct(lats, 0.50)
+		streamLeg.P99Micros = latPct(lats, 0.99)
+		streamLeg.Phases = agg.row(streamLeg.Leg, streamLeg.Queries, streamLeg.DA).Phases
+	}
+	fig.Legs = append(fig.Legs, streamLeg)
+
+	// Killed-shard leg: fail-stop the last shard, then trace a fresh
+	// epoch. Redirected tiles land on failover candidates whose caches
+	// never saw them, so the leg pays cold materializations — and the
+	// invariant must hold on every query anyway: the failover hop's
+	// header and trace come from the shard that actually answered.
+	lc.KillShard(shards - 1)
+	if leg, err = runLeg("shard_killed", epoch3); err != nil {
+		return nil, err
+	}
+	fig.Legs = append(fig.Legs, *leg)
+
+	return fig, nil
+}

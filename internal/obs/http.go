@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"expvar"
 	"net/http"
@@ -9,11 +10,20 @@ import (
 )
 
 // MetricsHandler serves the registry in Prometheus text exposition
-// format.
+// format. The page is rendered fully before the header goes out and the
+// response declares Content-Length, so a connection cut mid-body
+// surfaces to the scraper as a short read instead of a clean-looking
+// 200 with half the counters missing.
 func MetricsHandler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			http.Error(w, "metrics rendering failed", http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = r.WritePrometheus(w)
+		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+		_, _ = w.Write(buf.Bytes())
 	})
 }
 

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromBucket is one histogram bucket in exposition order: the le label
+// verbatim and the cumulative count at that bound.
+type PromBucket struct {
+	LE  string `json:"le"`
+	Cum uint64 `json:"cum"`
+}
+
+// PromMetric is one metric parsed from Prometheus text exposition
+// format — the subset this repo's Registry writes (untyped labels never
+// appear except histogram le).
+type PromMetric struct {
+	Name string `json:"name"`
+	Help string `json:"help,omitempty"`
+	Kind string `json:"kind"` // counter, gauge, histogram
+
+	Value int64 `json:"value,omitempty"` // counter and gauge
+
+	Buckets []PromBucket `json:"buckets,omitempty"` // histogram
+	Sum     uint64       `json:"sum,omitempty"`
+	Count   uint64       `json:"count,omitempty"`
+}
+
+// PromSnapshot is a parsed metrics page, keyed by metric name.
+type PromSnapshot struct {
+	Metrics map[string]*PromMetric
+}
+
+// Names returns the snapshot's metric names sorted — the deterministic
+// iteration order every consumer must use.
+func (s *PromSnapshot) Names() []string {
+	names := make([]string, 0, len(s.Metrics))
+	for n := range s.Metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParsePrometheus parses a Prometheus text-exposition page of the shape
+// Registry.WritePrometheus emits: # HELP / # TYPE comments, scalar
+// counter and gauge samples, and histograms as cumulative le-labeled
+// buckets plus _sum and _count. Unknown comment lines are skipped;
+// malformed sample lines are an error.
+func ParsePrometheus(r io.Reader) (*PromSnapshot, error) {
+	snap := &PromSnapshot{Metrics: make(map[string]*PromMetric)}
+	get := func(name string) *PromMetric {
+		m, ok := snap.Metrics[name]
+		if !ok {
+			m = &PromMetric{Name: name}
+			snap.Metrics[name] = m
+		}
+		return m
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 4 && fields[1] == "HELP" {
+				get(fields[2]).Help = fields[3]
+			} else if len(fields) >= 4 && fields[1] == "TYPE" {
+				get(fields[2]).Kind = strings.TrimSpace(fields[3])
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return nil, fmt.Errorf("obs: metrics line %d: no sample value: %q", lineNo, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		if i := strings.Index(key, `_bucket{le="`); i >= 0 && strings.HasSuffix(key, `"}`) {
+			base := key[:i]
+			le := key[i+len(`_bucket{le="`) : len(key)-2]
+			cum, err := strconv.ParseUint(valStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: metrics line %d: bucket count %q: %v", lineNo, valStr, err)
+			}
+			m := get(base)
+			m.Buckets = append(m.Buckets, PromBucket{LE: le, Cum: cum})
+			continue
+		}
+		if base, ok := strings.CutSuffix(key, "_sum"); ok && snap.Metrics[base] != nil && snap.Metrics[base].Kind == "histogram" {
+			v, err := strconv.ParseUint(valStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: metrics line %d: sum %q: %v", lineNo, valStr, err)
+			}
+			get(base).Sum = v
+			continue
+		}
+		if base, ok := strings.CutSuffix(key, "_count"); ok && snap.Metrics[base] != nil && snap.Metrics[base].Kind == "histogram" {
+			v, err := strconv.ParseUint(valStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: metrics line %d: count %q: %v", lineNo, valStr, err)
+			}
+			get(base).Count = v
+			continue
+		}
+		v, err := strconv.ParseInt(valStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: metrics line %d: value %q: %v", lineNo, valStr, err)
+		}
+		get(key).Value = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// MergePrometheus merges snapshots of identically-shaped registries —
+// the N shards of one cluster — into one: counters, gauges, histogram
+// buckets (bucket-wise; sums of cumulative counts are the cumulative
+// counts of the union), sums, and counts all add. Metrics missing from
+// some snapshots merge from the ones that have them. A name carrying
+// different kinds, or histograms with different bucket bounds, is an
+// error: those registries are not the same program.
+func MergePrometheus(snaps ...*PromSnapshot) (*PromSnapshot, error) {
+	out := &PromSnapshot{Metrics: make(map[string]*PromMetric)}
+	for _, snap := range snaps {
+		if snap == nil {
+			continue
+		}
+		for _, name := range snap.Names() {
+			m := snap.Metrics[name]
+			acc, ok := out.Metrics[name]
+			if !ok {
+				cp := *m
+				cp.Buckets = append([]PromBucket(nil), m.Buckets...)
+				out.Metrics[name] = &cp
+				continue
+			}
+			if acc.Kind != m.Kind {
+				return nil, fmt.Errorf("obs: merge %s: kind %q vs %q", name, acc.Kind, m.Kind)
+			}
+			if acc.Help == "" {
+				acc.Help = m.Help
+			}
+			switch m.Kind {
+			case "histogram":
+				if len(acc.Buckets) != len(m.Buckets) {
+					return nil, fmt.Errorf("obs: merge %s: %d vs %d buckets", name, len(acc.Buckets), len(m.Buckets))
+				}
+				for i := range m.Buckets {
+					if acc.Buckets[i].LE != m.Buckets[i].LE {
+						return nil, fmt.Errorf("obs: merge %s: bucket %d bound %q vs %q",
+							name, i, acc.Buckets[i].LE, m.Buckets[i].LE)
+					}
+					acc.Buckets[i].Cum += m.Buckets[i].Cum
+				}
+				acc.Sum += m.Sum
+				acc.Count += m.Count
+			default:
+				acc.Value += m.Value
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteText re-emits the snapshot in Prometheus text exposition format,
+// metrics sorted by name — byte-identical output for equal snapshots,
+// and a fixed point of ParsePrometheus.
+func (s *PromSnapshot) WriteText(w io.Writer) error {
+	for _, name := range s.Names() {
+		m := s.Metrics[name]
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, m.Help); err != nil {
+				return err
+			}
+		}
+		kind := m.Kind
+		if kind == "" {
+			kind = "untyped"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind); err != nil {
+			return err
+		}
+		if m.Kind == "histogram" {
+			for _, b := range m.Buckets {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, b.LE, b.Cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, m.Sum, name, m.Count); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, m.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

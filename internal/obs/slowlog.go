@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/base64"
 	"sort"
 	"sync"
 	"time"
@@ -15,6 +16,12 @@ type SlowEntry struct {
 	Dur    time.Duration `json:"nanos"`
 	DA     uint64        `json:"disk_accesses"`
 	Phases []PhaseStat   `json:"phases,omitempty"`
+
+	// TraceWire is the base64 TraceWire encoding of the full span tree,
+	// when the observed trace had one — the drill-down a cluster-merged
+	// slow log carries across process boundaries (DecodeTraceWire on the
+	// decoded bytes recovers every span).
+	TraceWire string `json:"trace_wire,omitempty"`
 }
 
 // SlowLog is a fixed-capacity ring buffer of queries slower than a
@@ -64,13 +71,23 @@ func (l *SlowLog) Observe(query string, dur time.Duration, da uint64, tr *Trace)
 		return
 	}
 	l.seq++
+	var wire string
+	if len(tr.Spans()) > 0 {
+		// Encoding fails only on a trace with open spans — an entry for a
+		// query that is somehow still running keeps its breakdown and just
+		// drops the span tree.
+		if buf, err := tr.EncodeWire(); err == nil {
+			wire = base64.StdEncoding.EncodeToString(buf)
+		}
+	}
 	l.ring[l.next] = SlowEntry{
-		Seq:    l.seq,
-		Query:  query,
-		When:   time.Now(),
-		Dur:    dur,
-		DA:     da,
-		Phases: tr.PhaseStats(),
+		Seq:       l.seq,
+		Query:     query,
+		When:      time.Now(),
+		Dur:       dur,
+		DA:        da,
+		Phases:    tr.PhaseStats(),
+		TraceWire: wire,
 	}
 	l.next = (l.next + 1) % len(l.ring)
 	if l.n < len(l.ring) {

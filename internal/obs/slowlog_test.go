@@ -1,8 +1,11 @@
 package obs
 
 import (
+	"encoding/base64"
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 )
@@ -106,5 +109,52 @@ func TestSlowLogHandler(t *testing.T) {
 	SlowLogHandler(l).ServeHTTP(rec, httptest.NewRequest("GET", "/slowlog?n=bogus", nil))
 	if rec.Code != 400 {
 		t.Errorf("bad n: status %d, want 400", rec.Code)
+	}
+}
+
+// TestSlowLogConcurrentObserveWithTraces hammers one slow log from many
+// goroutines, each observing with its own trace carrying spans — the
+// -race regression for the wire-encoding path added to Observe. Every
+// retained entry must carry a decodable wire trace whose total DA
+// matches the entry's.
+func TestSlowLogConcurrentObserveWithTraces(t *testing.T) {
+	l := NewSlowLog(64, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tr := NewTrace(nil)
+			for i := 0; i < 50; i++ {
+				tr.Reset()
+				tr.Begin(PhaseQuery)
+				tr.Begin(PhaseMaterialize)
+				tr.AddDA(uint64(g + 1))
+				tr.End()
+				tr.End()
+				l.Observe(fmt.Sprintf("q-%d-%d", g, i), time.Duration(i)*time.Microsecond, uint64(g+1), tr)
+			}
+		}(g)
+	}
+	wg.Wait()
+	entries := l.Worst(0)
+	if len(entries) != 64 {
+		t.Fatalf("retained %d entries, want the full 64-capacity ring", len(entries))
+	}
+	for _, e := range entries {
+		if e.TraceWire == "" {
+			t.Fatalf("entry %q has no wire trace", e.Query)
+		}
+		buf, err := base64.StdEncoding.DecodeString(e.TraceWire)
+		if err != nil {
+			t.Fatalf("entry %q: wire not base64: %v", e.Query, err)
+		}
+		wt, err := DecodeTraceWire(buf)
+		if err != nil {
+			t.Fatalf("entry %q: %v", e.Query, err)
+		}
+		if wt.TotalDA() != e.DA {
+			t.Errorf("entry %q: wire trace DA %d, entry DA %d", e.Query, wt.TotalDA(), e.DA)
+		}
 	}
 }

@@ -61,6 +61,18 @@ const (
 	PhaseSeam
 	// PhaseCache is one tile-cache lookup (hit, miss, or deduped wait).
 	PhaseCache
+	// PhaseShardHop is one cross-process hop: a router-side span whose
+	// children are the spans a shard reported over the trace wire. Its
+	// inclusive DA is the shard's X-DM-DA; its self DA is zero whenever
+	// the shard's trace fully accounts for that header.
+	PhaseShardHop
+	// PhaseStreamEncode is one progressive-stream delta-batch encoding
+	// (pure CPU; no I/O).
+	PhaseStreamEncode
+	// PhaseStreamReplay wraps the rung queries a resumed stream re-runs
+	// only to rebuild delta state — work a resume pays for but never
+	// transmits.
+	PhaseStreamReplay
 
 	// NumPhases bounds the phase enum; breakdown arrays index by Phase.
 	NumPhases
@@ -69,7 +81,7 @@ const (
 var phaseNames = [NumPhases]string{
 	"query", "rtree_descent", "dm_fetch", "overflow_walk", "id_index",
 	"triangulate", "plan", "tile_materialize", "stitch", "seam_closure",
-	"cache_lookup",
+	"cache_lookup", "shard_hop", "stream_encode", "stream_replay",
 }
 
 func (p Phase) String() string {
@@ -157,6 +169,19 @@ func (t *Trace) sample() uint64 {
 		return 0
 	}
 	return t.da()
+}
+
+// Now returns the current offset from the trace's epoch — the Start a
+// span opened at this instant would record. Unlike every other method it
+// is safe to call from another goroutine (it only reads the epoch, which
+// changes only on Reset), so concurrent fan-out work can timestamp the
+// hops it will SpliceRemote after it rejoins the trace's goroutine. Zero
+// on a nil trace.
+func (t *Trace) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.epoch)
 }
 
 // Begin opens a span of the given phase as a child of the innermost open

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrCorrupt is the sentinel wrapped by every trace-wire decode failure,
+// mirroring the storage layer's corruption discipline: a malformed or
+// truncated wire trace is rejected with a descriptive error, never a
+// panic. (The obs package cannot import the storage sentinel without a
+// cycle, so cross-layer callers match on their own layer's sentinel.)
+var ErrCorrupt = errors.New("corrupt trace wire")
+
+// Trace wire format (TraceWire, version 1) — the compact deterministic
+// binary encoding a shard attaches to its responses so a router can
+// splice the shard's phase spans into its own trace:
+//
+//	magic   "DMTW" (4 bytes)
+//	version uvarint (currently 1)
+//	count   uvarint (number of spans)
+//	per span, in Begin order (parents strictly before children):
+//	  phase    uvarint  (< NumPhases)
+//	  parent   uvarint  (0 = root, else 1 + parent index; parent < own index)
+//	  start    uvarint  (nanoseconds from the trace epoch)
+//	  dur      uvarint  (nanoseconds)
+//	  childDur uvarint  (nanoseconds, <= dur)
+//	  da       uvarint  (inclusive disk accesses)
+//	  childDA  uvarint  (<= da)
+//
+// Every field is a uvarint after the fixed magic, so the encoding of a
+// given trace is unique — byte equality is trace equality.
+const (
+	traceWireMagic   = "DMTW"
+	traceWireVersion = 1
+)
+
+// maxWireSpans bounds a decoded trace's span count: a defense against a
+// corrupt count field committing the decoder to a huge allocation. Far
+// above any real query's span count (deep traces run tens of spans).
+const maxWireSpans = 1 << 20
+
+// EncodeWire serializes the trace's recorded spans in the TraceWire
+// format. All spans must be closed (the encoding carries final DA and
+// duration figures); encoding an open trace returns an error instead of
+// lying about costs still accruing. A nil or empty trace encodes to a
+// valid zero-span wire.
+func (t *Trace) EncodeWire() ([]byte, error) {
+	var spans []Span
+	if t != nil {
+		if len(t.stack) != 0 {
+			return nil, fmt.Errorf("obs: encoding trace with %d open spans", len(t.stack))
+		}
+		spans = t.spans
+	}
+	buf := make([]byte, 0, len(traceWireMagic)+2+len(spans)*12)
+	buf = append(buf, traceWireMagic...)
+	buf = binary.AppendUvarint(buf, traceWireVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(spans)))
+	for i := range spans {
+		sp := &spans[i]
+		buf = binary.AppendUvarint(buf, uint64(sp.Phase))
+		buf = binary.AppendUvarint(buf, uint64(sp.Parent+1))
+		buf = binary.AppendUvarint(buf, uint64(sp.Start))
+		buf = binary.AppendUvarint(buf, uint64(sp.Dur))
+		buf = binary.AppendUvarint(buf, uint64(sp.childDur))
+		buf = binary.AppendUvarint(buf, sp.DA)
+		buf = binary.AppendUvarint(buf, sp.childDA)
+	}
+	return buf, nil
+}
+
+// WireTrace is a decoded trace wire: the remote spans with their
+// hierarchy, costs, and timings, ready to splice into a local trace.
+type WireTrace struct {
+	Spans []Span
+}
+
+// TotalDA sums the root spans' inclusive disk accesses — the remote
+// trace's view of what the traced request cost. Zero on nil.
+func (wt *WireTrace) TotalDA() uint64 {
+	if wt == nil {
+		return 0
+	}
+	var total uint64
+	for i := range wt.Spans {
+		if wt.Spans[i].Parent < 0 {
+			total += wt.Spans[i].DA
+		}
+	}
+	return total
+}
+
+// rootDur sums the root spans' inclusive durations.
+func (wt *WireTrace) rootDur() time.Duration {
+	var total time.Duration
+	for i := range wt.Spans {
+		if wt.Spans[i].Parent < 0 {
+			total += wt.Spans[i].Dur
+		}
+	}
+	return total
+}
+
+// wireReader walks a trace wire buffer; every read failure is a
+// truncation wrapped in ErrCorrupt.
+type wireReader struct {
+	buf []byte
+	off int
+}
+
+func (r *wireReader) uvarint(field string) (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("obs: trace wire: truncated or overlong %s at offset %d: %w", field, r.off, ErrCorrupt)
+	}
+	// Reject non-minimal encodings (a zero final byte adds no value
+	// bits): the format's uniqueness guarantee — byte equality is trace
+	// equality — holds only if each value has exactly one encoding.
+	if n > 1 && r.buf[r.off+n-1] == 0 {
+		return 0, fmt.Errorf("obs: trace wire: non-minimal %s at offset %d: %w", field, r.off, ErrCorrupt)
+	}
+	r.off += n
+	return v, nil
+}
+
+// DecodeTraceWire parses a TraceWire buffer. It never panics: any
+// malformed input — bad magic, unknown version, phase out of range,
+// forward or self parent references, child costs exceeding the span's
+// own, truncation at any byte, or trailing garbage — returns an error
+// wrapping ErrCorrupt.
+func DecodeTraceWire(buf []byte) (*WireTrace, error) {
+	if len(buf) < len(traceWireMagic) || string(buf[:len(traceWireMagic)]) != traceWireMagic {
+		return nil, fmt.Errorf("obs: trace wire: bad magic: %w", ErrCorrupt)
+	}
+	r := &wireReader{buf: buf, off: len(traceWireMagic)}
+	version, err := r.uvarint("version")
+	if err != nil {
+		return nil, err
+	}
+	if version != traceWireVersion {
+		return nil, fmt.Errorf("obs: trace wire: unsupported version %d: %w", version, ErrCorrupt)
+	}
+	count, err := r.uvarint("span count")
+	if err != nil {
+		return nil, err
+	}
+	if count > maxWireSpans {
+		return nil, fmt.Errorf("obs: trace wire: implausible span count %d: %w", count, ErrCorrupt)
+	}
+	// Allocation bounded by the physical buffer: a span needs >= 7 bytes.
+	if int(count) > len(buf)/7+1 {
+		return nil, fmt.Errorf("obs: trace wire: %d spans in a %d-byte wire: %w", count, len(buf), ErrCorrupt)
+	}
+	spans := make([]Span, count)
+	for i := range spans {
+		phase, err := r.uvarint("phase")
+		if err != nil {
+			return nil, err
+		}
+		if phase >= uint64(NumPhases) {
+			return nil, fmt.Errorf("obs: trace wire: span %d: phase %d out of range: %w", i, phase, ErrCorrupt)
+		}
+		parent, err := r.uvarint("parent")
+		if err != nil {
+			return nil, err
+		}
+		if parent > uint64(i) {
+			return nil, fmt.Errorf("obs: trace wire: span %d: parent %d not before it: %w", i, int64(parent)-1, ErrCorrupt)
+		}
+		start, err := r.uvarint("start")
+		if err != nil {
+			return nil, err
+		}
+		dur, err := r.uvarint("dur")
+		if err != nil {
+			return nil, err
+		}
+		childDur, err := r.uvarint("child dur")
+		if err != nil {
+			return nil, err
+		}
+		if childDur > dur {
+			return nil, fmt.Errorf("obs: trace wire: span %d: children claim %dns of a %dns span: %w", i, childDur, dur, ErrCorrupt)
+		}
+		da, err := r.uvarint("da")
+		if err != nil {
+			return nil, err
+		}
+		childDA, err := r.uvarint("child da")
+		if err != nil {
+			return nil, err
+		}
+		if childDA > da {
+			return nil, fmt.Errorf("obs: trace wire: span %d: children claim %d DA of a %d-DA span: %w", i, childDA, da, ErrCorrupt)
+		}
+		spans[i] = Span{
+			Phase:    Phase(phase),
+			Parent:   int32(parent) - 1,
+			Start:    time.Duration(start),
+			Dur:      time.Duration(dur),
+			DA:       da,
+			childDA:  childDA,
+			childDur: time.Duration(childDur),
+		}
+	}
+	if r.off != len(buf) {
+		return nil, fmt.Errorf("obs: trace wire: %d trailing bytes: %w", len(buf)-r.off, ErrCorrupt)
+	}
+	return &WireTrace{Spans: spans}, nil
+}
+
+// SpliceRemote appends one closed span of phase p — a cross-process hop
+// that started at start (trace-epoch offset, see Now) and took dur — as
+// a child of the innermost open span, attaching the remote trace's spans
+// beneath it. da is the hop's inclusive disk-access cost as the remote
+// side reported it out of band (the X-DM-DA header); it is charged up
+// the open ancestor chain exactly as AddDA would charge it, so a
+// charge-based trace's CheckTotal equals the sum of the hop DAs plus
+// whatever the local side sampled.
+//
+// When wt carries spans, they become the hop's children (parents
+// remapped, starts rebased onto the hop's start): the hop's self DA is
+// then da minus the remote roots' total — zero exactly when the shard's
+// trace fully accounts for its own header, which is the cross-hop
+// invariant CheckTotal extends across the wire. A nil or empty wt leaves
+// the hop a leaf carrying all of da itself. No-op on a nil trace or when
+// no span is open, matching the other nil-receiver paths.
+func (t *Trace) SpliceRemote(p Phase, start, dur time.Duration, da uint64, wt *WireTrace) {
+	if t == nil || len(t.stack) == 0 {
+		return
+	}
+	parent := t.stack[len(t.stack)-1]
+	hop := Span{
+		Phase:  p,
+		Parent: parent,
+		Start:  start,
+		Dur:    dur,
+		DA:     da,
+	}
+	if wt != nil {
+		hop.childDA = wt.TotalDA()
+		hop.childDur = wt.rootDur()
+	}
+	t.spans = append(t.spans, hop)
+	hopIdx := int32(len(t.spans) - 1)
+	if wt != nil {
+		base := int32(len(t.spans))
+		for i := range wt.Spans {
+			sp := wt.Spans[i]
+			if sp.Parent < 0 {
+				sp.Parent = hopIdx
+			} else {
+				sp.Parent += base
+			}
+			sp.Start += start
+			t.spans = append(t.spans, sp)
+		}
+	}
+	// Roll the hop into its parent the way End would: the parent's
+	// children now include the hop (inclusive of the remote spans), and
+	// the whole hop DA is charged — the local sampler never saw it.
+	par := &t.spans[parent]
+	par.childDA += da
+	par.childDur += dur
+	par.charged += da
+}

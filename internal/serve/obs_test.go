@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dmesh/internal/obs"
+	"dmesh/internal/tilecache"
+)
+
+// TestHealthEndpoints pins the probe semantics: /healthz is liveness
+// (200 whenever the process answers), /readyz is readiness (200 only
+// with a serving store behind it), and both are mounted even with
+// introspection off — orchestration must always be able to probe.
+func TestHealthEndpoints(t *testing.T) {
+	s := NewTestServer(t, 33, 0)
+	ts := httptest.NewServer(s.Handler(false))
+	defer ts.Close()
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, body := Fetch(t, ts.URL, path)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		var h struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Errorf("GET %s: not JSON: %v", path, err)
+		}
+	}
+	if err := s.ReadyError(); err != nil {
+		t.Errorf("built server not ready: %v", err)
+	}
+	// A hollow server is alive but must not probe ready.
+	var empty Server
+	if err := empty.ReadyError(); err == nil {
+		t.Error("zero-value server reported ready")
+	}
+}
+
+// TestPatchTraceHeader drives the shard side of the distributed-tracing
+// wire: a /patch request with trace=1 must carry an X-DM-Trace header
+// whose decoded spans fully account for the X-DM-DA header — the
+// per-hop half of the cluster's cross-hop invariant — and an untraced
+// request must not pay for or carry one.
+func TestPatchTraceHeader(t *testing.T) {
+	s := NewTestServer(t, 33, 0)
+	ts := httptest.NewServer(s.Handler(false))
+	defer ts.Close()
+
+	k := tilecache.Key{Level: 1, IX: 0, IY: 1, Band: len(s.Grid().Ladder()) / 2}
+	path := fmt.Sprintf("/patch?level=%d&ix=%d&iy=%d&band=%d", k.Level, k.IX, k.IY, k.Band)
+	if err := s.Store().DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, _ := Fetch(t, ts.URL, path+"&trace=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced patch: status %d", resp.StatusCode)
+	}
+	da, err := strconv.ParseUint(resp.Header.Get("X-DM-DA"), 10, 64)
+	if err != nil || da == 0 {
+		t.Fatalf("cold traced patch X-DM-DA = %q, want a positive count", resp.Header.Get("X-DM-DA"))
+	}
+	wireB64 := resp.Header.Get("X-DM-Trace")
+	if wireB64 == "" {
+		t.Fatal("traced patch carried no X-DM-Trace header")
+	}
+	buf, err := base64.StdEncoding.DecodeString(wireB64)
+	if err != nil {
+		t.Fatalf("X-DM-Trace not base64: %v", err)
+	}
+	wt, err := obs.DecodeTraceWire(buf)
+	if err != nil {
+		t.Fatalf("X-DM-Trace: %v", err)
+	}
+	if wt.TotalDA() != da {
+		t.Errorf("wire trace accounts for %d DA, header says %d", wt.TotalDA(), da)
+	}
+	if len(wt.Spans) == 0 || wt.Spans[0].Phase != obs.PhaseQuery {
+		t.Errorf("trace root is not a query span: %+v", wt.Spans)
+	}
+
+	// Untraced requests stay exactly as before: no trace header.
+	resp2, _ := Fetch(t, ts.URL, path)
+	if h := resp2.Header.Get("X-DM-Trace"); h != "" {
+		t.Errorf("untraced patch carried X-DM-Trace %q", h)
+	}
+}
+
+// TestStreamTraceTrailer checks the /stream side: the trace covers the
+// whole progressive response, so it rides an HTTP trailer — declared
+// before the body, delivered after it — and must account for the
+// trailing X-DM-DA exactly, with the stream-specific phases present.
+func TestStreamTraceTrailer(t *testing.T) {
+	s := NewTestServer(t, 33, 0)
+	ts := httptest.NewServer(s.Handler(false))
+	defer ts.Close()
+	if err := s.Store().DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/stream?x0=0.1&y0=0.1&x1=0.8&y1=0.8&lod=0.95&resume=0&trace=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced stream: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body) // trailers arrive after the body
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty stream body")
+	}
+	da, err := strconv.ParseUint(resp.Trailer.Get("X-DM-DA"), 10, 64)
+	if err != nil {
+		t.Fatalf("trailer X-DM-DA = %q: %v", resp.Trailer.Get("X-DM-DA"), err)
+	}
+	buf, err := base64.StdEncoding.DecodeString(resp.Trailer.Get("X-DM-Trace"))
+	if err != nil {
+		t.Fatalf("trailer X-DM-Trace not base64: %v", err)
+	}
+	wt, err := obs.DecodeTraceWire(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wt.TotalDA() != da {
+		t.Errorf("stream trace accounts for %d DA, trailer says %d", wt.TotalDA(), da)
+	}
+	var sawEncode, sawReplay bool
+	for _, sp := range wt.Spans {
+		switch sp.Phase {
+		case obs.PhaseStreamEncode:
+			sawEncode = true
+		case obs.PhaseStreamReplay:
+			sawReplay = true
+		}
+	}
+	if !sawEncode {
+		t.Error("stream trace has no stream_encode spans")
+	}
+	if !sawReplay {
+		t.Error("resumed stream trace has no stream_replay span")
+	}
+}
+
+// TestLatencyHistogramsExposed: the per-endpoint duration histograms
+// must show up on /metrics after traffic and the whole page must
+// survive the cluster-side Prometheus parser — the scrape contract
+// /clustermetrics depends on.
+func TestLatencyHistogramsExposed(t *testing.T) {
+	s := NewTestServer(t, 33, 0)
+	ts := httptest.NewServer(s.Handler(true))
+	defer ts.Close()
+
+	k := tilecache.Key{Level: 0, IX: 0, IY: 0, Band: 0}
+	Fetch(t, ts.URL, fmt.Sprintf("/patch?level=%d&ix=%d&iy=%d&band=%d", k.Level, k.IX, k.IY, k.Band))
+	Fetch(t, ts.URL, "/stream?x0=0.1&y0=0.1&x1=0.6&y1=0.6&lod=0.9")
+
+	resp, body := Fetch(t, ts.URL, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	snap, err := obs.ParsePrometheus(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics page does not parse: %v", err)
+	}
+	for _, name := range []string{"tileserver_patch_latency_nanos", "tileserver_stream_latency_nanos"} {
+		m := snap.Metrics[name]
+		if m == nil || m.Kind != "histogram" {
+			t.Fatalf("%s missing or not a histogram: %+v", name, m)
+		}
+		if m.Count == 0 {
+			t.Errorf("%s observed nothing after traffic", name)
+		}
+		if !strings.Contains(string(body), "# TYPE "+name+" histogram") {
+			t.Errorf("/metrics missing TYPE line for %s", name)
+		}
+	}
+}

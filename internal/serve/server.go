@@ -31,6 +31,7 @@ package serve
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -104,8 +105,10 @@ type Server struct {
 	hFrameDA    *obs.Histogram
 	hFrameNs    *obs.Histogram
 	hPatchDA    *obs.Histogram
+	hPatchNs    *obs.Histogram
 	hStreamDA   *obs.Histogram
 	hStreamBy   *obs.Histogram
+	hStreamNs   *obs.Histogram
 
 	// Named coherent sessions, one per animating client. A coherent
 	// session is stateful and not safe for concurrent use, so each entry
@@ -177,9 +180,11 @@ func New(cfg Config) (*Server, error) {
 	s.hFrameDA = s.reg.Histogram("tileserver_frame_disk_accesses", "disk accesses per coherent frame")
 	s.hFrameNs = s.reg.Histogram("tileserver_frame_latency_nanos", "frame request latency in nanoseconds")
 	s.hPatchDA = s.reg.Histogram("tileserver_patch_disk_accesses", "disk accesses per wire patch request")
+	s.hPatchNs = s.reg.Histogram("tileserver_patch_latency_nanos", "wire patch request latency in nanoseconds")
 	s.mStreamReqs = s.reg.Counter("tileserver_stream_requests_total", "progressive streams served")
 	s.hStreamDA = s.reg.Histogram("tileserver_stream_disk_accesses", "disk accesses per progressive stream")
 	s.hStreamBy = s.reg.Histogram("tileserver_stream_bytes", "bytes written per progressive stream")
+	s.hStreamNs = s.reg.Histogram("tileserver_stream_latency_nanos", "progressive stream latency in nanoseconds")
 	s.reg.GaugeFunc("tileserver_cache_entries", "resident tile-cache patches", func() int64 {
 		return int64(cache.Stats().Entries)
 	})
@@ -239,6 +244,8 @@ func (s *Server) Handler(introspect bool) http.Handler {
 	mux.HandleFunc("/stream", s.handleStream)
 	mux.HandleFunc("/hottiles", s.handleHotTiles)
 	mux.HandleFunc("/gridinfo", s.handleGridInfo)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	if introspect {
 		mux.Handle("/metrics", obs.MetricsHandler(s.reg))
 		mux.Handle("/slowlog", obs.SlowLogHandler(s.slow))
@@ -316,6 +323,82 @@ func (s *Server) lookupCamera(name string) *camera {
 	c := &camera{cs: cs, tr: cs.EnableTrace(), lastUsed: time.Now()}
 	s.cameras[name] = c
 	return c
+}
+
+// traceRequested reports whether the client asked this response to
+// carry its phase trace (trace=1). Tracing is strictly opt-in: default
+// serving records nothing extra and ships nothing extra, so every
+// untraced figure number stays byte-identical.
+func traceRequested(r *http.Request) bool {
+	return r.URL.Query().Get("trace") != ""
+}
+
+// attachTrace sets X-DM-Trace to the base64 TraceWire encoding of tr.
+// Must run before the body goes out when h is a response's header map
+// (trailers, declared up front, may set it after). A trace that fails
+// to encode — open spans — drops the header, never the response.
+func attachTrace(h http.Header, tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	buf, err := tr.EncodeWire()
+	if err != nil {
+		log.Printf("trace encode: %v", err)
+		return
+	}
+	h.Set("X-DM-Trace", base64.StdEncoding.EncodeToString(buf))
+}
+
+// HealthResponse is the /healthz and /readyz body.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// writeHealth answers a probe with a fixed-size JSON body. Probe misses
+// are not request errors: a 503 from /readyz is the endpoint working.
+func (s *Server) writeHealth(w http.ResponseWriter, status int, resp HealthResponse) {
+	body, err := json.Marshal(resp)
+	if err != nil {
+		body = []byte(`{"status":"error"}`)
+	}
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// handleHealthz is the liveness probe: the process is up and the HTTP
+// stack is answering. Always 200.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeHealth(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+// ReadyError reports why the server cannot serve queries yet, nil when
+// it can: the store is opened and the tile cache is warm-capable (a
+// grid with LOD rungs over a non-empty dataset).
+func (s *Server) ReadyError() error {
+	if s.store == nil {
+		return fmt.Errorf("store not opened")
+	}
+	if s.cache == nil || len(s.cache.Ladder()) == 0 {
+		return fmt.Errorf("tile cache has no LOD ladder")
+	}
+	if s.terrain.NumPoints() == 0 {
+		return fmt.Errorf("terrain has no points")
+	}
+	return nil
+}
+
+// handleReadyz is the readiness probe: 200 once the store is opened and
+// the tile cache can warm, 503 (with the reason) until then.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if err := s.ReadyError(); err != nil {
+		s.writeHealth(w, http.StatusServiceUnavailable, HealthResponse{Status: "unready", Error: err.Error()})
+		return
+	}
+	s.writeHealth(w, http.StatusOK, HealthResponse{Status: "ready"})
 }
 
 type tileResponse struct {
@@ -441,6 +524,9 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	s.hTileNanos.Observe(uint64(dur))
 	s.slow.Observe(fmt.Sprintf("tile roi=[%g,%g,%g,%g] lod=%g nocache=%t", x0, y0, x1, y1, pct, nocache),
 		dur, da, tr)
+	if traceRequested(r) {
+		attachTrace(w.Header(), tr)
+	}
 
 	resp := tileResponse{
 		LOD:          lod,
@@ -473,8 +559,15 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	k := tilecache.Key{Level: level, IX: ix, IY: iy, Band: band}
+	var tr *obs.Trace
+	if traceRequested(r) {
+		// Charge-based: the cache counts DA through per-flight sessions,
+		// so the trace total equals the X-DM-DA header exactly — the
+		// per-hop half of the cluster's cross-hop invariant.
+		tr = dmesh.NewQueryTrace(nil)
+	}
 	start := time.Now()
-	tp, st, err := s.cache.Patch(k)
+	tp, st, err := s.cache.PatchTraced(k, tr)
 	if err != nil {
 		if errors.Is(err, tilecache.ErrInvalidKey) {
 			s.jsonError(w, http.StatusBadRequest, err)
@@ -488,7 +581,8 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	s.patchDA.Add(st.DA)
 	s.mPatchReqs.Inc()
 	s.hPatchDA.Observe(st.DA)
-	s.slow.Observe(fmt.Sprintf("patch key=%s cold=%t", k, st.Cold), dur, st.DA, nil)
+	s.hPatchNs.Observe(uint64(dur))
+	s.slow.Observe(fmt.Sprintf("patch key=%s cold=%t", k, st.Cold), dur, st.DA, tr)
 
 	// Encode fully before the header goes out: with Content-Length
 	// declared, a write that dies mid-body surfaces at the router as a
@@ -499,6 +593,9 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.Header().Set("X-DM-DA", strconv.FormatUint(st.DA, 10))
 	w.Header().Set("X-DM-Cold", strconv.FormatBool(st.Cold))
+	if tr != nil {
+		attachTrace(w.Header(), tr)
+	}
 	if _, err := w.Write(body); err != nil {
 		log.Printf("patch write: %v", err)
 	}
@@ -551,6 +648,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	var tr *obs.Trace
+	if traceRequested(r) {
+		// The trace is complete only after the last batch, so it travels
+		// as an HTTP trailer: declared here, set after the body. The DA
+		// total rides along for clients that want the invariant without
+		// decoding the trace.
+		tr = dmesh.NewQueryTrace(nil)
+		w.Header().Set("Trailer", "X-DM-Trace, X-DM-DA")
+	}
+
 	start := time.Now()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-DM-Batches", strconv.Itoa(len(levels)))
@@ -567,8 +674,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		flusher.Flush()
 	}
 	var da uint64
+	tr.Begin(obs.PhaseQuery)
 	for i, e := range levels {
-		res, qs, err := s.cache.Query(roi, e)
+		// A resumed stream re-runs rungs <= resume only to rebuild the
+		// encoder's delta state; wrap that replayed work in its own span
+		// so a trace shows what a resume paid for but never transmitted.
+		replay := i <= resume
+		if replay {
+			tr.Begin(obs.PhaseStreamReplay)
+		}
+		res, qs, err := s.cache.QueryTraced(roi, e, tr)
 		if err != nil {
 			// The header (and possibly earlier frames) are out, so the
 			// status line cannot change; cutting the connection leaves the
@@ -578,13 +693,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		da += qs.DA
-		frame, err := enc.EncodeNext(res)
+		frame, err := enc.EncodeNextTraced(res, tr)
 		if err != nil {
 			s.mErrors.Inc()
 			log.Printf("stream encode (rung %d): %v", i, err)
 			return
 		}
-		if i <= resume {
+		if replay {
+			tr.End()
 			continue
 		}
 		n, err := w.Write(frame)
@@ -598,13 +714,22 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+	tr.End()
+	dur := time.Since(start)
 	s.streams.Add(1)
 	s.streamDA.Add(da)
 	s.mStreamReqs.Inc()
 	s.hStreamDA.Observe(da)
 	s.hStreamBy.Observe(uint64(sent))
+	s.hStreamNs.Observe(uint64(dur))
 	s.slow.Observe(fmt.Sprintf("stream roi=[%g,%g,%g,%g] lod=%g resume=%d", x0, y0, x1, y1, pct, resume),
-		time.Since(start), da, nil)
+		dur, da, tr)
+	if tr != nil {
+		// Trailer values: set on the header map after the body, delivered
+		// in the chunked trailer block (declared before the first write).
+		attachTrace(w.Header(), tr)
+		w.Header().Set("X-DM-DA", strconv.FormatUint(da, 10))
+	}
 }
 
 // hotTile is one entry of the /hottiles ranking.
@@ -712,18 +837,28 @@ func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, st, err := cam.cs.Frame(plane)
 	dur := time.Since(start)
+	var wire string
 	if err == nil {
 		cam.frames++
 		cam.da += st.DA
 		// Observe under the camera lock: the trace is reset by the next
-		// frame, and Observe copies the phase stats out.
+		// frame, and Observe copies the phase stats out. The wire encoding
+		// is captured under the same lock for the same reason.
 		s.slow.Observe(fmt.Sprintf("frame session=%s roi=[%g,%g,%g,%g]", name, x0, y0, x1, y1),
 			dur, st.DA, cam.tr)
+		if traceRequested(r) {
+			if buf, encErr := cam.tr.EncodeWire(); encErr == nil {
+				wire = base64.StdEncoding.EncodeToString(buf)
+			}
+		}
 	}
 	cam.mu.Unlock()
 	if err != nil {
 		s.jsonError(w, http.StatusInternalServerError, err)
 		return
+	}
+	if wire != "" {
+		w.Header().Set("X-DM-Trace", wire)
 	}
 	s.mFrameReqs.Inc()
 	s.hFrameDA.Observe(st.DA)

@@ -312,6 +312,21 @@ func TestGracefulShutdown(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
+	// A serving process must probe healthy and ready right up until the
+	// drain begins — the orchestration contract /healthz and /readyz exist
+	// for.
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + probe)
+		if err != nil {
+			t.Fatalf("GET %s while serving: %v", probe, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s while serving: status %d: %s", probe, resp.StatusCode, body)
+		}
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := s.Shutdown(ctx); err != nil {

@@ -209,6 +209,9 @@ func TestContentLengthDeclared(t *testing.T) {
 		"/hottiles?n=5",
 		"/gridinfo",
 		"/slowlog?n=5",
+		"/metrics",
+		"/healthz",
+		"/readyz",
 		"/patch?level=99&ix=0&iy=0&band=0", // a jsonError response
 		"/tile?x0=abc",                     // another
 	}

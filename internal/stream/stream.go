@@ -55,6 +55,7 @@ import (
 
 	"dmesh/internal/dm"
 	"dmesh/internal/geom"
+	"dmesh/internal/obs"
 )
 
 const (
@@ -262,6 +263,16 @@ func (e *Encoder) EncodeNext(mesh *dm.Result) ([]byte, error) {
 	e.idx++
 	frame := binary.AppendUvarint(make([]byte, 0, len(payload)+4), uint64(len(payload)))
 	return append(frame, payload...), nil
+}
+
+// EncodeNextTraced is EncodeNext inside a PhaseStreamEncode span on tr
+// (which may be nil) — pure CPU, so the span carries wall time and zero
+// DA, keeping a traced stream's encode cost visible next to the rung
+// queries that feed it.
+func (e *Encoder) EncodeNextTraced(mesh *dm.Result, tr *obs.Trace) ([]byte, error) {
+	tr.Begin(obs.PhaseStreamEncode)
+	defer tr.End()
+	return e.EncodeNext(mesh)
 }
 
 // encodeBatch serializes the prev -> next delta as one frame payload.

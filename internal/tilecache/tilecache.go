@@ -346,11 +346,22 @@ type PatchStats struct {
 // accounting machinery, so remotely served tiles rank in TileStats and
 // TopTiles alongside locally stitched ones.
 func (c *Cache) Patch(k Key) (*dm.TilePatch, PatchStats, error) {
+	return c.PatchTraced(k, nil)
+}
+
+// PatchTraced is Patch emitting phase spans on tr (which may be nil):
+// a root PhaseQuery span over the lookup, with the same cache-lookup /
+// materialize children QueryTraced records. Like QueryTraced the trace
+// must be charge-based (nil sampler); its accounted total equals
+// PatchStats.DA exactly.
+func (c *Cache) PatchTraced(k Key, tr *obs.Trace) (*dm.TilePatch, PatchStats, error) {
 	if !c.grid.ValidKey(k) {
 		return nil, PatchStats{}, fmt.Errorf("tilecache: key %v outside grid (max level %d, %d ladder rungs): %w",
 			k, c.grid.maxLevel, len(c.grid.ladder), ErrInvalidKey)
 	}
-	p, da, cold, deduped, err := c.tile(k, nil)
+	tr.Begin(obs.PhaseQuery)
+	defer tr.End()
+	p, da, cold, deduped, err := c.tile(k, tr)
 	if err != nil {
 		return nil, PatchStats{}, fmt.Errorf("tilecache: tile %+v: %w", k, err)
 	}
